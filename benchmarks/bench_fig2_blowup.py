@@ -1,0 +1,59 @@
+"""FIG2 — Figure 2 / Theorem 15: approximations can blow up exponentially.
+
+Regenerates the size series ``|p₁⁽ⁿ⁾| = O(n²)`` versus ``|p₂⁽ⁿ⁾| = Ω(2ⁿ)``
+and verifies the structural claims (``p₂ ⊑ p₁``, ``p₂ ∈ WB(k)``,
+``p₁ ∉ WB(k)``) that make ``p₂`` the approximation lower-bound witness.
+"""
+
+import pytest
+
+from repro.benchharness import format_table
+from repro.wdpt.classes import is_globally_in_tw
+from repro.wdpt.subsumption import is_subsumed_by
+from repro.workloads.families import figure2_family
+
+pytestmark = pytest.mark.paper_artifact("Figure 2 / Theorem 15")
+
+K = 2
+
+
+def test_size_blowup_series():
+    rows = []
+    sizes1, sizes2 = [], []
+    for n in range(1, 9):
+        p1, p2 = figure2_family(n, k=K)
+        sizes1.append(p1.size())
+        sizes2.append(p2.size())
+        rows.append([n, p1.size(), p2.size(), "%.2f" % (p2.size() / p1.size())])
+    print()
+    print(
+        format_table(
+            ["n", "|p1| (O(n^2))", "|p2| (Ω(2^n))", "|p2|/|p1|"],
+            rows,
+            title="FIG2: exponential blow-up of the WB(%d) approximation" % K,
+        )
+    )
+    # Shape: |p2| eventually doubles per step, |p1| grows polynomially.
+    assert sizes2[-1] / sizes2[-2] >= 1.8
+    assert sizes1[-1] / sizes1[-2] <= 1.5
+    assert sizes2[-1] > sizes1[-1]          # crossover happened
+    assert sizes2[0] < sizes1[0] * 2        # but starts comparable
+
+
+def test_structural_claims_small_n():
+    for n in (1, 2, 3):
+        p1, p2 = figure2_family(n, k=K)
+        assert is_globally_in_tw(p2, K), "p2 must be in WB(k)"
+        assert not is_globally_in_tw(p1, K), "p1 must be outside WB(k)"
+        assert is_subsumed_by(p2, p1), "p2 ⊑ p1 must hold"
+        assert not is_subsumed_by(p1, p2), "subsumption must be strict"
+
+
+def test_bench_family_construction(benchmark):
+    p1, p2 = benchmark(lambda: figure2_family(6, k=K))
+    assert p2.size() > p1.size()
+
+
+def test_bench_subsumption_check(benchmark):
+    p1, p2 = figure2_family(2, k=K)
+    assert benchmark(lambda: is_subsumed_by(p2, p1))

@@ -1,0 +1,132 @@
+"""PROP2 — Proposition 2: global tractability ⊊ local tractability + BI.
+
+Ablation of the bounded-interface condition.  The family of
+Proposition 2(2) sits in ``g-TW(1)`` with interface width → ∞; we verify
+the class facts, confirm the inclusion ``ℓ-TW(k) ∩ BI(c) ⊆ g-TW(k + 2c)``
+on random trees, and measure how the Theorem 6 DP's cost responds to the
+interface width knob — the ablation showing why BI is the condition that
+buys exact evaluation.
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import Atom
+from repro.core.database import Database
+from repro.core.mappings import Mapping
+from repro.wdpt.classes import (
+    check_proposition2,
+    has_bounded_interface,
+    interface_width,
+    is_globally_in_tw,
+    is_locally_in_tw,
+)
+from repro.wdpt.eval_tractable import eval_tractable
+from repro.workloads.families import prop2_family
+from repro.workloads.generators import random_wdpt
+
+pytestmark = pytest.mark.paper_artifact("Proposition 2 (separation + ablation)")
+
+
+def test_separation_family_facts():
+    rows = []
+    for n in (2, 4, 6, 8):
+        p = prop2_family(n)
+        rows.append((n, is_globally_in_tw(p, 1), interface_width(p)))
+    print("\nPROP2: (n, g-TW(1)?, interface width):", rows)
+    assert all(g for _, g, _ in rows)
+    assert [w for _, _, w in rows] == [2, 4, 6, 8]
+
+
+def test_inclusion_direction_on_random_trees():
+    checked = 0
+    for seed in range(10):
+        p = random_wdpt(depth=2, fanout=2, fresh_vars_per_node=1, seed=seed)
+        c = interface_width(p)
+        if is_locally_in_tw(p, 1) and has_bounded_interface(p, c):
+            assert check_proposition2(p, k=1, c=c)
+            checked += 1
+    assert checked >= 5
+    print("\nPROP2: inclusion ℓ-TW(1)∩BI(c) ⊆ g-TW(1+2c) verified on %d trees" % checked)
+
+
+def _interface_db(domain=4, with_g=False, g_binary=False):
+    db = Database()
+    for v in range(domain):
+        for u in range(domain):
+            db.add(Atom("E", (v, u)))
+            if with_g and g_binary:
+                db.add(Atom("G", (v, u)))
+    if with_g and not g_binary:
+        for u in range(domain):
+            db.add(Atom("G", (u,)))
+    return db
+
+
+def _wide_interface_tree(n):
+    """Root star E(x, y₀…y_{n−1}) with ONE child sharing all the y's and
+    introducing a free z: interface width n, globally tractable (tw 2)."""
+    from repro.wdpt.tree import PatternTree
+    from repro.wdpt.wdpt import WDPT
+
+    root = [Atom("E", ("?x", "?y%d" % i)) for i in range(n)]
+    child = [Atom("G", ("?y%d" % i, "?z")) for i in range(n)]
+    return WDPT(PatternTree([0]), [root, child], ["?x", "?z"])
+
+
+def test_dp_cost_vs_interface_width():
+    """The Theorem 6 DP enumerates |adom|^{interface} candidates: when
+    every candidate must be *refuted* (the child is always extendable, so
+    ``{x↦0}`` is not an answer), the cost grows exponentially with the
+    interface width — exactly the behaviour BI(c) forbids."""
+    series = Series("EVAL DP vs interface width")
+    db = _interface_db(with_g=True, g_binary=True)
+    h = Mapping({"?x": 0})
+    for n in (2, 3, 4, 5):
+        p = _wide_interface_tree(n)
+        assert is_globally_in_tw(p, 2)
+        assert not eval_tractable(p, db, h)  # z always extendable
+        series.add(n, time_callable(lambda: eval_tractable(p, db, h), repeats=1))
+    print()
+    print(format_series_table([series], parameter_name="interface width"))
+    ratio = series.growth_ratio()
+    assert ratio is not None and ratio > 1.5, (
+        "without BI, the DP pays |adom|^interface (got step ratio %r)" % ratio
+    )
+
+
+def test_bounded_interface_controls_cost():
+    """Same data volume, interface fixed at 1: cost stays flat as the tree
+    grows — the positive side of the ablation."""
+    from repro.wdpt.tree import PatternTree
+    from repro.wdpt.wdpt import WDPT
+
+    series = Series("EVAL DP, BI(1) combs")
+    for width in (2, 4, 8):
+        labels = [[Atom("E", ("?x", "?x"))]]
+        parents = []
+        frees = ["?x"]
+        for i in range(width):
+            labels.append([Atom("G", ("?x", "?z%d" % i))])
+            parents.append(0)
+            frees.append("?z%d" % i)
+        p = WDPT(PatternTree(parents), labels, frees)
+        db = _interface_db(with_g=True, g_binary=True)
+        h = Mapping({"?x": 0})
+        series.add(width, time_callable(lambda: eval_tractable(p, db, h), repeats=2))
+    print()
+    print(format_series_table([series], parameter_name="branches (BI(1))"))
+    slope = series.loglog_slope()
+    assert slope is None or slope < 2.0
+
+
+def test_bench_dp_narrow_interface(benchmark):
+    p = _wide_interface_tree(2)
+    db = _interface_db(with_g=True, g_binary=True)
+    assert not benchmark(lambda: eval_tractable(p, db, Mapping({"?x": 0})))
+
+
+def test_bench_dp_wide_interface(benchmark):
+    p = _wide_interface_tree(4)
+    db = _interface_db(with_g=True, g_binary=True)
+    assert not benchmark(lambda: eval_tractable(p, db, Mapping({"?x": 0})))

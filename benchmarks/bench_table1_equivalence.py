@@ -1,0 +1,77 @@
+"""T1-EQUIV — Table 1, row ≡ₛ: Π₂ᵖ-complete in general, coNP under global
+tractability; and ≡ₛ coincides with ≡_max (Proposition 5).
+
+Subsumption-equivalence is two subsumption checks, so the row inherits the
+⊑ row's shape; we reproduce it directly and additionally validate
+Proposition 5 semantically: syntactically ≡ₛ pairs have identical maximal
+answers over sampled databases.
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import atom
+from repro.wdpt.evaluation import evaluate_max
+from repro.wdpt.subsumption import is_subsumption_equivalent
+from repro.wdpt.transform import lemma1_normal_form
+from repro.wdpt.tree import PatternTree
+from repro.wdpt.wdpt import WDPT
+from repro.workloads.generators import random_database
+
+pytestmark = pytest.mark.paper_artifact("Table 1, row ≡ₛ")
+
+
+def _chain_comb(width, chain=1):
+    """A comb whose teeth hang off a chain of existential nodes — the
+    Lemma 1 normal form collapses the chains, giving natural ≡ₛ pairs."""
+    labels = [[atom("A", "?x")]]
+    parents = []
+    frees = ["?x"]
+    for i in range(width):
+        anchor = 0
+        for c in range(chain):
+            labels.append([atom("L%d_%d" % (i, c), "?x", "?u%d_%d" % (i, c))])
+            parents.append(anchor)
+            anchor = len(labels) - 1
+        labels.append([atom("B%d" % i, "?x", "?y%d" % i)])
+        parents.append(anchor)
+        frees.append("?y%d" % i)
+    return WDPT(PatternTree(parents), labels, frees)
+
+
+def test_equivalence_cost_tracks_subsumption():
+    series = Series("≡ₛ vs branches")
+    for width in (2, 4, 6, 8):
+        p = _chain_comb(width)
+        q = lemma1_normal_form(p)
+        series.add(width, time_callable(lambda: is_subsumption_equivalent(p, q), repeats=1))
+    print()
+    print(format_series_table([series], parameter_name="branches"))
+    ratio = series.growth_ratio()
+    assert ratio is not None and ratio > 1.5
+
+
+def test_normal_form_pairs_are_equivalent():
+    for width in (2, 3):
+        p = _chain_comb(width, chain=2)
+        q = lemma1_normal_form(p)
+        assert len(q.tree) < len(p.tree)
+        assert is_subsumption_equivalent(p, q)
+
+
+def test_proposition5_semantic_agreement():
+    """≡ₛ pairs have identical p_m(D) on sampled databases."""
+    p = _chain_comb(2, chain=2)
+    q = lemma1_normal_form(p)
+    assert is_subsumption_equivalent(p, q)
+    relations = sorted({a.relation for label in p.labels for a in label})
+    for seed in range(3):
+        db = random_database(30, relations=relations, domain_size=4, seed=seed)
+        assert evaluate_max(p, db) == evaluate_max(q, db)
+    print("\nT1-EQUIV: Proposition 5 checked on 3 random databases")
+
+
+def test_bench_equivalence(benchmark):
+    p = _chain_comb(4)
+    q = lemma1_normal_form(p)
+    assert benchmark(lambda: is_subsumption_equivalent(p, q))

@@ -1,0 +1,82 @@
+"""T1-MEVAL — Table 1, row M-EVAL: DP-complete in general, LOGCFL under
+global tractability.
+
+The Theorem 9 algorithm answers ``h ∈ p_m(D)`` with ``1 + |x̄∖dom(h)|``
+partial-evaluation calls.  We reproduce the row's shape by showing it
+scales polynomially in database size, while the general algorithm (full
+enumeration of ``p(D)`` plus a maximality sweep) grows with the answer
+set.
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import atom
+from repro.core.mappings import Mapping
+from repro.wdpt.evaluation import evaluate_max, max_eval_check
+from repro.wdpt.max_eval import max_eval
+from repro.wdpt.wdpt import wdpt_from_nested
+from repro.workloads.datasets import company_directory
+
+pytestmark = pytest.mark.paper_artifact("Table 1, row M-EVAL")
+
+
+def _query():
+    return wdpt_from_nested(
+        (
+            [atom("works_in", "?e", "?d")],
+            [
+                ([atom("phone", "?e", "?p")], []),
+                ([atom("office", "?e", "?o")], []),
+            ],
+        ),
+        free_variables=["?e", "?d", "?p", "?o"],
+    )
+
+
+def _some_maximal(db, query):
+    return sorted(evaluate_max(query, db), key=lambda m: (-len(m), repr(m)))[0]
+
+
+def test_theorem9_polynomial_in_data():
+    query = _query()
+    thm9 = Series("MAX-EVAL (Thm 9)")
+    general = Series("MAX-EVAL (enumeration)")
+    for employees in (4, 8, 16, 32):
+        db = company_directory(n_departments=4, employees_per_department=employees, seed=5)
+        h = _some_maximal(db, query)
+        thm9.add(4 * employees, time_callable(lambda: max_eval(query, db, h), repeats=3))
+        general.add(
+            4 * employees, time_callable(lambda: max_eval_check(query, db, h), repeats=3)
+        )
+    print()
+    print(format_series_table([thm9, general], parameter_name="employees"))
+    slope = thm9.loglog_slope()
+    assert slope is not None and slope < 2.0
+    assert thm9.seconds()[-1] <= general.seconds()[-1]
+
+
+def test_rejections_also_fast():
+    """Negative instances (subsumed answers) are decided by the same
+    machinery — one extension test suffices to refute maximality."""
+    query = _query()
+    db = company_directory(n_departments=4, employees_per_department=16, seed=5)
+    top = _some_maximal(db, query)
+    smaller = top.restrict(sorted(top.domain())[:-1])
+    t = time_callable(lambda: max_eval(query, db, smaller), repeats=3)
+    assert not max_eval(query, db, smaller)
+    assert t < 1.0
+
+
+def test_bench_max_eval(benchmark):
+    query = _query()
+    db = company_directory(n_departments=4, employees_per_department=16, seed=5)
+    h = _some_maximal(db, query)
+    assert benchmark(lambda: max_eval(query, db, h))
+
+
+def test_bench_max_eval_enumeration(benchmark):
+    query = _query()
+    db = company_directory(n_departments=4, employees_per_department=16, seed=5)
+    h = _some_maximal(db, query)
+    assert benchmark(lambda: max_eval_check(query, db, h))

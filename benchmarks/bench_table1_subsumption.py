@@ -1,0 +1,77 @@
+"""T1-SUBS — Table 1, row ⊑: Π₂ᵖ-complete in general, coNP under global
+tractability of the right-hand side (Theorem 11's asymmetry).
+
+The decision procedure enumerates rooted subtrees of ``p₁`` (the genuinely
+exponential part) and runs one PARTIAL-EVAL of ``p₂`` per subtree.  Two
+sweeps reproduce the row:
+
+1. growing the *left* tree blows up the subtree count — cost is
+   exponential in ``|p₁|`` regardless of classes (the coNP lower bound);
+2. growing the *right* tree keeps cost polynomial when ``p₂`` is globally
+   tractable — the inner check is Theorem 8's algorithm (coNP membership's
+   polynomial verifier, Theorem 11(1)).
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import atom
+from repro.wdpt.subsumption import is_subsumed_by
+from repro.wdpt.tree import PatternTree
+from repro.wdpt.wdpt import WDPT
+
+pytestmark = pytest.mark.paper_artifact("Table 1, row ⊑ (subsumption)")
+
+
+def _comb_tree(width):
+    """Root A(x) with ``width`` optional leaves B_i(x, y_i) — g-TW(1),
+    2^width rooted subtrees."""
+    labels = [[atom("A", "?x")]]
+    parents = []
+    frees = ["?x"]
+    for i in range(width):
+        labels.append([atom("B%d" % i, "?x", "?y%d" % i)])
+        parents.append(0)
+        frees.append("?y%d" % i)
+    return WDPT(PatternTree(parents), labels, frees)
+
+
+def test_left_side_exponential():
+    series = Series("⊑ vs left width")
+    for width in (2, 4, 6, 8, 10):
+        p1 = _comb_tree(width)
+        p2 = _comb_tree(width)
+        series.add(width, time_callable(lambda: is_subsumed_by(p1, p2), repeats=1))
+    print()
+    print(format_series_table([series], parameter_name="left branches"))
+    ratio = series.growth_ratio()
+    assert ratio is not None and ratio > 1.6, "subtree enumeration must dominate"
+
+
+def test_right_side_polynomial_when_tractable():
+    p1 = _comb_tree(3)  # fixed small left side: 8 subtrees
+    series = Series("⊑ vs right size (g-TW(1) rhs)")
+    for width in (4, 8, 16, 32):
+        p2 = _comb_tree(width)
+        series.add(width, time_callable(lambda: is_subsumed_by(p1, p2), repeats=3))
+    print()
+    print(format_series_table([series], parameter_name="right branches"))
+    slope = series.loglog_slope()
+    assert slope is not None and slope < 2.5, (
+        "with a globally tractable right-hand side the inner checks are "
+        "polynomial (Theorem 11(1)); got slope %r" % slope
+    )
+
+
+def test_answers_are_correct():
+    small = _comb_tree(2)
+    large = _comb_tree(4)
+    # small's answers bind a subset of large's possible variables.
+    assert is_subsumed_by(small, large)
+    assert not is_subsumed_by(large, small)
+
+
+def test_bench_subsumption(benchmark):
+    p1 = _comb_tree(4)
+    p2 = _comb_tree(6)
+    assert benchmark(lambda: is_subsumed_by(p1, p2))

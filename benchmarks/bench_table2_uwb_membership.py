@@ -1,0 +1,91 @@
+"""T2-UWBMEM — Table 2, row UWB(k)-Membership: Π₂ᵖ/Π₃ᵖ vs the single-WDPT
+NEXPTIME^NP — the paper's "stark contrast".
+
+The UWDPT pipeline (Proposition 9 / Theorem 17) reduces membership to
+per-CQ core computations on ``φ_cq^r``.  We reproduce the contrast by
+running BOTH pipelines on the same single-tree input: the union machinery
+answers via cores in polynomial-ish time where the WDPT witness search
+enumerates quotients.
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import atom
+from repro.wdpt.approximation import is_in_m_wb
+from repro.wdpt.classes import WB_TW, is_in_wb
+from repro.wdpt.unions import UWDPT, is_in_m_uwb, phi_cq, uwb_equivalent, union_subsumption_equivalent
+from repro.wdpt.wdpt import wdpt_from_nested
+
+pytestmark = pytest.mark.paper_artifact("Table 2, row UWB(k)-Membership")
+
+
+def _foldable_tree(pendant_vars):
+    """Cyclic-looking root that folds to TW(1) via its self-loop, with a
+    growing optional pendant path ending in a *free* variable (so the
+    branch survives the Lemma 1 pruning and the single-WDPT witness search
+    must wade through the quotient space)."""
+    root = [
+        atom("E", "?a", "?b"),
+        atom("E", "?b", "?c"),
+        atom("E", "?c", "?a"),
+        atom("E", "?s", "?s"),
+        atom("A", "?x"),
+    ]
+    path = []
+    prev = "?x"
+    for i in range(max(1, pendant_vars)):
+        path.append(atom("P", prev, "?t%d" % i))
+        prev = "?t%d" % i
+    return wdpt_from_nested(
+        (root, [(path, [])]),
+        free_variables=["?x", prev],
+    )
+
+
+def test_membership_positive_and_equivalent_union():
+    p = _foldable_tree(2)
+    phi = UWDPT([p])
+    assert is_in_m_uwb(phi, 1, WB_TW)
+    equivalent = uwb_equivalent(phi, 1, WB_TW)
+    assert equivalent is not None
+    assert all(is_in_wb(q, 1, WB_TW) for q in equivalent)
+    assert union_subsumption_equivalent(phi, equivalent)
+    print("\nT2-UWBMEM: equivalent UWB(1) union with %d members" % len(equivalent))
+
+
+def test_stark_contrast_union_vs_single():
+    union_series = Series("UWB membership (cores)")
+    wdpt_series = Series("WB membership (witness search)")
+    for n in (2, 3, 4):
+        p = _foldable_tree(n)
+        phi = UWDPT([p])
+        union_series.add(n, time_callable(lambda: is_in_m_uwb(phi, 1, WB_TW), repeats=1))
+        wdpt_series.add(n, time_callable(lambda: is_in_m_wb(p, 1, WB_TW), repeats=1))
+    print()
+    print(format_series_table([union_series, wdpt_series], parameter_name="pendant vars"))
+    # The union pipeline must win, increasingly so.
+    assert union_series.seconds()[-1] < wdpt_series.seconds()[-1]
+
+
+def test_phi_cq_size_is_the_union_cost_driver():
+    rows = []
+    for n in (1, 2, 3):
+        p = _foldable_tree(n)
+        rows.append([n, len(phi_cq(UWDPT([p])))])
+    print("\nT2-UWBMEM: φ_cq disjunct counts", rows)
+    assert all(count == 2 for _, count in rows)  # root / root+leaf
+
+
+def test_membership_negative():
+    tri = wdpt_from_nested(
+        ([atom("E", "?a", "?b"), atom("E", "?b", "?c"), atom("E", "?c", "?a"),
+          atom("A", "?x", "?a")], []),
+        free_variables=["?x"],
+    )
+    assert not is_in_m_uwb(UWDPT([tri]), 1, WB_TW)
+
+
+def test_bench_uwb_membership(benchmark):
+    phi = UWDPT([_foldable_tree(3)])
+    assert benchmark(lambda: is_in_m_uwb(phi, 1, WB_TW))

@@ -1,0 +1,88 @@
+"""T2-WBAPP — Table 2, row WB(k)-Approximation: Π₂ᵖ-hard, in
+coNEXPTIME^NP (computation: 2EXPTIME, Theorem 14).
+
+We measure (1) the cost of *computing* an approximation as the quotient
+dimension grows, (2) the cost of *verifying* the WB(k)-APPROXIMATION
+decision problem, and (3) soundness + optionality preservation of the
+results (a pure single-node collapse would be strictly worse than a
+tree-shaped approximation).
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import atom
+from repro.wdpt.approximation import (
+    is_wb_approximation,
+    wb_approximation,
+    wb_approximations,
+)
+from repro.wdpt.classes import WB_TW, is_in_wb
+from repro.wdpt.subsumption import is_subsumed_by
+from repro.wdpt.wdpt import wdpt_from_nested
+
+pytestmark = pytest.mark.paper_artifact("Table 2, row WB(k)-Approximation")
+
+
+def _cyclic_root_tree(cycle_size):
+    cycle = [
+        atom("E", "?c%d" % i, "?c%d" % ((i + 1) % cycle_size))
+        for i in range(cycle_size)
+    ]
+    return wdpt_from_nested(
+        (
+            cycle + [atom("A", "?x", "?c0")],
+            [([atom("F", "?x", "?w")], [])],
+        ),
+        free_variables=["?x", "?w"],
+    )
+
+
+def test_approximations_sound_and_structural():
+    p = _cyclic_root_tree(3)
+    apps = wb_approximations(p, 1, WB_TW)
+    assert apps
+    for a in apps:
+        assert is_in_wb(a, 1, WB_TW)
+        assert is_subsumed_by(a, p)
+    assert any(len(a.tree) > 1 for a in apps), "optional branch must survive"
+    print("\nT2-WBAPP: %d maximal WB(1) approximations of the 3-cycle tree" % len(apps))
+
+
+def test_computation_cost_vs_quotient_dimension():
+    series = Series("WB(1)-approximation")
+    for n in (3, 4, 5):
+        p = _cyclic_root_tree(n)
+        series.add(n, time_callable(lambda: wb_approximation(p, 1, WB_TW), repeats=1))
+    print()
+    print(format_series_table([series], parameter_name="cycle size"))
+    ratio = series.growth_ratio()
+    assert ratio is not None and ratio > 1.2, (
+        "approximation search must pay for the growing quotient space"
+    )
+
+
+def test_decision_problem():
+    p = _cyclic_root_tree(3)
+    apps = wb_approximations(p, 1, WB_TW)
+    good = apps[0]
+    assert is_wb_approximation(good, p, 1, WB_TW)
+    # A strictly weaker in-class tree is rejected (not maximal).
+    weaker = wdpt_from_nested(
+        ([atom("E", "?a", "?a"), atom("A", "?x", "?a")], []),
+        free_variables=["?x"],
+    )
+    assert is_subsumed_by(weaker, p)
+    assert not is_wb_approximation(weaker, p, 1, WB_TW)
+
+
+def test_bench_compute_approximation(benchmark):
+    p = _cyclic_root_tree(3)
+    result = benchmark(lambda: wb_approximation(p, 1, WB_TW))
+    assert is_in_wb(result, 1, WB_TW)
+
+
+def test_bench_verify_approximation(benchmark):
+    p = _cyclic_root_tree(3)
+    good = wb_approximations(p, 1, WB_TW)[0]
+    assert benchmark(lambda: is_wb_approximation(good, p, 1, WB_TW))

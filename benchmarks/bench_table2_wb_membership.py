@@ -1,0 +1,94 @@
+"""T2-WBMEM — Table 2, row WB(k)-Membership: Π₂ᵖ-hard, in NEXPTIME^NP.
+
+``p ∈ M(WB(k))``?  The witness search is exponential (Lemma 1 candidates ×
+quotients × subsumption-equivalence checks); we reproduce the row by
+measuring the search cost against the number of existential variables (the
+quotient dimension) and against tree size (the subtree dimension), on
+instances that *are* members only through non-trivial restructuring.
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import atom
+from repro.wdpt.approximation import find_wb_equivalent, is_in_m_wb
+from repro.wdpt.classes import WB_TW, is_in_wb
+from repro.wdpt.subsumption import is_subsumption_equivalent
+from repro.wdpt.tree import PatternTree
+from repro.wdpt.wdpt import WDPT, wdpt_from_nested
+
+pytestmark = pytest.mark.paper_artifact("Table 2, row WB(k)-Membership")
+
+
+def _prunable(extra_cycle_vars):
+    """Root A(x) + one free-variable-less branch containing a cycle of
+    growing size: a member of M(WB(1)) via pruning."""
+    cycle = [
+        atom("E", "?c%d" % i, "?c%d" % ((i + 1) % extra_cycle_vars))
+        for i in range(extra_cycle_vars)
+    ]
+    return wdpt_from_nested(
+        ([atom("A", "?x")], [(cycle + [atom("E", "?x", "?c0")], [])]),
+        free_variables=["?x"],
+    )
+
+
+def test_membership_through_pruning():
+    for n in (3, 4, 5):
+        p = _prunable(n)
+        assert not is_in_wb(p, 1, WB_TW)
+        witness = find_wb_equivalent(p, 1, WB_TW)
+        assert witness is not None
+        assert is_in_wb(witness, 1, WB_TW)
+        assert is_subsumption_equivalent(p, witness)
+    print("\nT2-WBMEM: pruning witnesses found for cycle sizes 3-5")
+
+
+def test_cost_vs_existential_variables():
+    series = Series("M(WB(1)) search")
+    for n in (3, 4, 5, 6):
+        p = _prunable(n)
+        series.add(n, time_callable(lambda: is_in_m_wb(p, 1, WB_TW), repeats=1))
+    print()
+    print(format_series_table([series], parameter_name="cycle size"))
+    # Pruning finds the witness early, so this stays cheap — the point of
+    # the Lemma 1 normal form.
+    assert series.seconds()[-1] < 5.0
+
+
+def _negative_instance(width):
+    """A clique in the root shared with free leaves: NOT in M(WB(1)); the
+    search must exhaust the candidate space."""
+    clique_vars = ["?q%d" % i for i in range(3)]
+    root = [atom("E", a, b) for a in clique_vars for b in clique_vars if a != b]
+    root.append(atom("A", "?x", "?q0"))
+    labels = [root]
+    parents = []
+    frees = ["?x"]
+    for i in range(width):
+        labels.append([atom("B%d" % i, "?q%d" % (i % 3), "?z%d" % i)])
+        parents.append(0)
+        frees.append("?z%d" % i)
+    return WDPT(PatternTree(parents), labels, frees)
+
+
+def test_negative_cost_grows_with_tree():
+    series = Series("M(WB(1)) exhaustive refusal")
+    for width in (1, 2, 3):
+        p = _negative_instance(width)
+        series.add(width, time_callable(lambda: is_in_m_wb(p, 1, WB_TW), repeats=1))
+        assert not is_in_m_wb(p, 1, WB_TW)
+    print()
+    print(format_series_table([series], parameter_name="free leaves"))
+    ratio = series.growth_ratio()
+    assert ratio is not None and ratio > 1.2, "negatives must pay the full search"
+
+
+def test_bench_membership_positive(benchmark):
+    p = _prunable(4)
+    assert benchmark(lambda: is_in_m_wb(p, 1, WB_TW))
+
+
+def test_bench_membership_negative(benchmark):
+    p = _negative_instance(1)
+    assert not benchmark(lambda: is_in_m_wb(p, 1, WB_TW))

@@ -1,0 +1,89 @@
+"""THM16 — Theorem 16: union evaluation inherits the tractability results.
+
+``⋃-EVAL`` on locally-tractable bounded-interface members, and
+``⋃-PARTIAL-EVAL`` / ``⋃-MAX-EVAL`` on globally tractable members, all run
+in LOGCFL — i.e. their deterministic cost is polynomial and simply linear
+in the number of members.  We reproduce the shape: cost grows linearly
+with the member count and polynomially with the data.
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import atom
+from repro.core.mappings import Mapping
+from repro.wdpt.unions import UWDPT, union_max_eval, union_partial_eval
+from repro.wdpt.wdpt import wdpt_from_nested
+from repro.workloads.datasets import company_directory
+
+pytestmark = pytest.mark.paper_artifact("Theorem 16 (union evaluation)")
+
+
+def _member(i):
+    return wdpt_from_nested(
+        (
+            [atom("works_in", "?e", "?d")],
+            [([atom("phone", "?e", "?p%d" % i)], [])],
+        ),
+        free_variables=["?e", "?d", "?p%d" % i],
+    )
+
+
+def _union(n):
+    return UWDPT([_member(i) for i in range(n)])
+
+
+def test_cost_linear_in_members():
+    db = company_directory(n_departments=3, employees_per_department=8, seed=21)
+    h = Mapping({"?e": "emp_0_0"})
+    series = Series("⋃-PARTIAL-EVAL")
+    for n in (1, 2, 4, 8):
+        phi = _union(n)
+        series.add(n, time_callable(lambda: union_partial_eval(phi, db, h), repeats=3))
+        assert union_partial_eval(phi, db, h)
+    print()
+    print(format_series_table([series], parameter_name="union members"))
+    slope = series.loglog_slope()
+    assert slope is not None and slope < 1.8
+
+
+def test_cost_polynomial_in_data():
+    phi = _union(3)
+    h = Mapping({"?e": "emp_0_0"})
+    partial = Series("⋃-PARTIAL-EVAL")
+    maximal = Series("⋃-MAX-EVAL")
+    for employees in (8, 16, 32):
+        db = company_directory(n_departments=3, employees_per_department=employees, seed=21)
+        partial.add(3 * employees, time_callable(lambda: union_partial_eval(phi, db, h), repeats=3))
+        maximal.add(3 * employees, time_callable(lambda: union_max_eval(phi, db, h), repeats=3))
+    print()
+    print(format_series_table([partial, maximal], parameter_name="employees"))
+    for s in (partial, maximal):
+        slope = s.loglog_slope()
+        assert slope is None or slope < 2.0
+
+
+def test_union_max_eval_correct_across_members():
+    db = company_directory(n_departments=2, employees_per_department=3,
+                           phone_fraction=1.0, seed=4)
+    phi = _union(2)
+    from repro.wdpt.unions import evaluate_union_max
+
+    maximal = evaluate_union_max(phi, db)
+    some = sorted(maximal, key=repr)[0]
+    assert union_max_eval(phi, db, some)
+    smaller = some.restrict(sorted(some.domain())[:-1])
+    assert not union_max_eval(phi, db, smaller)
+
+
+def test_bench_union_partial_eval(benchmark):
+    db = company_directory(n_departments=3, employees_per_department=16, seed=21)
+    phi = _union(4)
+    assert benchmark(lambda: union_partial_eval(phi, db, Mapping({"?e": "emp_0_0"})))
+
+
+def test_bench_union_max_eval(benchmark):
+    db = company_directory(n_departments=3, employees_per_department=16, seed=21)
+    phi = _union(4)
+    h = Mapping({"?e": "emp_0_0"})
+    benchmark(lambda: union_max_eval(phi, db, h))

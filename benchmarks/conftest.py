@@ -1,0 +1,23 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` file regenerates one paper artifact (a Table 1/2 row or
+a figure).  Two kinds of measurements coexist:
+
+* ``pytest-benchmark`` fixtures time a single representative operation per
+  class column (these show up in the ``--benchmark-only`` summary table);
+* explicit parameter sweeps (via :mod:`repro.benchharness`) print the
+  paper-shaped series — growth rates, crossovers, who-wins — directly to
+  stdout, and assert the qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): the paper table/figure a benchmark reproduces"
+    )

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Music catalog: optional matching over incomplete semantic web data.
+
+The scenario the paper's introduction motivates: a catalog where ratings
+and founding years exist only for *some* records and bands.  A plain CQ
+joining everything would silently drop every band with a missing
+attribute; the WDPT returns every band and fills in whatever is known.
+
+The script contrasts the two behaviours quantitatively as the data gets
+sparser, then demonstrates the decision problems (EVAL / PARTIAL-EVAL /
+MAX-EVAL) on the same query.
+
+Run:  python examples/music_catalog.py
+"""
+
+from repro.core import ConjunctiveQuery, Mapping, atom
+from repro.cqalgs import evaluate as cq_evaluate
+from repro.rdf import parse_query
+from repro.wdpt import evaluate, evaluate_max, max_eval, partial_eval
+from repro.workloads.datasets import music_catalog
+
+QUERY = (
+    "SELECT ?record ?band ?rating ?year WHERE "
+    "(((?record, recorded_by, ?band) OPT (?record, NME_rating, ?rating))"
+    " OPT (?band, formed_in, ?year))"
+)
+
+
+def strict_cq() -> ConjunctiveQuery:
+    """The CQ a user would write without OPT: every attribute mandatory."""
+    return ConjunctiveQuery(
+        ["?record", "?band", "?rating", "?year"],
+        [
+            atom("triple", "?record", "recorded_by", "?band"),
+            atom("triple", "?record", "NME_rating", "?rating"),
+            atom("triple", "?band", "formed_in", "?year"),
+        ],
+    )
+
+
+def main() -> None:
+    wdpt = parse_query(QUERY)
+    print("Query (as WDPT):")
+    print(wdpt)
+
+    print("\n%-10s %-12s %-12s %-12s" % ("coverage", "records", "CQ answers", "WDPT answers"))
+    for fraction in (1.0, 0.7, 0.4, 0.1):
+        graph = music_catalog(
+            n_bands=10,
+            records_per_band=3,
+            rating_fraction=fraction,
+            formed_in_fraction=fraction,
+            seed=7,
+        )
+        db = graph.to_database()
+        n_records = len(list(graph.triples_with(predicate="recorded_by")))
+        strict = cq_evaluate(strict_cq(), db)
+        flexible = evaluate(wdpt, db)
+        print("%-10s %-12d %-12d %-12d" % ("%.0f%%" % (100 * fraction), n_records, len(strict), len(flexible)))
+    print("→ the CQ collapses as data thins out; the WDPT always returns all records.")
+
+    # ------------------------------------------------------------------
+    # Decision problems on one concrete catalog.
+    # ------------------------------------------------------------------
+    db = music_catalog(n_bands=6, records_per_band=2, rating_fraction=0.5,
+                       formed_in_fraction=0.5, seed=7).to_database()
+    answers = sorted(evaluate(wdpt, db), key=repr)
+    print("\nA few answers over a 50%%-coverage catalog (%d total):" % len(answers))
+    for a in answers[:4]:
+        print("   ", a)
+
+    richest = max(answers, key=len)
+    print("\nDecision problems:")
+    print("    PARTIAL-EVAL(band only):  ",
+          partial_eval(wdpt, db, richest.restrict(["?band"])))
+    print("    MAX-EVAL(richest answer): ", max_eval(wdpt, db, richest))
+    partial = richest.restrict(sorted(richest.domain())[:-1])
+    print("    MAX-EVAL(its restriction):", max_eval(wdpt, db, partial))
+
+    print("\nMaximal-mapping semantics keeps %d of %d answers." % (
+        len(evaluate_max(wdpt, db)), len(answers)))
+
+
+if __name__ == "__main__":
+    main()

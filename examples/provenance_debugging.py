@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Provenance and debugging: *why* did (or didn't) a query answer?
+
+The Session API end to end: query a catalog, pull witness certificates
+explaining each answer's optional branches, use the subsumption
+counterexample to debug a broken query rewrite, and round-trip everything
+through the JSON serializer.
+
+Run:  python examples/provenance_debugging.py
+"""
+
+from repro.core import Mapping
+from repro.engine import Session
+from repro.serialize import dumps, loads
+from repro.wdpt import subsumption_counterexample
+from repro.workloads.families import example2_graph
+
+QUERY = (
+    "SELECT ?record ?band ?rating ?year WHERE { "
+    '?record recorded_by ?band . ?record published "after_2010" '
+    "OPTIONAL { ?record NME_rating ?rating } "
+    "OPTIONAL { ?band formed_in ?year } }"
+)
+
+
+def main() -> None:
+    session = Session(example2_graph())
+    result = session.query(QUERY)
+    print("Answers:")
+    print(result.to_table())
+
+    # ------------------------------------------------------------------
+    # Why is each answer what it is?
+    # ------------------------------------------------------------------
+    print("\nProvenance certificates:")
+    for answer in result:
+        w = result.witness(answer)
+        assert w is not None and w.verify()
+        print()
+        print(w.describe())
+
+    # ------------------------------------------------------------------
+    # Debugging a rewrite with the subsumption counterexample.
+    # ------------------------------------------------------------------
+    original = session.parse(QUERY)
+    broken = session.parse(
+        "SELECT ?record ?band ?rating WHERE { "
+        '?record recorded_by ?band . ?record published "after_2010" '
+        "OPTIONAL { ?record NME_rating ?rating } }"
+    )
+    print("\nIs the rewrite ≡ₛ to the original?")
+    ce = subsumption_counterexample(original, broken)
+    if ce is None:
+        print("  original ⊑ rewrite: yes")
+    else:
+        print("  original ⋢ rewrite; failing subtree nodes:", sorted(ce))
+        print("  (the rewrite dropped the formed_in branch, so answers")
+        print("   binding ?year can no longer be subsumed)")
+
+    # ------------------------------------------------------------------
+    # Serialization round trip.
+    # ------------------------------------------------------------------
+    payload = dumps(original)
+    restored = loads(payload)
+    assert restored == original
+    print("\nSerialized query: %d bytes of JSON, round-trips exactly." % len(payload))
+
+    answer = sorted(result, key=len)[-1]
+    print("An answer as JSON:", dumps(answer, indent=0).replace("\n", " "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Well-designed pattern trees over arbitrary relational schemas.
+
+A production-quality reproduction of
+
+    Pablo Barceló and Reinhard Pichler.
+    *Efficient Evaluation and Approximation of Well-designed Pattern
+    Trees.*  PODS 2015.
+
+The library implements the paper end to end: the relational/CQ substrate
+(Section 2), treewidth/hypertreewidth machinery and the tractable WDPT
+evaluation algorithms (Section 3), subsumption and subsumption-equivalence
+(Section 4), semantic optimization and approximation (Section 5), and
+unions of WDPTs (Section 6) — plus an {AND, OPT} SPARQL frontend over a
+built-in triple store.
+
+Quickstart::
+
+    from repro import Database, Mapping, atom
+    from repro.rdf import parse_query, RDFGraph
+    from repro.wdpt import evaluate
+
+    g = RDFGraph([("Swim", "recorded_by", "Caribou")])
+    p = parse_query("(?x, recorded_by, ?y) OPT (?x, NME_rating, ?z)")
+    answers = evaluate(p, g.to_database())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .core import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Database,
+    Mapping,
+    Schema,
+    Variable,
+    atom,
+    cq,
+)
+from .exceptions import (
+    BudgetExceededError,
+    ClassMembershipError,
+    ConstantsNotSupportedError,
+    DecompositionError,
+    NotGroundError,
+    NotWellDesignedError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+from .wdpt import WDPT, UWDPT, wdpt_from_nested
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "Mapping",
+    "Schema",
+    "Variable",
+    "atom",
+    "cq",
+    "BudgetExceededError",
+    "ClassMembershipError",
+    "ConstantsNotSupportedError",
+    "DecompositionError",
+    "NotGroundError",
+    "NotWellDesignedError",
+    "ParseError",
+    "ReproError",
+    "SchemaError",
+    "WDPT",
+    "UWDPT",
+    "wdpt_from_nested",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Measurement harness: sweeps, growth estimates, table rendering."""
+
+from .reporting import format_series_table, format_table
+from .runner import Series, sweep, time_callable
+
+__all__ = ["format_series_table", "format_table", "Series", "sweep", "time_callable"]

@@ -1,0 +1,74 @@
+"""Fixed-width tables for benchmark output.
+
+The benchmarks print rows that mirror the paper's Tables 1 and 2 and the
+two figures; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .runner import Series
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(series_list: Sequence[Series], parameter_name: str = "n") -> str:
+    """One row per parameter value, one column per series, plus a summary
+    line with the log–log slope and step-growth ratio of each series."""
+    parameters = sorted({p for s in series_list for p, _ in s.points})
+    headers = [parameter_name] + [s.name for s in series_list]
+    lookup = [{p: sec for p, sec in s.points} for s in series_list]
+    rows: List[List[object]] = []
+    for p in parameters:
+        row: List[object] = [_fmt_param(p)]
+        for table in lookup:
+            row.append(_fmt_seconds(table.get(p)))
+        rows.append(row)
+    summary_slope: List[object] = ["slope≈"]
+    summary_ratio: List[object] = ["step×"]
+    for s in series_list:
+        slope = s.loglog_slope()
+        ratio = s.growth_ratio()
+        summary_slope.append("%.2f" % slope if slope is not None else "-")
+        summary_ratio.append("%.2f" % ratio if ratio is not None else "-")
+    rows.append(summary_slope)
+    rows.append(summary_ratio)
+    return format_table(headers, rows)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return "%.6f" % value
+    return str(value)
+
+
+def _fmt_param(p: float) -> str:
+    return "%d" % p if float(p).is_integer() else "%.3g" % p
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1:
+        return "%.2fs" % seconds
+    if seconds >= 1e-3:
+        return "%.2fms" % (seconds * 1e3)
+    return "%.0fµs" % (seconds * 1e6)

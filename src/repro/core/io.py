@@ -1,0 +1,124 @@
+"""Plain-text database I/O.
+
+Two formats cover the common interchange cases:
+
+* **Facts format** (``.facts``): one fact per line, ``relation(arg, …)``
+  with quoted strings where needed — exactly the ``repr`` this library
+  prints, so output is round-trippable.
+* **TSV directory**: one tab-separated file per relation (filename =
+  relation name), one tuple per line — the classic Datalog/souffle layout.
+
+Values are kept as strings unless they look like integers (all-digit
+tokens become ``int``), which matches how the synthetic workloads are
+built.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List
+
+from ..exceptions import ReproError
+from .atoms import Atom
+from .database import Database
+from .terms import Constant
+
+_FACT_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\((.*)\)\s*$")
+_ARG_RE = re.compile(r"""\s*(?:'([^']*)'|"([^"]*)"|([^,()'"]+))\s*(?:,|$)""")
+
+
+def _parse_value(token: str) -> object:
+    token = token.strip()
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    return token
+
+
+def parse_fact(line: str) -> Atom:
+    """Parse one ``relation(arg, …)`` line into a ground atom."""
+    m = _FACT_RE.match(line)
+    if m is None:
+        raise ReproError("cannot parse fact %r" % (line,))
+    relation, body = m.group(1), m.group(2)
+    args: List[object] = []
+    pos = 0
+    while pos < len(body):
+        arg = _ARG_RE.match(body, pos)
+        if arg is None:
+            raise ReproError("cannot parse arguments of %r" % (line,))
+        quoted_s, quoted_d, bare = arg.group(1), arg.group(2), arg.group(3)
+        if quoted_s is not None:
+            args.append(quoted_s)
+        elif quoted_d is not None:
+            args.append(quoted_d)
+        else:
+            args.append(_parse_value(bare))
+        pos = arg.end()
+    if not args:
+        raise ReproError("fact %r has no arguments" % (line,))
+    return Atom(relation, args)
+
+
+def format_fact(fact: Atom) -> str:
+    """Inverse of :func:`parse_fact` (for ground atoms)."""
+    parts = []
+    for t in fact.args:
+        assert isinstance(t, Constant)
+        value = t.value
+        if isinstance(value, int):
+            parts.append(str(value))
+        else:
+            parts.append("'%s'" % value)
+    return "%s(%s)" % (fact.relation, ", ".join(parts))
+
+
+def load_facts(path: str) -> Database:
+    """Load a ``.facts`` file (``#`` comments and blank lines skipped)."""
+    db = Database()
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                db.add(parse_fact(stripped))
+            except ReproError as exc:
+                raise ReproError("%s:%d: %s" % (path, lineno, exc)) from None
+    return db
+
+
+def save_facts(db: Database, path: str) -> None:
+    """Write a database in facts format (sorted, deterministic)."""
+    with open(path, "w") as handle:
+        for fact in sorted(db.facts()):
+            handle.write(format_fact(fact) + "\n")
+
+
+def load_tsv_directory(directory: str) -> Database:
+    """Load every ``*.tsv`` file in ``directory`` as a relation."""
+    db = Database()
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".tsv"):
+            continue
+        relation = name[: -len(".tsv")]
+        with open(os.path.join(directory, name)) as handle:
+            for lineno, line in enumerate(handle, 1):
+                stripped = line.rstrip("\n")
+                if not stripped or stripped.startswith("#"):
+                    continue
+                values = [_parse_value(v) for v in stripped.split("\t")]
+                db.add(Atom(relation, values))
+    return db
+
+
+def save_tsv_directory(db: Database, directory: str) -> None:
+    """Write one ``relation.tsv`` per relation."""
+    os.makedirs(directory, exist_ok=True)
+    for relation in sorted(db.relations()):
+        path = os.path.join(directory, relation + ".tsv")
+        with open(path, "w") as handle:
+            for fact in sorted(db.facts(relation)):
+                handle.write(
+                    "\t".join(str(t.value) for t in fact.args) + "\n"  # type: ignore[union-attr]
+                )

@@ -1,0 +1,231 @@
+"""Partial mappings and the subsumption order ``⊑``.
+
+The answers of CQs and WDPTs in this paper are *partial mappings*
+``h : X → U`` — assignments of constants to a finite subset of the
+variables.  Two orders structure the answer space (Section 2):
+
+* ``h ⊑ h'`` (*h is subsumed by h'*): ``dom(h) ⊆ dom(h')`` and the two agree
+  on ``dom(h)``;
+* ``h ⊏ h'``: ``h ⊑ h'`` and not ``h' ⊑ h`` (with ``h ⊑ h'`` this reduces to
+  ``dom(h) ⊊ dom(h')``).
+
+:class:`Mapping` is an immutable, hashable wrapper around a ``dict`` from
+:class:`~repro.core.terms.Variable` to :class:`~repro.core.terms.Constant`,
+with the order operations, restriction, compatible union, and helpers for
+selecting the maximal elements of a set of mappings — the operation at the
+heart of WDPT semantics (Definition 2).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping as TMapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .terms import Constant, Term, Variable, term
+
+
+class Mapping:
+    """An immutable partial mapping from variables to constants.
+
+    Construction accepts any mapping-like of variable → constant; plain
+    Python values are coerced with :func:`repro.core.terms.term` (so keys
+    may be ``"?x"`` strings and values plain constants payloads).
+
+    >>> h = Mapping({"?x": "Swim", "?y": "Caribou"})
+    >>> h["?x"]
+    'Swim'
+    >>> h.restrict([Variable("x")]).domain() == frozenset({Variable("x")})
+    True
+    """
+
+    __slots__ = ("_assignment", "_hash")
+
+    def __init__(self, assignment: Optional[TMapping] = None):
+        coerced: Dict[Variable, Constant] = {}
+        if assignment:
+            for key, value in assignment.items():
+                var = term(key)
+                val = term(value)
+                if not isinstance(var, Variable):
+                    raise TypeError("mapping keys must be variables, got %r" % (key,))
+                if not isinstance(val, Constant):
+                    raise TypeError("mapping values must be constants, got %r" % (value,))
+                coerced[var] = val
+        self._assignment = coerced
+        self._hash = hash(frozenset(coerced.items()))
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def domain(self) -> FrozenSet[Variable]:
+        """The set of variables on which the mapping is defined."""
+        return frozenset(self._assignment)
+
+    def items(self) -> Iterator[Tuple[Variable, Constant]]:
+        return iter(self._assignment.items())
+
+    def get(self, var: object, default: Optional[Constant] = None) -> Optional[Constant]:
+        key = term(var)
+        if not isinstance(key, Variable):
+            raise TypeError("mapping keys must be variables, got %r" % (var,))
+        return self._assignment.get(key, default)
+
+    def __getitem__(self, var: object) -> Constant:
+        key = term(var)
+        if not isinstance(key, Variable):
+            raise TypeError("mapping keys must be variables, got %r" % (var,))
+        return self._assignment[key]
+
+    def __contains__(self, var: object) -> bool:
+        key = term(var)
+        return isinstance(key, Variable) and key in self._assignment
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._assignment)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Mapping) and other._assignment == self._assignment
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            "%r↦%r" % (v, c) for v, c in sorted(self._assignment.items(), key=lambda kv: kv[0].name)
+        )
+        return "{%s}" % inner
+
+    def as_dict(self) -> Dict[Variable, Constant]:
+        """A fresh plain-dict copy of the assignment."""
+        return dict(self._assignment)
+
+    # ------------------------------------------------------------------
+    # Order and algebra
+    # ------------------------------------------------------------------
+    def subsumed_by(self, other: "Mapping") -> bool:
+        """``self ⊑ other``: domain inclusion + agreement on the domain."""
+        if len(self._assignment) > len(other._assignment):
+            return False
+        for var, val in self._assignment.items():
+            if other._assignment.get(var) != val:
+                return False
+        return True
+
+    def properly_subsumed_by(self, other: "Mapping") -> bool:
+        """``self ⊏ other``: subsumed and strictly smaller domain."""
+        return len(self._assignment) < len(other._assignment) and self.subsumed_by(other)
+
+    def compatible(self, other: "Mapping") -> bool:
+        """Do the two mappings agree on their common domain?"""
+        small, large = (
+            (self._assignment, other._assignment)
+            if len(self._assignment) <= len(other._assignment)
+            else (other._assignment, self._assignment)
+        )
+        for var, val in small.items():
+            existing = large.get(var)
+            if existing is not None and existing != val:
+                return False
+        return True
+
+    def union(self, other: "Mapping") -> "Mapping":
+        """Union of two *compatible* mappings.
+
+        Raises ``ValueError`` on conflicting assignments.
+        """
+        if not self.compatible(other):
+            raise ValueError("cannot union incompatible mappings %r and %r" % (self, other))
+        merged = dict(self._assignment)
+        merged.update(other._assignment)
+        return Mapping(merged)
+
+    def restrict(self, variables: Iterable[object]) -> "Mapping":
+        """Restriction ``h|_V`` to the given variables (missing ones dropped)."""
+        wanted = {term(v) for v in variables}
+        return Mapping({v: c for v, c in self._assignment.items() if v in wanted})
+
+    def extend(self, var: object, value: object) -> "Mapping":
+        """A new mapping additionally sending ``var ↦ value``.
+
+        Overwriting an existing binding with a *different* value raises
+        ``ValueError`` (use plain construction for that).
+        """
+        key = term(var)
+        val = term(value)
+        if not isinstance(key, Variable) or not isinstance(val, Constant):
+            raise TypeError("extend() needs a variable and a constant")
+        existing = self._assignment.get(key)
+        if existing is not None and existing != val:
+            raise ValueError("extend() would overwrite %r↦%r with %r" % (key, existing, val))
+        merged = dict(self._assignment)
+        merged[key] = val
+        return Mapping(merged)
+
+    def apply(self, t: Term) -> Term:
+        """Image of a term: variables map through ``self`` (if defined),
+        constants map to themselves (footnote 3 of the paper)."""
+        if isinstance(t, Variable):
+            return self._assignment.get(t, t)
+        return t
+
+
+EMPTY_MAPPING = Mapping()
+
+
+def maximal_mappings(mappings: Iterable[Mapping]) -> FrozenSet[Mapping]:
+    """The ``⊑``-maximal elements of a set of mappings.
+
+    Used both for Definition 2 (maximal homomorphisms) and for the
+    maximal-mapping semantics ``p_m(D)`` of Section 3.4.
+
+    ``h ⊑ h'`` is item-set inclusion, so this is the classical "maximal
+    sets" problem.  An inverted index from single bindings ``(x, c)`` to
+    the mappings containing them lets each candidate scan only the
+    shortest posting list among its own bindings instead of the whole
+    input — near-linear on the homomorphism sets produced by evaluation.
+    """
+    unique: List[Mapping] = list(set(mappings))
+    if not unique:
+        return frozenset()
+    postings: Dict[Tuple[Variable, Constant], List[Mapping]] = {}
+    max_size = 0
+    for m in unique:
+        max_size = max(max_size, len(m))
+        for binding in m.items():
+            postings.setdefault(binding, []).append(m)
+    result: Set[Mapping] = set()
+    for candidate in unique:
+        if not candidate:
+            # The empty mapping is maximal only when it is the sole element.
+            if max_size == 0:
+                result.add(candidate)
+            continue
+        shortest: Optional[List[Mapping]] = None
+        for binding in candidate.items():
+            posting = postings[binding]
+            if shortest is None or len(posting) < len(shortest):
+                shortest = posting
+        assert shortest is not None
+        if not any(candidate.properly_subsumed_by(m) for m in shortest):
+            result.add(candidate)
+    return frozenset(result)
+
+
+def is_maximal_in(candidate: Mapping, mappings: Iterable[Mapping]) -> bool:
+    """Is ``candidate`` ``⊑``-maximal within ``mappings``?"""
+    return not any(candidate.properly_subsumed_by(m) for m in mappings)

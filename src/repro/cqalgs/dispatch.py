@@ -1,0 +1,62 @@
+"""Front-door CQ evaluation with engine selection.
+
+:func:`evaluate` routes a query to the cheapest applicable engine:
+
+* acyclic → Yannakakis (:mod:`repro.cqalgs.yannakakis`);
+* small-treewidth (heuristic bound ≤ :data:`AUTO_TW_CUTOFF`) → the bounded
+  treewidth engine (:mod:`repro.cqalgs.structured`);
+* otherwise → backtracking (:mod:`repro.cqalgs.naive`).
+
+All engines implement the same contract — the full set of answer mappings
+``h|_x̄`` — and are cross-validated against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..core.cq import ConjunctiveQuery
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..hypergraphs.gyo import join_tree_of_atoms
+from ..hypergraphs.hypergraph import hypergraph_of_cq
+from ..hypergraphs.treewidth import treewidth_upper_bound
+from .naive import evaluate_naive
+from .structured import evaluate_bounded_hypertreewidth, evaluate_bounded_treewidth
+from .yannakakis import evaluate_acyclic
+
+#: Treewidth (heuristic upper bound) below which the TD engine is preferred.
+AUTO_TW_CUTOFF = 3
+
+_METHODS = ("auto", "naive", "yannakakis", "treewidth", "hypertreewidth")
+
+
+def evaluate(
+    query: ConjunctiveQuery, db: Database, method: str = "auto"
+) -> FrozenSet[Mapping]:
+    """``q(D)`` with the engine chosen by ``method`` (default ``auto``)."""
+    if method not in _METHODS:
+        raise ValueError("unknown method %r; pick one of %r" % (method, _METHODS))
+    if method == "naive":
+        return evaluate_naive(query, db)
+    if method == "yannakakis":
+        return evaluate_acyclic(query, db)
+    if method == "treewidth":
+        return evaluate_bounded_treewidth(query, db)
+    if method == "hypertreewidth":
+        return evaluate_bounded_hypertreewidth(query, db)
+    # auto
+    if join_tree_of_atoms(sorted(query.atoms)) is not None:
+        return evaluate_acyclic(query, db)
+    if treewidth_upper_bound(hypergraph_of_cq(query)) <= AUTO_TW_CUTOFF:
+        return evaluate_bounded_treewidth(query, db)
+    return evaluate_naive(query, db)
+
+
+def holds(query: ConjunctiveQuery, db: Database) -> bool:
+    """Boolean evaluation: is ``q(D)`` non-empty?"""
+    if query.is_boolean():
+        from .naive import satisfiable
+
+        return satisfiable(query.atoms, db)
+    return bool(evaluate(query, db))

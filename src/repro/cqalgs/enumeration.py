@@ -1,0 +1,119 @@
+"""Answer enumeration with bounded memory.
+
+The set-returning engines materialize ``q(D)`` in full.  For large answer
+sets, :func:`enumerate_answers` streams answers instead:
+
+* acyclic queries get the classical Yannakakis-based enumeration — a full
+  semi-join reduction first (polynomial preprocessing), then a backtracking
+  walk over the *reduced* relations, whose every partial assignment is
+  guaranteed to extend to an answer.  This yields answers with polynomial
+  delay;
+* other queries fall back to streaming the naive engine (duplicate
+  projections are suppressed with a seen-set, so memory is proportional to
+  the number of *distinct* answers emitted so far).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.cq import ConjunctiveQuery
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_root
+from .naive import homomorphisms
+from .yannakakis import _scan, _semijoin
+
+
+def enumerate_answers(
+    query: ConjunctiveQuery, db: Database, limit: Optional[int] = None
+) -> Iterator[Mapping]:
+    """Stream the distinct answers of ``q(D)``.
+
+    >>> from repro.core import atom, cq, Database
+    >>> db = Database([atom("E", 1, 2), atom("E", 2, 3)])
+    >>> len(list(enumerate_answers(cq(["?x"], [atom("E", "?x", "?y")]), db)))
+    2
+    """
+    atoms = sorted(query.atoms)
+    links = join_tree_of_atoms(atoms)
+    if links is not None and len(atoms) > 1:
+        source: Iterator[Mapping] = _acyclic_stream(query, db, atoms, links)
+    else:
+        source = _naive_stream(query, db)
+    emitted = 0
+    for answer in source:
+        yield answer
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+
+
+def _naive_stream(query: ConjunctiveQuery, db: Database) -> Iterator[Mapping]:
+    seen: Set[Mapping] = set()
+    frees = query.free_variables
+    for h in homomorphisms(query.atoms, db):
+        answer = h.restrict(frees)
+        if answer not in seen:
+            seen.add(answer)
+            yield answer
+
+
+def _acyclic_stream(
+    query: ConjunctiveQuery,
+    db: Database,
+    atoms: Sequence[Atom],
+    links: Sequence[Tuple[int, int]],
+) -> Iterator[Mapping]:
+    """Semi-join-reduce, then walk the join tree; every branch of the walk
+    extends to a full answer, so delay is polynomial per answer."""
+    n = len(atoms)
+    relations: List[List[Mapping]] = [_scan(a, db) for a in atoms]
+    root = join_tree_root(links, n)
+    children = join_tree_children(links, n)
+    order = _preorder(root, children)
+    for node in reversed(order):
+        for child in children[node]:
+            relations[node] = _semijoin(relations[node], relations[child])
+    for node in order:
+        for child in children[node]:
+            relations[child] = _semijoin(relations[child], relations[node])
+    if not relations[root]:
+        return
+
+    frees = query.free_variables
+    seen: Set[Mapping] = set()
+
+    def walk(index: int, node: int, bound: Mapping) -> Iterator[Mapping]:
+        candidates = [m for m in relations[node] if bound.compatible(m)]
+        for m in candidates:
+            extended = bound.union(m)
+            kids = children[node]
+            if not kids:
+                yield extended
+                continue
+            yield from _across_children(kids, 0, extended)
+
+    def _across_children(kids: List[int], i: int, bound: Mapping) -> Iterator[Mapping]:
+        if i == len(kids):
+            yield bound
+            return
+        for m in walk(0, kids[i], bound):
+            yield from _across_children(kids, i + 1, m)
+
+    for full in walk(0, root, Mapping()):
+        answer = full.restrict(frees)
+        if answer not in seen:
+            seen.add(answer)
+            yield answer
+
+
+def _preorder(root: int, children: Dict[int, List[int]]) -> List[int]:
+    order: List[int] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(children[node])
+    return order

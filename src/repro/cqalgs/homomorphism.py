@@ -1,0 +1,83 @@
+"""Homomorphisms between queries (atom sets).
+
+Query-to-query homomorphisms are the engine behind the Chandra–Merlin
+containment test, core computation, and the subsumption test for WDPTs.  A
+homomorphism from atom set ``A`` to atom set ``B`` maps the variables of
+``A`` to variables/constants of ``B`` such that every atom of ``A`` lands
+in ``B`` (constants are fixed).  We reduce to database homomorphisms: map
+``A`` into the canonical (frozen) database of ``B`` and unfreeze the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping as TMapping, Optional
+
+from ..core.atoms import Atom
+from ..core.canonical import (
+    canonical_database_of_atoms,
+    freeze_variable,
+    is_frozen_constant,
+    unfreeze_constant,
+)
+from ..core.mappings import Mapping
+from ..core.terms import Constant, Term, Variable
+from .naive import homomorphisms as db_homomorphisms
+
+#: A query-to-query homomorphism: variables → variables-or-constants.
+QueryHomomorphism = Dict[Variable, Term]
+
+
+def query_homomorphisms(
+    source: Iterable[Atom],
+    target: Iterable[Atom],
+    fixed: Optional[TMapping[Variable, Term]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[QueryHomomorphism]:
+    """Enumerate homomorphisms from ``source`` atoms to ``target`` atoms.
+
+    ``fixed`` pins selected source variables to a target variable or
+    constant (used e.g. to force free variables onto themselves in
+    containment tests).
+    """
+    target_db = canonical_database_of_atoms(target)
+    pre: Dict[Variable, Constant] = {}
+    if fixed:
+        for var, value in fixed.items():
+            pre[var] = freeze_variable(value) if isinstance(value, Variable) else value
+    produced = 0
+    for h in db_homomorphisms(source, target_db, Mapping(pre)):
+        yield _unfreeze(h)
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def has_query_homomorphism(
+    source: Iterable[Atom],
+    target: Iterable[Atom],
+    fixed: Optional[TMapping[Variable, Term]] = None,
+) -> bool:
+    """Existence version of :func:`query_homomorphisms`."""
+    for _ in query_homomorphisms(source, target, fixed, limit=1):
+        return True
+    return False
+
+
+def apply_homomorphism(atoms: Iterable[Atom], h: TMapping[Variable, Term]) -> frozenset:
+    """Image of an atom set under a query homomorphism."""
+    return frozenset(a.substitute(h) for a in atoms)
+
+
+def is_query_homomorphism(
+    source: Iterable[Atom], target: Iterable[Atom], h: TMapping[Variable, Term]
+) -> bool:
+    """Verify that ``h`` maps every atom of ``source`` into ``target``."""
+    target_set = frozenset(target)
+    return all(a.substitute(h) in target_set for a in source)
+
+
+def _unfreeze(h: Mapping) -> QueryHomomorphism:
+    out: QueryHomomorphism = {}
+    for var, val in h.items():
+        out[var] = unfreeze_constant(val) if is_frozen_constant(val) else val
+    return out

@@ -1,0 +1,209 @@
+"""Structure-exploiting CQ evaluation: bounded treewidth and hypertreewidth.
+
+These engines realize Theorems 2 and 3 of the paper: CQs in ``TW(k)`` /
+``HW(k)`` evaluate in polynomial time for fixed ``k``.  Both reduce the CQ
+to an *acyclic* instance and finish with Yannakakis:
+
+1. compute a (hyper)tree decomposition of the query hypergraph;
+2. materialize one synthetic relation per decomposition node ("bag"):
+   the join of the atoms assigned to / covering the bag, restricted to the
+   bag's variables (cost ``|D|^{k+1}`` resp. ``|D|^k``);
+3. replace the query by one synthetic atom per bag — acyclic by
+   construction, with the decomposition tree as its join tree;
+4. run Yannakakis.
+
+Every original atom is assigned to some bag (guaranteed by decomposition
+condition (2)), so the synthetic query is equivalent to the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.cq import ConjunctiveQuery
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..core.terms import Variable
+from ..exceptions import ClassMembershipError
+from ..hypergraphs.hypergraph import hypergraph_of_cq
+from ..hypergraphs.hypertree import hypertree_decomposition
+from ..hypergraphs.treedecomp import TreeDecomposition
+from ..hypergraphs.treewidth import tree_decomposition
+from .yannakakis import _join, _scan, evaluate_with_join_tree
+
+
+def evaluate_bounded_treewidth(
+    query: ConjunctiveQuery,
+    db: Database,
+    k: Optional[int] = None,
+    decomposition: Optional[TreeDecomposition] = None,
+) -> FrozenSet[Mapping]:
+    """``q(D)`` via a tree decomposition (Theorem 2 engine).
+
+    ``k`` (optional) asserts a width bound: a wider decomposition raises
+    :class:`~repro.exceptions.ClassMembershipError`.
+    """
+    H = hypergraph_of_cq(query)
+    td = decomposition if decomposition is not None else tree_decomposition(H)
+    if k is not None and td.width() > k:
+        raise ClassMembershipError(
+            "query has treewidth %d > requested bound %d" % (td.width(), k)
+        )
+    return _evaluate_with_decomposition(query, db, td)
+
+
+def evaluate_bounded_hypertreewidth(
+    query: ConjunctiveQuery,
+    db: Database,
+    k: Optional[int] = None,
+    decomposition: Optional[TreeDecomposition] = None,
+) -> FrozenSet[Mapping]:
+    """``q(D)`` via a generalized hypertree decomposition (Theorem 3 engine)."""
+    H = hypergraph_of_cq(query)
+    td = decomposition if decomposition is not None else hypertree_decomposition(H)
+    if td.covers is None:
+        raise ClassMembershipError("decomposition has no edge covers")
+    if k is not None and td.hypertree_width() > k:
+        raise ClassMembershipError(
+            "query has hypertreewidth %d > requested bound %d"
+            % (td.hypertree_width(), k)
+        )
+    return _evaluate_with_decomposition(query, db, td)
+
+
+def _evaluate_with_decomposition(
+    query: ConjunctiveQuery, db: Database, td: TreeDecomposition
+) -> FrozenSet[Mapping]:
+    atoms = sorted(query.atoms)
+
+    # Ground atoms (no variables) are global filters.
+    variable_atoms: List[Atom] = []
+    for a in atoms:
+        if a.variables():
+            variable_atoms.append(a)
+        elif not any(True for _ in db.match(a)):
+            return frozenset()
+    if not variable_atoms:
+        # Purely ground query that passed all filters: the empty mapping.
+        return frozenset([Mapping()]) if not query.free_variables else frozenset()
+
+    assignment = _assign_atoms_to_bags(variable_atoms, td)
+
+    # Materialize one relation per bag.
+    bag_relations: List[FrozenSet[Mapping]] = []
+    bag_vars: List[Tuple[Variable, ...]] = []
+    for i, bag in enumerate(td.bags):
+        factors: List[FrozenSet[Mapping]] = []
+        covered: Set[Variable] = set()
+        if td.covers is not None:
+            for edge in td.covers[i]:
+                witness = _atom_with_variables(variable_atoms, edge)
+                factors.append(frozenset(_scan(witness, db)))
+                covered |= set(edge)
+        for a in assignment.get(i, ()):
+            factors.append(frozenset(_scan(a, db)))
+            covered |= set(a.variables())
+        for v in sorted(bag - covered, key=repr):
+            factors.append(_unary_domain(v, variable_atoms, db))
+            covered.add(v)
+        relation: FrozenSet[Mapping] = frozenset([Mapping()])
+        for f in factors:
+            relation = _join(relation, f)
+        relation = frozenset(m.restrict(bag) for m in relation)
+        bag_relations.append(relation)
+        bag_vars.append(tuple(sorted((v for v in bag), key=repr)))
+
+    # Build the synthetic acyclic instance and query.
+    synthetic_db = Database()
+    synthetic_atoms: List[Atom] = []
+    for i, (rel, vs) in enumerate(zip(bag_relations, bag_vars)):
+        name = "__bag_%d" % i
+        if not vs:
+            # An empty bag constrains nothing; represent it as satisfied
+            # (bags are never empty when the query has variables, except
+            # padding nodes of degenerate decompositions).
+            continue
+        synthetic_atoms.append(Atom(name, vs))
+        for m in rel:
+            synthetic_db.add(Atom(name, tuple(m[v] for v in vs)))
+        if not rel:
+            return frozenset()
+    if not synthetic_atoms:
+        return frozenset([Mapping()]) if not query.free_variables else frozenset()
+
+    synthetic_query = ConjunctiveQuery(query.free_variables, synthetic_atoms)
+    links = _decomposition_join_tree(td, synthetic_atoms)
+    return evaluate_with_join_tree(synthetic_query, db=synthetic_db, atoms=synthetic_atoms, links=links)
+
+
+def _assign_atoms_to_bags(
+    atoms: Sequence[Atom], td: TreeDecomposition
+) -> Dict[int, List[Atom]]:
+    assignment: Dict[int, List[Atom]] = {}
+    for a in atoms:
+        vs = a.variables()
+        for i, bag in enumerate(td.bags):
+            if vs <= bag:
+                assignment.setdefault(i, []).append(a)
+                break
+        else:
+            raise ClassMembershipError(
+                "decomposition has no bag containing atom %r" % (a,)
+            )
+    return assignment
+
+
+def _atom_with_variables(atoms: Sequence[Atom], variables: FrozenSet[Variable]) -> Atom:
+    for a in atoms:
+        if a.variables() == variables:
+            return a
+    raise ClassMembershipError(
+        "cover edge %r corresponds to no atom" % (sorted(map(repr, variables)),)
+    )
+
+
+def _unary_domain(
+    v: Variable, atoms: Sequence[Atom], db: Database
+) -> FrozenSet[Mapping]:
+    """All values ``v`` can take in any atom mentioning it (a tight unary
+    relation used to pad bag variables not covered by local atoms)."""
+    for a in atoms:
+        if v in a.variables():
+            return frozenset(m.restrict([v]) for m in _scan(a, db))
+    raise ClassMembershipError("variable %r occurs in no atom" % (v,))
+
+
+def _decomposition_join_tree(
+    td: TreeDecomposition, synthetic_atoms: Sequence[Atom]
+) -> List[Tuple[int, int]]:
+    """Orient the decomposition tree as child→parent links over the indices
+    of the synthetic atoms (skipping empty bags, which were dropped)."""
+    # Map original node ids to synthetic indices.
+    kept: Dict[int, int] = {}
+    for idx, a in enumerate(synthetic_atoms):
+        original = int(a.relation.rsplit("_", 1)[1])
+        kept[original] = idx
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(td.bags))}
+    for i, j in td.tree_edges:
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+    # BFS from the first kept node over the *original* tree, emitting links
+    # between nearest kept ancestors (empty bags are contracted away).
+    root = next(iter(sorted(kept)))
+    links: List[Tuple[int, int]] = []
+    seen = {root}
+    stack: List[Tuple[int, int]] = [(root, root)]  # (node, nearest kept ancestor)
+    while stack:
+        node, anchor = stack.pop()
+        for neighbour in adjacency[node]:
+            if neighbour in seen:
+                continue
+            seen.add(neighbour)
+            if neighbour in kept:
+                if neighbour != anchor:
+                    links.append((kept[neighbour], kept[anchor]))
+                stack.append((neighbour, neighbour))
+            else:
+                stack.append((neighbour, anchor))
+    return links

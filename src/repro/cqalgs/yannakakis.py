@@ -1,0 +1,138 @@
+"""Yannakakis' algorithm for acyclic conjunctive queries.
+
+The classical three-phase algorithm [21]: (1) a bottom-up semi-join sweep
+over a join tree removes dangling tuples, (2) a top-down sweep removes the
+rest, (3) a bottom-up join/projection pass assembles the answers while only
+ever keeping variables that are still needed above (free variables plus the
+interface to the parent).  Runs in time polynomial in ``|D| + |output|`` —
+the concrete engine behind the paper's use of ``HW(1) = AC`` (Theorem 3
+with ``k = 1``), and the backend of the bounded-width engines, which reduce
+to an acyclic instance first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.cq import ConjunctiveQuery
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..core.terms import Constant, Variable
+from ..exceptions import ClassMembershipError
+from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_root
+
+
+def evaluate_acyclic(query: ConjunctiveQuery, db: Database) -> FrozenSet[Mapping]:
+    """``q(D)`` for an acyclic CQ via Yannakakis.
+
+    Raises :class:`~repro.exceptions.ClassMembershipError` when the query
+    hypergraph is cyclic.
+    """
+    atoms = sorted(query.atoms)
+    links = join_tree_of_atoms(atoms)
+    if links is None:
+        raise ClassMembershipError("query is not acyclic: %r" % (query,))
+    return evaluate_with_join_tree(query, db, atoms, links)
+
+
+def evaluate_with_join_tree(
+    query: ConjunctiveQuery,
+    db: Database,
+    atoms: Sequence[Atom],
+    links: Sequence[Tuple[int, int]],
+) -> FrozenSet[Mapping]:
+    """Yannakakis over an explicit join tree (``links``: child→parent)."""
+    n = len(atoms)
+    if n == 0:
+        return frozenset()
+    relations: List[List[Mapping]] = [_scan(a, db) for a in atoms]
+    root = join_tree_root(links, n)
+    children = join_tree_children(links, n)
+    order = _topological(root, children)  # root first
+
+    # Phase 1: bottom-up semi-joins (children filter parents).
+    for node in reversed(order):
+        for child in children[node]:
+            relations[node] = _semijoin(relations[node], relations[child])
+    # Phase 2: top-down semi-joins (parents filter children).
+    for node in order:
+        for child in children[node]:
+            relations[child] = _semijoin(relations[child], relations[node])
+
+    # Phase 3: bottom-up join keeping (free ∪ parent-interface) variables.
+    frees = frozenset(query.free_variables)
+    atom_vars = [a.variables() for a in atoms]
+    subtree_vars: List[Set[Variable]] = [set(v) for v in atom_vars]
+    for node in reversed(order):
+        for child in children[node]:
+            subtree_vars[node] |= subtree_vars[child]
+    parent_of: Dict[int, int] = {c: p for c, p in links}
+
+    partials: List[FrozenSet[Mapping]] = [frozenset()] * n
+    for node in reversed(order):
+        current: FrozenSet[Mapping] = frozenset(relations[node])
+        for child in children[node]:
+            current = _join(current, partials[child])
+        if node == root:
+            keep = frees
+        else:
+            interface = atom_vars[parent_of[node]]
+            keep = (frees & frozenset(subtree_vars[node])) | (
+                frozenset(subtree_vars[node]) & interface
+            )
+        partials[node] = frozenset(m.restrict(keep) for m in current)
+    return partials[root]
+
+
+def _scan(a: Atom, db: Database) -> List[Mapping]:
+    """The relation of atom ``a``: variable bindings of its matching facts."""
+    out: List[Mapping] = []
+    for fact in db.match(a):
+        binding: Dict[Variable, Constant] = {}
+        for pattern_arg, fact_arg in zip(a.args, fact.args):
+            if isinstance(pattern_arg, Variable):
+                assert isinstance(fact_arg, Constant)
+                binding[pattern_arg] = fact_arg
+        out.append(Mapping(binding))
+    return out
+
+
+def _semijoin(left: List[Mapping], right: Iterable[Mapping]) -> List[Mapping]:
+    """``left ⋉ right`` on their common variables."""
+    right = list(right)
+    if not left or not right:
+        return []
+    shared = tuple(sorted(left[0].domain() & right[0].domain()))
+    if not shared:
+        return list(left)
+    keys = {tuple(m[v] for v in shared) for m in right}
+    return [m for m in left if tuple(m[v] for v in shared) in keys]
+
+
+def _join(left: Iterable[Mapping], right: Iterable[Mapping]) -> FrozenSet[Mapping]:
+    """Natural join of two sets of mappings (hash join on shared vars)."""
+    left = list(left)
+    right = list(right)
+    if not left or not right:
+        return frozenset()
+    shared = tuple(sorted(left[0].domain() & right[0].domain()))
+    buckets: Dict[Tuple[Constant, ...], List[Mapping]] = {}
+    for m in right:
+        buckets.setdefault(tuple(m[v] for v in shared), []).append(m)
+    out: Set[Mapping] = set()
+    for m in left:
+        for other in buckets.get(tuple(m[v] for v in shared), ()):
+            out.add(m.union(other))
+    return frozenset(out)
+
+
+def _topological(root: int, children: Dict[int, List[int]]) -> List[int]:
+    """Nodes in root-first (pre-)order."""
+    order: List[int] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(children[node])
+    return order

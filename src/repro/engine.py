@@ -1,0 +1,199 @@
+"""Session API: the convenience layer downstream applications use.
+
+Wraps a database (relational or RDF) with a query interface that hides
+parsing, routing and caching:
+
+    >>> from repro.engine import Session
+    >>> from repro.workloads.families import example2_graph
+    >>> session = Session(example2_graph())
+    >>> result = session.query(
+    ...     "SELECT ?x ?z WHERE { ?x recorded_by ?y "
+    ...     "OPTIONAL { ?x NME_rating ?z } }")
+    >>> len(result)
+    2
+
+A :class:`Result` carries the answer set plus lazy access to maximal
+answers, witnesses, and the query profile.  Parsed queries are cached by
+text; decision problems (``ask``/``contains``/``is_partial``) route to the
+tractable algorithms of Sections 3.
+
+The Session accepts :class:`~repro.core.database.Database`,
+:class:`~repro.rdf.graph.RDFGraph`, or an iterable of ground atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Union
+
+from .core.atoms import Atom
+from .core.database import Database
+from .core.mappings import Mapping
+from .exceptions import ParseError
+from .rdf.graph import RDFGraph
+from .rdf.parser import parse_query
+from .rdf.sparql import parse_sparql
+from .wdpt.eval_tractable import eval_tractable
+from .wdpt.evaluation import evaluate, evaluate_max
+from .wdpt.explain import WDPTProfile, explain
+from .wdpt.max_eval import max_eval
+from .wdpt.partial_eval import partial_eval
+from .wdpt.wdpt import WDPT
+from .wdpt.witness import AnswerWitness, witness
+
+Query = Union[str, WDPT]
+DataSource = Union[Database, RDFGraph, Iterable[Atom]]
+
+
+class Result:
+    """The outcome of :meth:`Session.query`.
+
+    Iterable over the answer mappings; also exposes the maximal-mapping
+    restriction (Section 3.4), per-answer witnesses, and the EXPLAIN
+    profile of the executed query.
+    """
+
+    def __init__(self, session: "Session", query: WDPT, answers: FrozenSet[Mapping]):
+        self._session = session
+        self.query = query
+        self.answers = answers
+
+    def __iter__(self):
+        return iter(sorted(self.answers, key=repr))
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __contains__(self, mapping: Mapping) -> bool:
+        return mapping in self.answers
+
+    def maximal(self) -> FrozenSet[Mapping]:
+        """The ⊑-maximal answers, ``p_m(D)``."""
+        from .core.mappings import maximal_mappings
+
+        return maximal_mappings(self.answers)
+
+    def witness(self, answer: Mapping) -> Optional[AnswerWitness]:
+        """A verified provenance certificate for ``answer``."""
+        return witness(self.query, self._session.database, answer)
+
+    def profile(self) -> WDPTProfile:
+        """The EXPLAIN profile of the query."""
+        return explain(self.query)
+
+    def to_table(self, limit: Optional[int] = None) -> str:
+        """Render answers as a fixed-width table (missing optionals = ``-``)."""
+        from .benchharness.reporting import format_table
+
+        columns = [v for v in self.query.free_variables]
+        rows = []
+        for answer in self:
+            if limit is not None and len(rows) >= limit:
+                break
+            rows.append(
+                [
+                    repr(answer[v]) if v in answer else "-"
+                    for v in columns
+                ]
+            )
+        return format_table([repr(v) for v in columns], rows)
+
+    def __repr__(self) -> str:
+        return "Result(%d answers)" % len(self.answers)
+
+
+class Session:
+    """A database plus a query cache.
+
+    >>> from repro.core.atoms import atom
+    >>> s = Session([atom("E", 1, 2)])
+    >>> s.size
+    1
+    """
+
+    def __init__(self, data: DataSource):
+        if isinstance(data, Database):
+            self.database = data
+        elif isinstance(data, RDFGraph):
+            self.database = data.to_database()
+        else:
+            self.database = Database(data)
+        self._query_cache: Dict[str, WDPT] = {}
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    def parse(self, query: Query) -> WDPT:
+        """Parse a query string (surface SPARQL, falling back to the
+        paper's algebraic notation) or pass a WDPT through."""
+        if isinstance(query, WDPT):
+            return query
+        cached = self._query_cache.get(query)
+        if cached is not None:
+            return cached
+        try:
+            parsed = parse_sparql(query)
+        except ParseError:
+            try:
+                parsed = parse_query(query)
+            except ParseError as exc:
+                raise ParseError(
+                    "query parses neither as surface SPARQL nor as the "
+                    "algebraic notation: %s" % exc
+                ) from None
+        self._query_cache[query] = parsed
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def query(self, query: Query) -> Result:
+        """Evaluate and return all answers."""
+        p = self.parse(query)
+        return Result(self, p, evaluate(p, self.database))
+
+    def query_maximal(self, query: Query) -> Result:
+        """Evaluate under the maximal-mapping semantics ``p_m(D)``."""
+        p = self.parse(query)
+        return Result(self, p, evaluate_max(p, self.database))
+
+    def ask(self, query: Query, candidate: Mapping) -> bool:
+        """``EVAL``: is ``candidate`` an answer?  (Theorem 6 DP.)"""
+        return eval_tractable(self.parse(query), self.database, candidate)
+
+    def is_partial(self, query: Query, candidate: Mapping) -> bool:
+        """``PARTIAL-EVAL``: does some answer extend ``candidate``?
+        (Theorem 8.)"""
+        return partial_eval(self.parse(query), self.database, candidate)
+
+    def is_maximal(self, query: Query, candidate: Mapping) -> bool:
+        """``MAX-EVAL``: is ``candidate`` a ⊑-maximal answer?  (Theorem 9.)"""
+        return max_eval(self.parse(query), self.database, candidate)
+
+    def explain(self, query: Query) -> WDPTProfile:
+        """EXPLAIN profile without evaluating."""
+        return explain(self.parse(query))
+
+    # ------------------------------------------------------------------
+    # Data management
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.database)
+
+    def add(self, fact: Atom) -> bool:
+        """Insert a fact (answers of previous Results are snapshots)."""
+        return self.database.add(fact)
+
+    def add_triples(self, triples: Iterable) -> int:
+        """Insert RDF triples into the ``triple/3`` relation."""
+        from .rdf.graph import TRIPLE_RELATION
+
+        return self.database.update(
+            Atom(TRIPLE_RELATION, t) for t in triples
+        )
+
+    def __repr__(self) -> str:
+        return "Session(%d facts, %d cached queries)" % (
+            len(self.database),
+            len(self._query_cache),
+        )

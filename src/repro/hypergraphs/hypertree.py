@@ -1,0 +1,316 @@
+"""Generalized hypertree decompositions and the ``HW(k)`` test.
+
+The paper works with *generalized* hypertreewidth (its Remark in
+Section 3.1): a hypertree decomposition is a tree decomposition ``(S, ν)``
+together with edge covers ``κ(s)`` (≤ width many hyperedges per node) such
+that ``ν(s) ⊆ ⋃κ(s)``.
+
+Recognizing ``ghw ≤ k`` is NP-hard even for fixed ``k``, so any exact
+procedure is exponential.  We exploit the classical correspondence between
+tree decompositions and elimination orders: every tree decomposition can be
+refined into one induced by an elimination order whose bags are (subsets of)
+the original bags, and the edge-cover number ``ρ`` is monotone under taking
+subsets.  Hence
+
+    ``ghw(H) = min over elimination orders of max_s ρ(bag(s))``
+
+and the same memoized subset dynamic program used for treewidth
+(:mod:`repro.hypergraphs.treewidth`) applies with the bag-size cost replaced
+by an exact set-cover computation.  Fast paths: ``ghw ≤ 1`` iff α-acyclic
+(GYO), and a greedy cover bound short-circuits most positive instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..exceptions import BudgetExceededError
+from .gyo import is_alpha_acyclic
+from .hypergraph import Edge, Hypergraph, Vertex
+from .treedecomp import TreeDecomposition, decomposition_from_elimination_order
+from .treewidth import (
+    EXACT_VERTEX_LIMIT,
+    _BitGraph,
+    _iter_bits,
+    min_degree_order,
+    min_fill_order,
+)
+
+
+# ---------------------------------------------------------------------------
+# Edge covers
+# ---------------------------------------------------------------------------
+def edge_cover_number(H: Hypergraph, bag: FrozenSet[Vertex], limit: int) -> Optional[int]:
+    """Exact minimum number of hyperedges of ``H`` covering ``bag``.
+
+    Returns the cover number if it is ≤ ``limit``, else ``None``.  Runs a
+    branch-and-bound over the uncovered vertex with fewest candidate edges.
+    """
+    if not bag:
+        return 0
+    usable = [e for e in H.edges if e & bag]
+    return _cover(bag, usable, limit)
+
+
+def _cover(uncovered: FrozenSet[Vertex], edges: Sequence[Edge], limit: int) -> Optional[int]:
+    if not uncovered:
+        return 0
+    if limit <= 0:
+        return None
+    # Branch on the hardest vertex (fewest covering edges).
+    best_vertex = None
+    best_candidates: List[Edge] = []
+    for v in uncovered:
+        candidates = [e for e in edges if v in e]
+        if not candidates:
+            return None
+        if best_vertex is None or len(candidates) < len(best_candidates):
+            best_vertex, best_candidates = v, candidates
+    best: Optional[int] = None
+    # Deduplicate candidates by their effect on the uncovered set.
+    seen_effects: Set[FrozenSet[Vertex]] = set()
+    for e in sorted(best_candidates, key=lambda e: -len(e & uncovered)):
+        effect = e & uncovered
+        if effect in seen_effects:
+            continue
+        seen_effects.add(effect)
+        budget = limit - 1 if best is None else min(limit - 1, best - 2)
+        sub = _cover(uncovered - e, edges, budget)
+        if sub is not None:
+            total = sub + 1
+            if best is None or total < best:
+                best = total
+                if best == 1:
+                    break
+    return best
+
+
+def greedy_edge_cover(H: Hypergraph, bag: FrozenSet[Vertex]) -> Optional[List[Edge]]:
+    """A greedy (not necessarily minimum) edge cover of ``bag``, or ``None``
+    when some vertex of ``bag`` lies in no edge."""
+    uncovered = set(bag)
+    cover: List[Edge] = []
+    while uncovered:
+        best = max(H.edges, key=lambda e: len(e & uncovered), default=None)
+        if best is None or not best & uncovered:
+            return None
+        cover.append(best)
+        uncovered -= best
+    return cover
+
+
+def minimum_edge_cover(
+    H: Hypergraph, bag: FrozenSet[Vertex], limit: int
+) -> Optional[List[Edge]]:
+    """A minimum edge cover of ``bag`` of size ≤ ``limit`` (or ``None``)."""
+    size = edge_cover_number(H, bag, limit)
+    if size is None:
+        return None
+    return _cover_witness(frozenset(bag), [e for e in H.edges if e & bag], size)
+
+
+def _cover_witness(
+    uncovered: FrozenSet[Vertex], edges: Sequence[Edge], budget: int
+) -> Optional[List[Edge]]:
+    if not uncovered:
+        return []
+    if budget <= 0:
+        return None
+    v = min(uncovered, key=lambda u: sum(1 for e in edges if u in e))
+    for e in sorted((e for e in edges if v in e), key=lambda e: -len(e & uncovered)):
+        rest = _cover_witness(uncovered - e, edges, budget - 1)
+        if rest is not None:
+            return [e] + rest
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Generalized hypertreewidth
+# ---------------------------------------------------------------------------
+def hypertreewidth_at_most(H: Hypergraph, k: int) -> bool:
+    """Decision ``ghw(H) ≤ k``.
+
+    Fast paths: ``k ≥ |E|`` (cover everything edge-by-edge), ``k = 1`` via
+    GYO, and a greedy min-fill order whose greedy covers already fit.
+    """
+    if k < 0:
+        return False
+    if not H.edges:
+        return True
+    if any(not H.incident_edges(v) for v in H.vertices):
+        # A vertex in no hyperedge can never be covered.
+        return False
+    if len(H.edges) <= k:
+        return True
+    if is_alpha_acyclic(H):
+        return k >= 1
+    if k == 1:
+        return False  # not acyclic
+    if _order_hypertree_width(H, min_fill_order(H)) <= k:
+        return True
+    components = H.connected_components()
+    if len(components) > 1:
+        return all(
+            hypertreewidth_at_most(H.induced_subhypergraph(c), k) for c in components
+        )
+    if len(H.vertices) > EXACT_VERTEX_LIMIT:
+        raise BudgetExceededError(
+            "exact ghw decision limited to %d vertices, got %d"
+            % (EXACT_VERTEX_LIMIT, len(H.vertices))
+        )
+    return _decide_ghw(H, k)
+
+
+def hypertreewidth_exact(H: Hypergraph) -> int:
+    """Exact generalized hypertreewidth (0 for edgeless hypergraphs)."""
+    if not H.edges:
+        return 0
+    lo, hi = 1, len(H.edges)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if hypertreewidth_at_most(H, mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _order_hypertree_width(H: Hypergraph, order: Sequence[Vertex]) -> int:
+    """Max bag edge-cover number along an elimination order (greedy covers
+    upper-bound the true ρ, so this is an upper bound on ghw)."""
+    adjacency: Dict[Vertex, Set[Vertex]] = {v: set(ns) for v, ns in H.primal_graph().items()}
+    width = 0
+    for v in order:
+        bag = frozenset(adjacency[v] | {v})
+        cover = greedy_edge_cover(H, bag)
+        if cover is None:
+            return len(H.edges) + 1
+        width = max(width, len(cover))
+        neighbourhood = adjacency[v]
+        for a in neighbourhood:
+            adjacency[a].discard(v)
+            adjacency[a].update(neighbourhood - {a})
+        del adjacency[v]
+    return width
+
+
+def _decide_ghw(H: Hypergraph, k: int) -> bool:
+    """Memoized elimination-order DP with the exact ρ(bag) ≤ k cost."""
+    graph = _BitGraph(H)
+    vertices = graph.vertices
+    memo: Dict[int, bool] = {}
+    cover_memo: Dict[FrozenSet[Vertex], bool] = {}
+
+    def bag_ok(mask_v: int, eliminated: int) -> bool:
+        bag = frozenset(
+            [vertices[mask_v]]
+            + [vertices[u] for u in _iter_bits(graph.q_mask(eliminated, mask_v))]
+        )
+        cached = cover_memo.get(bag)
+        if cached is None:
+            cached = edge_cover_number(H, bag, k) is not None
+            cover_memo[bag] = cached
+        return cached
+
+    def feasible(remaining: int) -> bool:
+        if remaining == 0:
+            return True
+        cached = memo.get(remaining)
+        if cached is not None:
+            return cached
+        eliminated = graph.full & ~remaining
+        result = False
+        for v in _iter_bits(remaining):
+            if bag_ok(v, eliminated) and feasible(remaining & ~(1 << v)):
+                result = True
+                break
+        memo[remaining] = result
+        return result
+
+    return feasible(graph.full)
+
+
+def hypertree_decomposition(H: Hypergraph, k: Optional[int] = None) -> TreeDecomposition:
+    """A generalized hypertree decomposition of width ≤ ``k`` (default: the
+    exact ghw), with per-bag edge covers attached.
+
+    Built from a witness elimination order; the order is recovered greedily
+    against the memoized feasibility predicate.
+    """
+    if not H.edges:
+        return TreeDecomposition([frozenset(H.vertices)], [], covers=[frozenset()])
+    width = hypertreewidth_exact(H) if k is None else k
+    if not hypertreewidth_at_most(H, width):
+        raise BudgetExceededError("hypergraph has ghw > %d" % width)
+    order = _ghw_order(H, width)
+    td = decomposition_from_elimination_order(H, order)
+    covers = []
+    for bag in td.bags:
+        cover = minimum_edge_cover(H, bag, len(H.edges))
+        if cover is None:  # pragma: no cover - every variable is in an edge
+            raise BudgetExceededError("bag %r has no edge cover" % (sorted(map(repr, bag)),))
+        covers.append(frozenset(cover))
+    return TreeDecomposition(td.bags, td.tree_edges, covers=covers)
+
+
+def _ghw_order(H: Hypergraph, k: int) -> List[Vertex]:
+    """An elimination order whose bags all have ρ ≤ k."""
+    # Cheap attempt first: a greedy order might already fit.
+    for heuristic in (min_fill_order, min_degree_order):
+        order = heuristic(H)
+        if _order_exact_width_at_most(H, order, k):
+            return order
+    graph = _BitGraph(H)
+    vertices = graph.vertices
+    memo: Dict[int, bool] = {}
+
+    def feasible(remaining: int) -> bool:
+        if remaining == 0:
+            return True
+        cached = memo.get(remaining)
+        if cached is not None:
+            return cached
+        eliminated = graph.full & ~remaining
+        result = False
+        for v in _iter_bits(remaining):
+            bag = frozenset(
+                [vertices[v]]
+                + [vertices[u] for u in _iter_bits(graph.q_mask(eliminated, v))]
+            )
+            if edge_cover_number(H, bag, k) is not None and feasible(remaining & ~(1 << v)):
+                result = True
+                break
+        memo[remaining] = result
+        return result
+
+    order: List[Vertex] = []
+    remaining = graph.full
+    eliminated = 0
+    while remaining:
+        for v in _iter_bits(remaining):
+            bag = frozenset(
+                [vertices[v]]
+                + [vertices[u] for u in _iter_bits(graph.q_mask(eliminated, v))]
+            )
+            if edge_cover_number(H, bag, k) is not None and feasible(remaining & ~(1 << v)):
+                order.append(vertices[v])
+                remaining &= ~(1 << v)
+                eliminated |= 1 << v
+                break
+        else:  # pragma: no cover
+            raise AssertionError("no feasible elimination step found")
+    return order
+
+
+def _order_exact_width_at_most(H: Hypergraph, order: Sequence[Vertex], k: int) -> bool:
+    adjacency: Dict[Vertex, Set[Vertex]] = {v: set(ns) for v, ns in H.primal_graph().items()}
+    for v in order:
+        bag = frozenset(adjacency[v] | {v})
+        if edge_cover_number(H, bag, k) is None:
+            return False
+        neighbourhood = adjacency[v]
+        for a in neighbourhood:
+            adjacency[a].discard(v)
+            adjacency[a].update(neighbourhood - {a})
+        del adjacency[v]
+    return True

@@ -1,0 +1,334 @@
+"""Treewidth: exact computation, heuristic bounds, and the ``TW(k)`` test.
+
+Treewidth drives the class ``TW(k)`` of the paper (Section 3.1).  Queries in
+scope here are small (tens of variables), so exact treewidth is feasible via
+the classic dynamic program over elimination orders:
+
+    ``tw(S) = min over v ∈ S of max(|Q(S∖{v}, v)|, tw(S∖{v}))``
+
+where ``Q(S, v)`` is the set of vertices outside ``S ∪ {v}`` reachable from
+``v`` through ``S`` — the bag size that eliminating ``v`` last among ``S``
+would incur.  Vertices are packed into bitmasks, and the search is bounded
+above/below by the min-fill heuristic and the minor-min-width lower bound so
+most instances never reach the exponential core.
+
+Public API:
+
+* :func:`treewidth_exact` — the exact treewidth.
+* :func:`treewidth_at_most` — decision ``tw(H) ≤ k`` (with fast paths).
+* :func:`treewidth_upper_bound` / :func:`treewidth_lower_bound`.
+* :func:`tree_decomposition` — a witness decomposition of minimum width
+  (or of heuristic width when ``exact=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from ..exceptions import BudgetExceededError
+from .hypergraph import Hypergraph, Vertex
+from .treedecomp import TreeDecomposition, decomposition_from_elimination_order
+
+#: Above this many vertices the exact algorithm refuses to run.
+EXACT_VERTEX_LIMIT = 26
+
+
+# ---------------------------------------------------------------------------
+# Bitmask plumbing
+# ---------------------------------------------------------------------------
+class _BitGraph:
+    """Primal graph with vertices packed into an int bitmask."""
+
+    __slots__ = ("vertices", "index", "adj", "full")
+
+    def __init__(self, H: Hypergraph):
+        self.vertices: List[Vertex] = sorted(H.vertices, key=repr)
+        self.index: Dict[Vertex, int] = {v: i for i, v in enumerate(self.vertices)}
+        primal = H.primal_graph()
+        self.adj: List[int] = [0] * len(self.vertices)
+        for v, ns in primal.items():
+            mask = 0
+            for u in ns:
+                mask |= 1 << self.index[u]
+            self.adj[self.index[v]] = mask
+        self.full = (1 << len(self.vertices)) - 1
+
+    def q_size(self, through: int, v: int) -> int:
+        """``|Q(through, v)|``: vertices outside ``through ∪ {v}`` reachable
+        from ``v`` via paths whose internal vertices lie in ``through``."""
+        return _popcount(self.q_mask(through, v))
+
+    def q_mask(self, through: int, v: int) -> int:
+        vbit = 1 << v
+        outside = self.full & ~through & ~vbit
+        reached_outside = self.adj[v] & outside
+        frontier = self.adj[v] & through
+        visited = vbit | frontier
+        while frontier:
+            nxt = 0
+            f = frontier
+            while f:
+                low = f & -f
+                f ^= low
+                nxt |= self.adj[low.bit_length() - 1]
+            reached_outside |= nxt & outside
+            frontier = nxt & through & ~visited
+            visited |= frontier
+        return reached_outside
+
+
+def _popcount(x: int) -> int:
+    return bin(x).count("1")
+
+
+def _iter_bits(mask: int):
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        yield low.bit_length() - 1
+
+
+# ---------------------------------------------------------------------------
+# Heuristics
+# ---------------------------------------------------------------------------
+def min_fill_order(H: Hypergraph) -> List[Vertex]:
+    """Elimination order chosen greedily by fewest fill-in edges."""
+    return _greedy_order(H, criterion="fill")
+
+
+def min_degree_order(H: Hypergraph) -> List[Vertex]:
+    """Elimination order chosen greedily by minimum degree."""
+    return _greedy_order(H, criterion="degree")
+
+
+def _greedy_order(H: Hypergraph, criterion: str) -> List[Vertex]:
+    adjacency: Dict[Vertex, Set[Vertex]] = {v: set(ns) for v, ns in H.primal_graph().items()}
+    order: List[Vertex] = []
+    while adjacency:
+        if criterion == "degree":
+            v = min(adjacency, key=lambda u: (len(adjacency[u]), repr(u)))
+        else:
+            v = min(adjacency, key=lambda u: (_fill_in(adjacency, u), len(adjacency[u]), repr(u)))
+        order.append(v)
+        neighbourhood = adjacency[v]
+        for a in neighbourhood:
+            adjacency[a].discard(v)
+            adjacency[a].update(neighbourhood - {a})
+        del adjacency[v]
+    return order
+
+
+def _fill_in(adjacency: Dict[Vertex, Set[Vertex]], v: Vertex) -> int:
+    ns = list(adjacency[v])
+    missing = 0
+    for i, a in enumerate(ns):
+        for b in ns[i + 1 :]:
+            if b not in adjacency[a]:
+                missing += 1
+    return missing
+
+
+def order_width(H: Hypergraph, order: Sequence[Vertex]) -> int:
+    """Width of an elimination order (−1 for the empty hypergraph)."""
+    adjacency: Dict[Vertex, Set[Vertex]] = {v: set(ns) for v, ns in H.primal_graph().items()}
+    width = -1
+    for v in order:
+        neighbourhood = adjacency[v]
+        width = max(width, len(neighbourhood))
+        for a in neighbourhood:
+            adjacency[a].discard(v)
+            adjacency[a].update(neighbourhood - {a})
+        del adjacency[v]
+    return width
+
+
+def treewidth_upper_bound(H: Hypergraph) -> int:
+    """Best of the min-fill and min-degree heuristic widths."""
+    if not H.vertices:
+        return -1
+    return min(
+        order_width(H, min_fill_order(H)),
+        order_width(H, min_degree_order(H)),
+    )
+
+
+def treewidth_lower_bound(H: Hypergraph) -> int:
+    """Minor-min-width (MMD+) lower bound.
+
+    Repeatedly contract a minimum-degree vertex into its least-degree
+    neighbour; the maximum of the minimum degrees seen is a treewidth lower
+    bound (Gogate & Dechter's MMW).
+    """
+    if not H.vertices:
+        return -1
+    adjacency: Dict[Vertex, Set[Vertex]] = {v: set(ns) for v, ns in H.primal_graph().items()}
+    best = 0
+    while len(adjacency) > 1:
+        v = min(adjacency, key=lambda u: (len(adjacency[u]), repr(u)))
+        degree = len(adjacency[v])
+        best = max(best, degree)
+        if degree == 0:
+            del adjacency[v]
+            continue
+        u = min(adjacency[v], key=lambda w: (len(adjacency[w]), repr(w)))
+        # contract v into u
+        merged = (adjacency[v] | adjacency[u]) - {v, u}
+        for w in adjacency[v]:
+            adjacency[w].discard(v)
+        for w in adjacency[u]:
+            adjacency[w].discard(u)
+        del adjacency[v]
+        adjacency[u] = set(merged)
+        for w in merged:
+            adjacency[w].add(u)
+    # A hyperedge of size s forces a bag of size ≥ s, hence width ≥ s − 1.
+    edge_bound = max((len(e) - 1 for e in H.edges), default=0)
+    return max(best, edge_bound, 0) if H.vertices else -1
+
+
+# ---------------------------------------------------------------------------
+# Exact treewidth
+# ---------------------------------------------------------------------------
+def treewidth_exact(H: Hypergraph) -> int:
+    """Exact treewidth via the elimination-order dynamic program.
+
+    Raises :class:`~repro.exceptions.BudgetExceededError` beyond
+    :data:`EXACT_VERTEX_LIMIT` vertices (per connected component).
+    """
+    components = H.connected_components()
+    if not components:
+        return -1
+    if len(components) > 1:
+        return max(
+            treewidth_exact(H.induced_subhypergraph(comp)) for comp in components
+        )
+    n = len(H.vertices)
+    if n > EXACT_VERTEX_LIMIT:
+        raise BudgetExceededError(
+            "exact treewidth limited to %d vertices, got %d; use treewidth_upper_bound"
+            % (EXACT_VERTEX_LIMIT, n)
+        )
+    lb = treewidth_lower_bound(H)
+    ub = treewidth_upper_bound(H)
+    if lb >= ub:
+        return ub
+    graph = _BitGraph(H)
+    # Binary search the decision DP between the bounds (each decision run
+    # reuses its own memo; the window lb..ub is small in practice).
+    lo, hi = lb, ub
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _decide(graph, mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def treewidth_at_most(H: Hypergraph, k: int) -> bool:
+    """Decision problem ``tw(H) ≤ k`` with heuristic fast paths."""
+    if not H.vertices:
+        return True
+    if treewidth_upper_bound(H) <= k:
+        return True
+    if treewidth_lower_bound(H) > k:
+        return False
+    components = H.connected_components()
+    if len(components) > 1:
+        return all(
+            treewidth_at_most(H.induced_subhypergraph(comp), k) for comp in components
+        )
+    n = len(H.vertices)
+    if n > EXACT_VERTEX_LIMIT:
+        raise BudgetExceededError(
+            "exact treewidth decision limited to %d vertices, got %d"
+            % (EXACT_VERTEX_LIMIT, n)
+        )
+    return _decide(_BitGraph(H), k)
+
+
+def _decide(graph: _BitGraph, k: int) -> bool:
+    """Is there an elimination order of width ≤ k?  Memoized DP over the
+    set of *remaining* (not yet eliminated) vertices."""
+    n = len(graph.vertices)
+    memo: Dict[int, bool] = {}
+
+    def feasible(remaining: int) -> bool:
+        if remaining == 0:
+            return True
+        cached = memo.get(remaining)
+        if cached is not None:
+            return cached
+        eliminated = graph.full & ~remaining
+        result = False
+        for v in _iter_bits(remaining):
+            # Eliminating v next: its bag is Q(eliminated, v) ∩ remaining
+            # plus the already-eliminated fill neighbours — captured exactly
+            # by Q over the eliminated set.
+            if graph.q_size(eliminated, v) <= k:
+                if feasible(remaining & ~(1 << v)):
+                    result = True
+                    break
+        memo[remaining] = result
+        return result
+
+    # Order vertices to eliminate low-degree first for better pruning: the
+    # recursion tries vertices in index order; nothing to tune here beyond
+    # the memoization.
+    return feasible(graph.full)
+
+
+def _exact_order(H: Hypergraph) -> List[Vertex]:
+    """An elimination order realizing the exact treewidth."""
+    k = treewidth_exact(H)
+    graph = _BitGraph(H)
+    memo: Dict[int, bool] = {}
+
+    def feasible(remaining: int) -> bool:
+        if remaining == 0:
+            return True
+        cached = memo.get(remaining)
+        if cached is not None:
+            return cached
+        eliminated = graph.full & ~remaining
+        result = any(
+            graph.q_size(eliminated, v) <= k and feasible(remaining & ~(1 << v))
+            for v in _iter_bits(remaining)
+        )
+        memo[remaining] = result
+        return result
+
+    order: List[Vertex] = []
+    remaining = graph.full
+    eliminated = 0
+    while remaining:
+        for v in _iter_bits(remaining):
+            if graph.q_size(eliminated, v) <= k and feasible(remaining & ~(1 << v)):
+                order.append(graph.vertices[v])
+                remaining &= ~(1 << v)
+                eliminated |= 1 << v
+                break
+        else:  # pragma: no cover - contradicts feasibility of `remaining`
+            raise AssertionError("no feasible elimination step found")
+    return order
+
+
+def tree_decomposition(H: Hypergraph, exact: bool = True) -> TreeDecomposition:
+    """A tree decomposition of ``H`` — minimum width when ``exact`` (default),
+    otherwise the best heuristic one."""
+    if not H.vertices:
+        return TreeDecomposition([frozenset()], [])
+    if exact and len(H.vertices) <= EXACT_VERTEX_LIMIT:
+        if H.is_connected():
+            order = _exact_order(H)
+        else:
+            # Exact per component, stitched by concatenating orders (widths
+            # are independent across components).
+            order = []
+            for comp in H.connected_components():
+                order.extend(_exact_order(H.induced_subhypergraph(comp)))
+    else:
+        fill = min_fill_order(H)
+        degree = min_degree_order(H)
+        order = fill if order_width(H, fill) <= order_width(H, degree) else degree
+    return decomposition_from_elimination_order(H, order)

@@ -1,0 +1,155 @@
+"""The {AND, OPT} fragment of SPARQL, in the algebraic notation of [18].
+
+Graph patterns are built from triple patterns with the binary operators
+``AND`` (conjunction / join) and ``OPT`` (optional matching / left outer
+join).  A pattern is *well-designed* (Pérez et al. [18]) if for every
+sub-pattern ``P' = (P₁ OPT P₂)`` and every variable ``x`` occurring both in
+``P₂`` and outside ``P'``, the variable also occurs in ``P₁``.  The
+well-designed patterns are exactly the ones representable as WDPTs [17]
+(see :mod:`repro.rdf.translate`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Tuple, Union
+
+from ..core.terms import Term, Variable, term
+
+
+class TriplePattern:
+    """A triple pattern ``(s, p, o)`` over variables and constants.
+
+    Strings starting with ``"?"`` denote variables.
+
+    >>> TriplePattern("?x", "recorded_by", "?y").variables() == frozenset(
+    ...     {Variable("x"), Variable("y")})
+    True
+    """
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: object, predicate: object, obj: object):
+        self.subject: Term = term(subject)
+        self.predicate: Term = term(predicate)
+        self.object: Term = term(obj)
+
+    def terms(self) -> Tuple[Term, Term, Term]:
+        return (self.subject, self.predicate, self.object)
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(t for t in self.terms() if isinstance(t, Variable))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TriplePattern) and other.terms() == self.terms()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("TriplePattern",) + self.terms())
+
+    def __repr__(self) -> str:
+        return "(%r, %r, %r)" % self.terms()
+
+
+class And:
+    """``P₁ AND P₂``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: "Pattern", right: "Pattern"):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and (other.left, other.right) == (self.left, self.right)
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("And", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return "(%r AND %r)" % (self.left, self.right)
+
+
+class Opt:
+    """``P₁ OPT P₂``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: "Pattern", right: "Pattern"):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Opt) and (other.left, other.right) == (self.left, self.right)
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(("Opt", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return "(%r OPT %r)" % (self.left, self.right)
+
+
+Pattern = Union[TriplePattern, And, Opt]
+
+
+def triple_patterns(pattern: Pattern) -> Iterator[TriplePattern]:
+    """All triple patterns of ``pattern`` (left-to-right)."""
+    if isinstance(pattern, TriplePattern):
+        yield pattern
+    else:
+        yield from triple_patterns(pattern.left)
+        yield from triple_patterns(pattern.right)
+
+
+def is_well_designed(pattern: Pattern) -> bool:
+    """The well-designedness condition of Pérez et al. [18].
+
+    For every sub-pattern ``(P₁ OPT P₂)``: each variable of ``P₂`` that
+    also occurs outside the sub-pattern must occur in ``P₁``.
+    """
+    violations = list(_violations(pattern, pattern))
+    return not violations
+
+
+def _violations(node: Pattern, root: Pattern) -> Iterator[Tuple[Opt, Variable]]:
+    if isinstance(node, TriplePattern):
+        return
+    if isinstance(node, Opt):
+        inside = node.variables()
+        outside = _variables_outside(root, node)
+        for v in sorted(node.right.variables()):
+            if v in outside and v not in node.left.variables():
+                yield (node, v)
+    yield from _violations(node.left, root)
+    yield from _violations(node.right, root)
+
+
+def _variables_outside(root: Pattern, exclude: Pattern) -> FrozenSet[Variable]:
+    """Variables occurring in ``root`` outside the sub-pattern ``exclude``
+    (by object identity on the pattern tree)."""
+    out: set = set()
+
+    def walk(node: Pattern) -> None:
+        if node is exclude:
+            return
+        if isinstance(node, TriplePattern):
+            out.update(node.variables())
+        else:
+            walk(node.left)
+            walk(node.right)
+
+    walk(root)
+    return frozenset(out)

@@ -1,0 +1,111 @@
+"""RDF graphs as databases over a single ternary relation.
+
+The paper's *RDF WDPTs* are WDPTs over a schema with one ternary relation
+(the triple relation); all lower bounds hold already there.  This module
+provides a small triple store, :class:`RDFGraph`, that converts losslessly
+to/from the relational :class:`~repro.core.database.Database` used by every
+algorithm — so the whole library applies to semantic web data unchanged.
+
+``rdflib`` is unavailable offline; this is a from-scratch equivalent that
+exercises the same code path (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.database import Database
+
+#: Name of the ternary relation carrying RDF triples.
+TRIPLE_RELATION = "triple"
+
+Triple = Tuple[object, object, object]
+
+
+class RDFGraph:
+    """A set of (subject, predicate, object) triples.
+
+    Components may be arbitrary hashable values (strings in practice).
+
+    >>> g = RDFGraph([("Swim", "recorded_by", "Caribou")])
+    >>> ("Swim", "recorded_by", "Caribou") in g
+    True
+    >>> len(g.to_database())
+    1
+    """
+
+    __slots__ = ("_triples",)
+
+    def __init__(self, triples: Iterable[Triple] = ()):
+        self._triples: Set[Triple] = set()
+        for t in triples:
+            self.add(t)
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; return ``True`` iff it was new."""
+        s, p, o = triple
+        t = (s, p, o)
+        if t in self._triples:
+            return False
+        self._triples.add(t)
+        return True
+
+    def __contains__(self, triple: Triple) -> bool:
+        return tuple(triple) in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RDFGraph) and other._triples == self._triples
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __repr__(self) -> str:
+        return "RDFGraph(%d triples)" % len(self._triples)
+
+    def subjects(self) -> FrozenSet[object]:
+        return frozenset(s for s, _, _ in self._triples)
+
+    def predicates(self) -> FrozenSet[object]:
+        return frozenset(p for _, p, _ in self._triples)
+
+    def objects(self) -> FrozenSet[object]:
+        return frozenset(o for _, _, o in self._triples)
+
+    def triples_with(
+        self,
+        subject: Optional[object] = None,
+        predicate: Optional[object] = None,
+        obj: Optional[object] = None,
+    ) -> Iterator[Triple]:
+        """Triples matching the given fixed components (``None`` = any)."""
+        for s, p, o in self._triples:
+            if subject is not None and s != subject:
+                continue
+            if predicate is not None and p != predicate:
+                continue
+            if obj is not None and o != obj:
+                continue
+            yield (s, p, o)
+
+    # ------------------------------------------------------------------
+    # Relational bridge
+    # ------------------------------------------------------------------
+    def to_database(self) -> Database:
+        """The relational view: one fact ``triple(s, p, o)`` per triple."""
+        return Database(Atom(TRIPLE_RELATION, t) for t in sorted(self._triples, key=repr))
+
+    @classmethod
+    def from_database(cls, db: Database) -> "RDFGraph":
+        """Inverse of :meth:`to_database` (ignores other relations)."""
+        graph = cls()
+        for fact in db.facts(TRIPLE_RELATION):
+            s, p, o = (c.value for c in fact.args)  # type: ignore[union-attr]
+            graph.add((s, p, o))
+        return graph

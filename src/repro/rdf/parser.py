@@ -1,0 +1,151 @@
+"""Parser for the paper's algebraic {AND, OPT} SPARQL notation.
+
+Accepts queries written the way the paper writes them, e.g. query (1):
+
+    (((?x, recorded_by, ?y) AND (?x, published, "after_2010"))
+        OPT (?x, NME_rating, ?z)) OPT (?y, formed_in, ?z2)
+
+optionally prefixed by a projection:  ``SELECT ?y ?z WHERE <pattern>``.
+
+Grammar (left-associative binary operators)::
+
+    query    := [ 'SELECT' var* 'WHERE' ] pattern
+    pattern  := unit ( ('AND' | 'OPT') unit )*
+    unit     := triple | '(' pattern ')'
+    triple   := '(' term ',' term ',' term ')'
+    term     := VARIABLE | QUOTED_STRING | WORD
+
+Variables are ``?name`` tokens; quoted strings and bare words are
+constants.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ..exceptions import ParseError
+from ..wdpt.wdpt import WDPT
+from .algebra import And, Opt, Pattern, TriplePattern
+from .translate import pattern_to_wdpt
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<string>"[^"]*")
+  | (?P<word>[^\s(),"]+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"AND", "OPT", "SELECT", "WHERE"}
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into tokens (raises on garbage)."""
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError("cannot tokenize at %r" % (text[pos : pos + 20],))
+        pos = m.end()
+        if m.lastgroup != "ws":
+            tokens.append(m.group())
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input (expected %r)" % (expected,))
+        if expected is not None and tok != expected:
+            raise ParseError("expected %r but found %r" % (expected, tok))
+        self.pos += 1
+        return tok
+
+    # pattern := unit (('AND'|'OPT') unit)*
+    def pattern(self) -> Pattern:
+        left = self.unit()
+        while self.peek() in ("AND", "OPT"):
+            op = self.take()
+            right = self.unit()
+            left = And(left, right) if op == "AND" else Opt(left, right)
+        return left
+
+    # unit := '(' ... — triple if a comma follows the first term
+    def unit(self) -> Pattern:
+        self.take("(")
+        if self._looks_like_triple():
+            s = self.term()
+            self.take(",")
+            p = self.term()
+            self.take(",")
+            o = self.term()
+            self.take(")")
+            return TriplePattern(s, p, o)
+        inner = self.pattern()
+        self.take(")")
+        return inner
+
+    def _looks_like_triple(self) -> bool:
+        tok = self.peek()
+        if tok in ("(", None) or tok in _KEYWORDS:
+            return False
+        return self.pos + 1 < len(self.tokens) and self.tokens[self.pos + 1] == ","
+
+    def term(self) -> object:
+        tok = self.take()
+        if tok.startswith('"') and tok.endswith('"'):
+            return tok[1:-1]
+        if tok in _KEYWORDS or tok in ("(", ")", ","):
+            raise ParseError("expected a term, found %r" % (tok,))
+        return tok  # '?x' coerces to a variable, anything else to a constant
+
+    def projection(self) -> Optional[List[str]]:
+        if self.peek() != "SELECT":
+            return None
+        self.take("SELECT")
+        variables: List[str] = []
+        while self.peek() not in ("WHERE", None):
+            tok = self.take()
+            if not tok.startswith("?"):
+                raise ParseError("SELECT expects variables, found %r" % (tok,))
+            variables.append(tok)
+        self.take("WHERE")
+        return variables
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a bare {AND, OPT} pattern."""
+    parser = _Parser(tokenize(text))
+    pattern = parser.pattern()
+    if parser.peek() is not None:
+        raise ParseError("trailing input starting at %r" % (parser.peek(),))
+    return pattern
+
+
+def parse_query(text: str) -> WDPT:
+    """Parse a query (optional ``SELECT … WHERE`` + pattern) into a WDPT.
+
+    >>> p = parse_query('SELECT ?y WHERE (?x, recorded_by, ?y)')
+    >>> p.free_variables
+    (?y,)
+    """
+    parser = _Parser(tokenize(text))
+    projection = parser.projection()
+    pattern = parser.pattern()
+    if parser.peek() is not None:
+        raise ParseError("trailing input starting at %r" % (parser.peek(),))
+    return pattern_to_wdpt(pattern, projection)

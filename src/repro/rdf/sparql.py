@@ -1,0 +1,181 @@
+"""Surface SPARQL syntax: ``SELECT … WHERE { … OPTIONAL { … } }``.
+
+The algebraic parser (:mod:`repro.rdf.parser`) accepts the paper's
+notation; this module accepts the syntax users actually write::
+
+    SELECT ?record ?band ?rating WHERE {
+        ?record recorded_by ?band .
+        ?record published "after_2010" .
+        OPTIONAL { ?record NME_rating ?rating }
+        OPTIONAL { ?band formed_in ?year
+                   OPTIONAL { ?band disbanded_in ?year2 } }
+    }
+
+Supported fragment: basic graph patterns (dot-separated triples) and
+arbitrarily nested ``OPTIONAL`` groups — exactly the {AND, OPT} fragment
+the paper studies.  ``SELECT *`` (or omitting SELECT) yields a
+projection-free WDPT.  The group structure maps one-to-one onto pattern
+tree nodes, so no normalization step is needed; well-designedness is
+checked by the :class:`~repro.wdpt.wdpt.WDPT` constructor.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..exceptions import ParseError
+from ..wdpt.tree import PatternTree
+from ..wdpt.wdpt import WDPT
+from .graph import TRIPLE_RELATION
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<dot>\.)
+  | (?P<string>"[^"]*")
+  | (?P<word>[^\s{}."]+)
+""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"SELECT", "WHERE", "OPTIONAL"}
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise ParseError("cannot tokenize SPARQL at %r" % (text[pos : pos + 20],))
+        pos = m.end()
+        if m.lastgroup != "ws":
+            tokens.append(m.group())
+    return tokens
+
+
+class _Group:
+    """A ``{ … }`` group: its own triples plus nested OPTIONAL groups."""
+
+    def __init__(self) -> None:
+        self.triples: List[Tuple[str, str, str]] = []
+        self.optionals: List["_Group"] = []
+
+
+class _SparqlParser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: Optional[str] = None) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of query (expected %r)" % (expected,))
+        if expected is not None and tok.upper() != expected:
+            raise ParseError("expected %r but found %r" % (expected, tok))
+        self.pos += 1
+        return tok
+
+    def query(self) -> Tuple[Optional[List[str]], _Group]:
+        projection: Optional[List[str]] = None
+        if self.peek() is not None and self.peek().upper() == "SELECT":
+            self.take("SELECT")
+            projection = []
+            star = False
+            while self.peek() is not None and self.peek().upper() != "WHERE":
+                tok = self.take()
+                if tok == "*":
+                    star = True
+                elif tok.startswith("?"):
+                    projection.append(tok)
+                else:
+                    raise ParseError("SELECT expects variables or *, found %r" % (tok,))
+            self.take("WHERE")
+            if star:
+                if projection:
+                    raise ParseError("SELECT * cannot be combined with variables")
+                projection = None
+        elif self.peek() is not None and self.peek().upper() == "WHERE":
+            self.take("WHERE")
+        group = self.group()
+        if self.peek() is not None:
+            raise ParseError("trailing input starting at %r" % (self.peek(),))
+        return projection, group
+
+    def group(self) -> _Group:
+        self.take("{")
+        out = _Group()
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise ParseError("unterminated group: missing '}'")
+            if tok == "}":
+                self.take("}")
+                return out
+            if tok.upper() == "OPTIONAL":
+                self.take("OPTIONAL")
+                out.optionals.append(self.group())
+                continue
+            out.triples.append(self.triple())
+            if self.peek() == ".":
+                self.take(".")
+
+    def triple(self) -> Tuple[str, str, str]:
+        parts = []
+        for _ in range(3):
+            tok = self.peek()
+            if tok is None or tok in ("{", "}", ".") or tok.upper() in _KEYWORDS:
+                raise ParseError("incomplete triple near %r" % (tok,))
+            parts.append(self.take())
+        return tuple(_strip(p) for p in parts)  # type: ignore[return-value]
+
+
+def _strip(token: str) -> str:
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1]
+    return token
+
+
+def parse_sparql(text: str) -> WDPT:
+    """Parse a ``SELECT … WHERE { … }`` query into a WDPT.
+
+    >>> p = parse_sparql('SELECT ?b WHERE { ?r recorded_by ?b }')
+    >>> p.free_variables
+    (?b,)
+    >>> p2 = parse_sparql(
+    ...     'SELECT ?r ?v WHERE { ?r recorded_by ?b '
+    ...     'OPTIONAL { ?r NME_rating ?v } }')
+    >>> len(p2.tree)
+    2
+    """
+    projection, root = _SparqlParser(_tokenize(text)).query()
+
+    labels: List[List[Atom]] = []
+    parents: List[int] = []
+
+    def emit(group: _Group, parent: Optional[int]) -> None:
+        if not group.triples:
+            raise ParseError(
+                "every group needs at least one triple (empty BGP found)"
+            )
+        labels.append([Atom(TRIPLE_RELATION, t) for t in group.triples])
+        my_id = len(labels) - 1
+        if parent is not None:
+            parents.append(parent)
+        for opt in group.optionals:
+            emit(opt, my_id)
+
+    emit(root, None)
+    if projection is None:
+        all_vars = sorted({v for label in labels for a in label for v in a.variables()})
+        frees: Sequence[object] = all_vars
+    else:
+        frees = projection
+    return WDPT(PatternTree(parents), labels, frees)

@@ -1,0 +1,174 @@
+"""JSON (de)serialization for queries and databases.
+
+Stable, human-readable wire format so WDPTs, CQs, unions and databases can
+be stored, diffed and shipped between tools:
+
+* terms: ``"?x"`` for variables, ``{"c": value}`` for constants (the
+  wrapper keeps constant strings like ``"?x"`` unambiguous);
+* atoms: ``["R", term, …]``;
+* CQ: ``{"free": […], "atoms": [[…], …]}``;
+* WDPT: ``{"parents": […], "labels": [[atom…], …], "free": […]}``;
+* UWDPT: ``{"members": [wdpt…]}``;
+* Database: ``{"facts": [[…], …]}``.
+
+Round-tripping is exact for values JSON can carry (strings, numbers,
+booleans, ``None``); richer constant payloads raise with a clear message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .core.atoms import Atom
+from .core.cq import ConjunctiveQuery
+from .core.database import Database
+from .core.mappings import Mapping
+from .core.terms import Constant, Term, Variable
+from .exceptions import ReproError
+from .wdpt.tree import PatternTree
+from .wdpt.unions import UWDPT
+from .wdpt.wdpt import WDPT
+
+_JSON_SAFE = (str, int, float, bool, type(None))
+
+
+class SerializationError(ReproError):
+    """The object cannot be represented in the JSON wire format."""
+
+
+# ---------------------------------------------------------------------------
+# Terms and atoms
+# ---------------------------------------------------------------------------
+def term_to_json(t: Term) -> Any:
+    if isinstance(t, Variable):
+        return "?%s" % t.name
+    if isinstance(t, Constant):
+        if not isinstance(t.value, _JSON_SAFE):
+            raise SerializationError(
+                "constant payload %r is not JSON-serializable" % (t.value,)
+            )
+        return {"c": t.value}
+    raise SerializationError("not a term: %r" % (t,))
+
+
+def term_from_json(data: Any) -> Term:
+    if isinstance(data, str) and data.startswith("?"):
+        return Variable(data)
+    if isinstance(data, dict) and set(data) == {"c"}:
+        return Constant(data["c"])
+    raise SerializationError("not a serialized term: %r" % (data,))
+
+
+def atom_to_json(a: Atom) -> List[Any]:
+    return [a.relation] + [term_to_json(t) for t in a.args]
+
+
+def atom_from_json(data: Any) -> Atom:
+    if not isinstance(data, list) or len(data) < 2 or not isinstance(data[0], str):
+        raise SerializationError("not a serialized atom: %r" % (data,))
+    return Atom(data[0], [term_from_json(t) for t in data[1:]])
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+def cq_to_json(q: ConjunctiveQuery) -> Dict[str, Any]:
+    return {
+        "free": [term_to_json(v) for v in q.free_variables],
+        "atoms": [atom_to_json(a) for a in sorted(q.atoms)],
+    }
+
+
+def cq_from_json(data: Dict[str, Any]) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        [term_from_json(v) for v in data["free"]],
+        [atom_from_json(a) for a in data["atoms"]],
+    )
+
+
+def wdpt_to_json(p: WDPT) -> Dict[str, Any]:
+    return {
+        "parents": [p.tree.parent(n) for n in p.tree.nodes() if n != 0],
+        "labels": [[atom_to_json(a) for a in sorted(label)] for label in p.labels],
+        "free": [term_to_json(v) for v in p.free_variables],
+    }
+
+
+def wdpt_from_json(data: Dict[str, Any]) -> WDPT:
+    return WDPT(
+        PatternTree(data["parents"]),
+        [[atom_from_json(a) for a in label] for label in data["labels"]],
+        [term_from_json(v) for v in data["free"]],
+    )
+
+
+def uwdpt_to_json(phi: UWDPT) -> Dict[str, Any]:
+    return {"members": [wdpt_to_json(p) for p in phi]}
+
+
+def uwdpt_from_json(data: Dict[str, Any]) -> UWDPT:
+    return UWDPT([wdpt_from_json(m) for m in data["members"]])
+
+
+# ---------------------------------------------------------------------------
+# Databases and mappings
+# ---------------------------------------------------------------------------
+def database_to_json(db: Database) -> Dict[str, Any]:
+    return {"facts": [atom_to_json(f) for f in sorted(db.facts())]}
+
+
+def database_from_json(data: Dict[str, Any]) -> Database:
+    return Database(atom_from_json(f) for f in data["facts"])
+
+
+def mapping_to_json(m: Mapping) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for var, val in sorted(m.items(), key=lambda kv: kv[0].name):
+        if not isinstance(val.value, _JSON_SAFE):
+            raise SerializationError(
+                "mapping value %r is not JSON-serializable" % (val.value,)
+            )
+        out["?%s" % var.name] = val.value
+    return out
+
+
+def mapping_from_json(data: Dict[str, Any]) -> Mapping:
+    return Mapping(data)
+
+
+# ---------------------------------------------------------------------------
+# String front doors
+# ---------------------------------------------------------------------------
+def dumps(obj: Any, indent: int = 2) -> str:
+    """Serialize a WDPT / UWDPT / CQ / Database / Mapping to JSON text."""
+    if isinstance(obj, WDPT):
+        payload: Dict[str, Any] = {"kind": "wdpt", **wdpt_to_json(obj)}
+    elif isinstance(obj, UWDPT):
+        payload = {"kind": "uwdpt", **uwdpt_to_json(obj)}
+    elif isinstance(obj, ConjunctiveQuery):
+        payload = {"kind": "cq", **cq_to_json(obj)}
+    elif isinstance(obj, Database):
+        payload = {"kind": "database", **database_to_json(obj)}
+    elif isinstance(obj, Mapping):
+        payload = {"kind": "mapping", "bindings": mapping_to_json(obj)}
+    else:
+        raise SerializationError("cannot serialize %r" % (type(obj).__name__,))
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps`."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind == "wdpt":
+        return wdpt_from_json(data)
+    if kind == "uwdpt":
+        return uwdpt_from_json(data)
+    if kind == "cq":
+        return cq_from_json(data)
+    if kind == "database":
+        return database_from_json(data)
+    if kind == "mapping":
+        return mapping_from_json(data["bindings"])
+    raise SerializationError("unknown kind %r" % (kind,))

@@ -1,0 +1,152 @@
+"""Syntactic classes of WDPTs (Sections 3.2, 3.3 and 5).
+
+* **Local tractability** ``ℓ-C``: the Boolean CQ of every node label lies in
+  ``C`` (``TW(k)`` or ``HW(k)``).
+* **Bounded interface** ``BI(c)``: every node shares at most ``c`` variables
+  with the union of its children.
+* **Global tractability** ``g-C``: ``q_{T'} ∈ C`` for every rooted subtree
+  ``T'``.  For ``C = TW(k)`` this collapses to ``tw(q_T) ≤ k`` because
+  treewidth is monotone under subhypergraphs (a rooted subtree's atoms are a
+  subset of the tree's atoms); for ``C = HW(k)`` no such collapse exists —
+  hypertreewidth is *not* subquery-monotone — so rooted subtrees are
+  enumerated (with a β-hypertreewidth fast path, which *is* subquery-closed).
+* **Well-behaved** ``WB(k)``: ``g-TW(k)`` or ``g-HW'(k)`` (Section 5), the
+  classes used for semantic optimization and approximation.
+
+Also here: Proposition 2's containment
+``ℓ-C(k) ∩ BI(c) ⊆ g-C(k + 2c)`` as an executable fact used by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.cq import ConjunctiveQuery
+from ..hypergraphs.beta import beta_hypertreewidth_at_most
+from ..hypergraphs.hypergraph import hypergraph_of_atoms
+from ..hypergraphs.hypertree import hypertreewidth_at_most
+from ..hypergraphs.treewidth import treewidth_at_most
+from .subtrees import interface_to_children
+from .wdpt import WDPT
+
+
+# ---------------------------------------------------------------------------
+# Local tractability
+# ---------------------------------------------------------------------------
+def is_locally_in_tw(p: WDPT, k: int) -> bool:
+    """``p ∈ ℓ-TW(k)``: each node's atom set has treewidth ≤ k."""
+    return all(
+        treewidth_at_most(hypergraph_of_atoms(label), k) for label in p.labels
+    )
+
+
+def is_locally_in_hw(p: WDPT, k: int) -> bool:
+    """``p ∈ ℓ-HW(k)``: each node's atom set has hypertreewidth ≤ k."""
+    return all(
+        hypertreewidth_at_most(hypergraph_of_atoms(label), k) for label in p.labels
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bounded interface
+# ---------------------------------------------------------------------------
+def interface_width(p: WDPT) -> int:
+    """The smallest ``c`` with ``p ∈ BI(c)``: the maximum, over nodes, of
+    the number of variables shared with the node's children."""
+    return max(
+        (len(interface_to_children(p, n)) for n in p.tree.nodes()), default=0
+    )
+
+
+def has_bounded_interface(p: WDPT, c: int) -> bool:
+    """``p ∈ BI(c)``."""
+    return interface_width(p) <= c
+
+
+# ---------------------------------------------------------------------------
+# Global tractability
+# ---------------------------------------------------------------------------
+def is_globally_in_tw(p: WDPT, k: int) -> bool:
+    """``p ∈ g-TW(k)``.
+
+    Collapses to a single check on the full tree: for every rooted subtree
+    ``T'`` the hypergraph of ``q_{T'}`` is a subhypergraph of that of
+    ``q_T``, and treewidth never increases under subhypergraphs.
+    """
+    return treewidth_at_most(hypergraph_of_atoms(p.atoms_of(p.tree.nodes())), k)
+
+
+def is_globally_in_hw(p: WDPT, k: int) -> bool:
+    """``p ∈ g-HW(k)``: every rooted subtree's CQ has hypertreewidth ≤ k.
+
+    Fast path: β-hypertreewidth ≤ k of the full CQ implies membership
+    (``HW'(k) ⊆ HW(k)`` and is subquery-closed).  Otherwise rooted subtrees
+    are enumerated — exponential in tree size, matching the paper's remark
+    that recognizing global tractability is itself non-trivial for HW.
+    """
+    full = hypergraph_of_atoms(p.atoms_of(p.tree.nodes()))
+    if not hypertreewidth_at_most(full, k):
+        return False  # T itself is a rooted subtree
+    try:
+        if beta_hypertreewidth_at_most(full, k):
+            return True
+    except Exception:  # budget exceeded on the fast path: fall through
+        pass
+    return all(
+        hypertreewidth_at_most(hypergraph_of_atoms(p.atoms_of(nodes)), k)
+        for nodes in p.tree.rooted_subtrees()
+    )
+
+
+def is_globally_in_beta_hw(p: WDPT, k: int) -> bool:
+    """``p ∈ g-HW'(k)``.
+
+    ``HW'(k)`` is subquery-closed, so it suffices that ``q_T ∈ HW'(k)``
+    (the full tree is itself a rooted subtree, and every ``q_{T'}`` is a
+    subquery of ``q_T``).
+    """
+    return beta_hypertreewidth_at_most(
+        hypergraph_of_atoms(p.atoms_of(p.tree.nodes())), k
+    )
+
+
+# ---------------------------------------------------------------------------
+# Well-behaved classes WB(k) (Section 5)
+# ---------------------------------------------------------------------------
+#: The two instantiations of C(k) in WB(k) = g-C(k).
+WB_TW = "tw"
+WB_BETA_HW = "beta-hw"
+
+
+def is_in_wb(p: WDPT, k: int, variant: str = WB_TW) -> bool:
+    """``p ∈ WB(k)`` with ``C(k) = TW(k)`` (default) or ``HW'(k)``."""
+    if variant == WB_TW:
+        return is_globally_in_tw(p, k)
+    if variant == WB_BETA_HW:
+        return is_globally_in_beta_hw(p, k)
+    raise ValueError("unknown WB variant %r" % (variant,))
+
+
+def cq_class_test(k: int, variant: str = WB_TW) -> Callable[[ConjunctiveQuery], bool]:
+    """The CQ-level class test ``C(k)`` matching a WB variant."""
+    if variant == WB_TW:
+        return lambda q: treewidth_at_most(hypergraph_of_atoms(q.atoms), k)
+    if variant == WB_BETA_HW:
+        return lambda q: beta_hypertreewidth_at_most(hypergraph_of_atoms(q.atoms), k)
+    raise ValueError("unknown WB variant %r" % (variant,))
+
+
+# ---------------------------------------------------------------------------
+# Proposition 2 (part 1), as an executable fact
+# ---------------------------------------------------------------------------
+def proposition2_bound(k: int, c: int) -> int:
+    """The global width bound ``k + 2c`` of Proposition 2(1)."""
+    return k + 2 * c
+
+
+def check_proposition2(p: WDPT, k: int, c: int) -> bool:
+    """Verify Proposition 2(1) on a concrete tree: if
+    ``p ∈ ℓ-TW(k) ∩ BI(c)`` then ``p ∈ g-TW(k + 2c)``."""
+    if not (is_locally_in_tw(p, k) and has_bounded_interface(p, c)):
+        return True  # vacuously
+    return is_globally_in_tw(p, proposition2_bound(k, c))

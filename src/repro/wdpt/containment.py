@@ -1,0 +1,98 @@
+"""Containment of WDPTs: sound semi-decision procedures.
+
+Theorem 10 of the paper: containment (``p₁ ⊆ p₂``: over every database,
+``p₁(D) ⊆ p₂(D)``) and classical equivalence of WDPTs are **undecidable**,
+even under local tractability and bounded interface.  No terminating
+complete algorithm can exist — but two useful one-sided procedures can:
+
+* :func:`refute_containment` searches for a *counterexample database*
+  among the canonical databases of ``p₁``'s subtree CQs (plus optional
+  user-supplied databases).  A returned counterexample definitively
+  refutes ``p₁ ⊆ p₂``.
+* :func:`certify_containment_via_subsumption` verifies a *sufficient*
+  condition: if ``p₁ ⊑ p₂`` and ``p₂ ⊑ p₁`` and the two trees have the
+  same free variables, exact-answer equality still does not follow — but
+  the strong syntactic condition "``p₂``'s answer set always refines
+  ``p₁``'s" does hold when every answer of ``p₁`` is *equal to* (not just
+  subsumed by) an answer of ``p₂`` on all canonical witnesses checked.
+  The function therefore reports ``True`` only when containment held on
+  every canonical witness AND subsumption holds — a sound heuristic
+  certificate for the decidable-fragment cases that occur in practice
+  (e.g. trees equal up to reordering or redundant atoms).
+
+Both functions are explicitly *semi-decisions*; see Theorem 10 for why
+nothing stronger is possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.canonical import canonical_database_of_atoms
+from ..core.database import Database
+from .evaluation import evaluate
+from .subsumption import is_subsumed_by
+from .wdpt import WDPT
+
+
+def containment_holds_on(p1: WDPT, p2: WDPT, db: Database) -> bool:
+    """Does ``p₁(D) ⊆ p₂(D)`` hold on this one database?"""
+    return evaluate(p1, db) <= evaluate(p2, db)
+
+
+def canonical_witnesses(p: WDPT) -> List[Database]:
+    """The canonical databases of all rooted-subtree CQs of ``p`` — the
+    natural first place to look for containment counterexamples."""
+    return [
+        canonical_database_of_atoms(p.atoms_of(nodes))
+        for nodes in p.tree.rooted_subtrees()
+    ]
+
+
+def refute_containment(
+    p1: WDPT,
+    p2: WDPT,
+    extra_databases: Iterable[Database] = (),
+) -> Optional[Database]:
+    """Search for a database ``D`` with ``p₁(D) ⊄ p₂(D)``.
+
+    Checks the canonical witnesses of both trees and any
+    ``extra_databases``.  Returns a counterexample database (definitive
+    refutation of containment) or ``None`` — which, by Theorem 10's
+    undecidability, must NOT be read as containment holding.
+    """
+    for db in list(canonical_witnesses(p1)) + list(canonical_witnesses(p2)) + list(
+        extra_databases
+    ):
+        if not containment_holds_on(p1, p2, db):
+            return db
+    return None
+
+
+def certify_containment_via_subsumption(
+    p1: WDPT, p2: WDPT, extra_databases: Iterable[Database] = ()
+) -> bool:
+    """A sound *sufficient* check for ``p₁ ⊆ p₂`` (see module docstring).
+
+    Returns ``True`` only when (a) ``p₁ ⊑ p₂`` holds (necessary for
+    containment), and (b) no canonical or extra witness refutes exact
+    containment.  ``False`` means "not certified", not "not contained" —
+    call :func:`refute_containment` for definitive negatives.
+    """
+    if not is_subsumed_by(p1, p2):
+        return False
+    return refute_containment(p1, p2, extra_databases) is None
+
+
+def equivalence_counterexample(
+    p1: WDPT, p2: WDPT, extra_databases: Iterable[Database] = ()
+) -> Optional[Tuple[Database, str]]:
+    """A database where ``p₁(D) ≠ p₂(D)``, with the failing direction, or
+    ``None`` if none of the witnesses separates the two trees."""
+    db = refute_containment(p1, p2, extra_databases)
+    if db is not None:
+        return (db, "p1 ⊄ p2")
+    db = refute_containment(p2, p1, extra_databases)
+    if db is not None:
+        return (db, "p2 ⊄ p1")
+    return None

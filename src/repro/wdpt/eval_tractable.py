@@ -1,0 +1,242 @@
+"""The tractable exact-evaluation algorithm (Theorems 6 and 7).
+
+Decides ``h ∈ p(D)`` by an interface dynamic program over the tree, which
+is polynomial for WDPTs that are locally tractable with ``c``-bounded
+interface — the paper's headline tractability result.  The same code is a
+correct (if worst-case exponential) algorithm for arbitrary WDPTs.
+
+Derivation (following the proof sketch of Theorem 6, Appendix A.1):
+
+``h ∈ p(D)`` iff there is a rooted subtree ``T*`` and a homomorphism
+``ĥ ∈ q_{T*}(D)`` with ``ĥ|_x̄ = h`` that is maximal.  Writing
+
+* ``T'`` — the minimal rooted subtree containing ``dom(h)``;
+* ``T''`` — the maximal rooted subtree mentioning no free variable
+  outside ``dom(h)``;
+
+``T*`` must satisfy ``T' ⊆ T* ⊆ T''`` (smaller misses part of ``h``;
+larger forces extra free variables into the projection).  Maximality of
+``ĥ`` means no homomorphism of ``p`` strictly extends it — equivalently,
+after absorbing every frontier node satisfiable without new variables,
+no frontier node of ``T*`` admits *any* extension of ``ĥ``.
+
+The dynamic program processes nodes of ``T''`` top-down.  For a node ``t``
+and an assignment ``σ`` of its parent-interface ``S_t = vars(t) ∩
+vars(parent(t))`` (well-designedness makes ``S_t`` a separator):
+
+* ``IN(t, σ)`` — ``t`` can be taken into ``T*``: some homomorphism ``g``
+  of ``λ(t)`` extends ``σ`` and agrees with ``h`` on the free variables of
+  ``t``, such that every child ``u`` of ``t`` is *handled*:
+  mandatory children (in ``T'``) satisfy ``IN(u, g|_{S_u})``; optional
+  children (in ``T''``) satisfy ``IN`` or ``BLOCKED``; children outside
+  ``T''`` (they introduce a free variable ∉ dom(h)) must be ``BLOCKED``.
+* ``BLOCKED(u, σ)`` — no homomorphism of ``λ(u)`` extends ``σ`` at all
+  (extensions need not respect ``h``: *any* extension kills maximality).
+
+Only the restriction of ``g`` to the child-interface set
+``K_t = vars(t) ∩ ⋃_u vars(u)`` matters, and ``|K_t| ≤ c`` under
+``BI(c)``; the DP enumerates candidate assignments of ``K_t`` (at most
+``|adom|^c``, pre-filtered per variable by unary matching) and checks each
+with one CQ-satisfiability call per node — polynomial for fixed ``c``
+under local tractability, mirroring the LOGCFL bound of Theorem 7.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..core.terms import Constant, Variable
+from ..cqalgs.naive import satisfiable
+from .subtrees import (
+    maximal_subtree_within_free,
+    minimal_subtree_containing,
+    subtree_free_variables,
+)
+from .tree import ROOT
+from .wdpt import WDPT
+
+
+def eval_tractable(p: WDPT, db: Database, h: Mapping, method: str = "naive") -> bool:
+    """``EVAL`` via the Theorem 6 dynamic program: is ``h ∈ p(D)``?
+
+    Correct for every WDPT; polynomial when ``p`` is locally tractable with
+    bounded interface.  ``method`` selects the per-node CQ backend:
+    ``"naive"`` backtracking (default) or ``"auto"`` to route node checks
+    through the structure-exploiting engines of
+    :mod:`repro.cqalgs.dispatch` — the configuration matching Theorem 7's
+    LOGCFL bound when nodes are in ``TW(k)``/``HW(k)``.
+    """
+    frees = frozenset(p.free_variables)
+    dom = h.domain()
+    if not dom <= frees:
+        return False
+    tree_vars = p.variables()
+    if not dom <= tree_vars:
+        return False
+
+    mandatory = minimal_subtree_containing(p, dom)
+    if subtree_free_variables(p, mandatory) != dom:
+        # The minimal subtree drags in a free variable h is undefined on:
+        # every candidate ĥ would project to strictly more than h.
+        return False
+    allowed = maximal_subtree_within_free(p, dom)
+    if not allowed:  # root itself mentions a forbidden free variable
+        return False
+    assert mandatory <= allowed
+
+    dp = _InterfaceDP(p, db, h, mandatory, allowed, method=method)
+    return dp.node_in(ROOT, Mapping())
+
+
+class _InterfaceDP:
+    """Memoized ``IN``/``BLOCKED`` computation (see module docstring)."""
+
+    def __init__(
+        self,
+        p: WDPT,
+        db: Database,
+        h: Mapping,
+        mandatory: FrozenSet[int],
+        allowed: FrozenSet[int],
+        method: str = "naive",
+    ):
+        self.p = p
+        self.db = db
+        self.h = h
+        self.mandatory = mandatory
+        self.allowed = allowed
+        self.method = method
+        self._in_memo: Dict[Tuple[int, Mapping], bool] = {}
+        self._blocked_memo: Dict[Tuple[int, Mapping], bool] = {}
+
+    # ------------------------------------------------------------------
+    # BLOCKED(u, σ): no homomorphism of λ(u) extends σ.
+    # ------------------------------------------------------------------
+    def blocked(self, node: int, sigma: Mapping) -> bool:
+        key = (node, sigma)
+        cached = self._blocked_memo.get(key)
+        if cached is None:
+            cached = not self._satisfiable(self.p.labels[node], sigma)
+            self._blocked_memo[key] = cached
+        return cached
+
+    def _satisfiable(self, atoms, pre: Mapping) -> bool:
+        if self.method == "naive":
+            return satisfiable(atoms, self.db, pre)
+        from ..core.cq import ConjunctiveQuery
+        from ..cqalgs.dispatch import evaluate as cq_evaluate
+
+        substituted = [a.substitute(pre.as_dict()) for a in atoms]
+        return bool(cq_evaluate(ConjunctiveQuery((), substituted), self.db, method=self.method))
+
+    # ------------------------------------------------------------------
+    # IN(t, σ)
+    # ------------------------------------------------------------------
+    def node_in(self, node: int, sigma: Mapping) -> bool:
+        key = (node, sigma)
+        cached = self._in_memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._compute_in(node, sigma)
+        self._in_memo[key] = result
+        return result
+
+    def _compute_in(self, node: int, sigma: Mapping) -> bool:
+        p = self.p
+        node_vars = p.node_variables(node)
+        pinned = sigma.union(self.h.restrict(node_vars))
+
+        children = p.tree.children(node)
+        if not children:
+            return self._satisfiable(p.labels[node], pinned)
+
+        # Child-interface variables not already pinned.
+        interface: Set[Variable] = set()
+        for child in children:
+            interface |= node_vars & p.node_variables(child)
+        open_interface = sorted(interface - pinned.domain())
+
+        for tau in self._interface_candidates(node, open_interface, pinned):
+            g = pinned.union(tau)
+            if not self._satisfiable(p.labels[node], g):
+                continue
+            if self._children_handled(node, children, g):
+                return True
+        return False
+
+    def _interface_candidates(
+        self, node: int, open_interface: Sequence[Variable], pinned: Mapping
+    ) -> Iterator[Mapping]:
+        """Assignments of the unpinned child-interface variables.
+
+        Candidate values per variable are pre-filtered: ``v ↦ a`` is only
+        possible if every atom of ``λ(node)`` mentioning ``v`` has a
+        matching fact with ``a`` in ``v``'s positions.  The cross product
+        is at most ``|adom|^c`` under ``BI(c)``.
+        """
+        if not open_interface:
+            yield Mapping()
+            return
+        per_variable: List[List[Constant]] = []
+        for v in open_interface:
+            values = self._candidate_values(node, v)
+            if not values:
+                return
+            per_variable.append(values)
+        for combo in product(*per_variable):
+            yield Mapping(dict(zip(open_interface, combo)))
+
+    def _candidate_values(self, node: int, v: Variable) -> List[Constant]:
+        candidates: Optional[Set[Constant]] = None
+        for a in self.p.labels[node]:
+            positions = [i for i, t in enumerate(a.args) if t == v]
+            if not positions:
+                continue
+            values = {
+                fact.args[positions[0]]
+                for fact in self.db.match(_blank_except(a, v))
+                if all(fact.args[i] == fact.args[positions[0]] for i in positions)
+            }
+            candidates = values if candidates is None else candidates & values
+            if not candidates:
+                return []
+        assert candidates is not None  # v occurs in some atom of the node
+        return sorted(candidates)  # type: ignore[arg-type]
+
+    def _children_handled(self, node: int, children: Sequence[int], g: Mapping) -> bool:
+        p = self.p
+        for child in children:
+            shared = p.node_variables(node) & p.node_variables(child)
+            sigma_child = g.restrict(shared)
+            if child in self.mandatory:
+                if not self.node_in(child, sigma_child):
+                    return False
+            elif child in self.allowed:
+                if not (
+                    self.node_in(child, sigma_child)
+                    or self.blocked(child, sigma_child)
+                ):
+                    return False
+            else:
+                if not self.blocked(child, sigma_child):
+                    return False
+        return True
+
+
+def _blank_except(a: Atom, v: Variable) -> Atom:
+    """``a`` with every variable other than ``v`` replaced by a fresh one,
+    so that :meth:`Database.match` only enforces constants and the repeated
+    positions of ``v``."""
+    fresh = 0
+    args = []
+    for t in a.args:
+        if isinstance(t, Variable) and t != v:
+            args.append(Variable("__blank_%d" % fresh))
+            fresh += 1
+        else:
+            args.append(t)
+    return Atom(a.relation, args)

@@ -1,0 +1,134 @@
+"""WDPT semantics and the general (exponential) evaluation algorithms.
+
+Definition 2 of the paper: a homomorphism from ``p = (T, λ, x̄)`` to a
+database ``D`` is a partial mapping that is a total homomorphism of
+``q_{T'}`` for some rooted subtree ``T'``; ``p(D)`` collects the
+projections ``h|_x̄`` of the *maximal* such homomorphisms, and ``p_m(D)``
+(Section 3.4) keeps only the ⊑-maximal elements of ``p(D)``.
+
+Two independent evaluators are provided and cross-checked in the tests:
+
+* :func:`homomorphisms_reference` — literal subtree enumeration (the
+  definition, exponential in ``|T|``);
+* :func:`maximal_homomorphisms` — a top-down procedural evaluator that
+  grows homomorphisms node by node (the natural OPT-style algorithm; still
+  exponential in the worst case, as it must be — ``EVAL`` is Σ₂ᵖ-complete
+  for arbitrary WDPTs, Theorem 1).
+
+``EVAL``, the exact-membership decision problem, is solved here by full
+enumeration; the polynomial algorithm for ``ℓ-C ∩ BI(c)`` lives in
+:mod:`repro.wdpt.eval_tractable`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from ..core.database import Database
+from ..core.mappings import Mapping, maximal_mappings
+from ..cqalgs.naive import homomorphisms as cq_homomorphisms
+from .tree import ROOT
+from .wdpt import WDPT
+
+
+# ---------------------------------------------------------------------------
+# Reference semantics: literal Definition 2
+# ---------------------------------------------------------------------------
+def homomorphisms_reference(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+    """All homomorphisms from ``p`` to ``db`` (not only maximal ones),
+    via rooted-subtree enumeration."""
+    out: Set[Mapping] = set()
+    for nodes in p.tree.rooted_subtrees():
+        atoms = p.atoms_of(nodes)
+        out.update(cq_homomorphisms(atoms, db))
+    return frozenset(out)
+
+
+def evaluate_reference(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+    """``p(D)`` by the book: maximal homomorphisms, projected to ``x̄``."""
+    maximal = maximal_mappings(homomorphisms_reference(p, db))
+    return frozenset(h.restrict(p.free_variables) for h in maximal)
+
+
+# ---------------------------------------------------------------------------
+# Top-down procedural evaluator
+# ---------------------------------------------------------------------------
+def maximal_homomorphisms(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+    """The maximal homomorphisms from ``p`` to ``db``, grown top-down.
+
+    Well-designedness makes a node's variables a separator: two sibling
+    subtrees can only share variables through their common parent.  Given a
+    homomorphism of the parent, the extensions into different children are
+    therefore *independent*, and the maximal homomorphisms decompose as a
+    product:
+
+        ``max(t, h) = {h} ⨝ ∏_{c child of t} branch(c, h|_{shared})``
+
+    where ``branch(c, σ)`` is the set of maximal extensions into ``c``'s
+    subtree — or the trivial ``{σ}`` when ``λ(c)`` admits no extension at
+    all (the OPT branch simply fails).  A child that *is* extendable must
+    be extended in every maximal homomorphism, which is exactly what the
+    product encodes.  No a-posteriori maximality filtering is needed.
+    """
+    out: Set[Mapping] = set()
+    for h in cq_homomorphisms(p.labels[ROOT], db):
+        out.update(_branch_solutions(p, db, ROOT, h))
+    return frozenset(out)
+
+
+def _branch_solutions(p: WDPT, db: Database, node: int, h: Mapping) -> List[Mapping]:
+    """All maximal homomorphisms of the subtree under ``node`` that extend
+    the node homomorphism ``h`` (``h`` is total on ``vars(node)``)."""
+    results: List[Mapping] = [h]
+    node_vars = p.node_variables(node)
+    for child in p.tree.children(node):
+        sigma = h.restrict(node_vars & p.node_variables(child))
+        child_solutions: List[Mapping] = []
+        for g in cq_homomorphisms(p.labels[child], db, pre_assignment=sigma):
+            child_solutions.extend(_branch_solutions(p, db, child, g))
+        if not child_solutions:
+            continue  # OPT branch fails: the answers keep h unextended
+        results = [r.union(m) for r in results for m in child_solutions]
+    return results
+
+
+def evaluate(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+    """``p(D)`` via the top-down evaluator.
+
+    >>> from repro.core import atom, Database, Mapping
+    >>> from repro.wdpt.wdpt import wdpt_from_nested
+    >>> p = wdpt_from_nested(
+    ...     ([atom("E", "?x", "?y")], [([atom("F", "?y", "?z")], [])]),
+    ...     free_variables=["?x", "?z"],
+    ... )
+    >>> db = Database([atom("E", 1, 2)])
+    >>> evaluate(p, db) == frozenset([Mapping({"?x": 1})])
+    True
+    """
+    maximal = maximal_homomorphisms(p, db)
+    return frozenset(h.restrict(p.free_variables) for h in maximal)
+
+
+def evaluate_max(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+    """``p_m(D)``: the ⊑-maximal answers (Section 3.4)."""
+    return maximal_mappings(evaluate(p, db))
+
+
+# ---------------------------------------------------------------------------
+# Decision problems, by enumeration (the general, hard case)
+# ---------------------------------------------------------------------------
+def eval_check(p: WDPT, db: Database, h: Mapping) -> bool:
+    """``EVAL``: is ``h ∈ p(D)``?  (General algorithm: full enumeration.)"""
+    return h in evaluate(p, db)
+
+
+def max_eval_check(p: WDPT, db: Database, h: Mapping) -> bool:
+    """``MAX-EVAL``: is ``h ∈ p_m(D)``?  (General algorithm.)"""
+    return h in evaluate_max(p, db)
+
+
+def partial_eval_check(p: WDPT, db: Database, h: Mapping) -> bool:
+    """``PARTIAL-EVAL``: is some ``h' ∈ p(D)`` with ``h ⊑ h'``?
+    (General algorithm; the polynomial one is in
+    :mod:`repro.wdpt.partial_eval`.)"""
+    return any(h.subsumed_by(answer) for answer in evaluate(p, db))

@@ -1,0 +1,121 @@
+"""EXPLAIN for pattern trees: which of the paper's tractability conditions
+does a query satisfy, and which algorithm will therefore run?
+
+:func:`explain` computes the full structural profile of a WDPT — per-node
+treewidth, interface width, global widths, class membership for the
+relevant ``k``/``c`` — and derives the paper-backed routing decisions:
+
+* ``EVAL``: Theorem 7 (LOGCFL) if locally tractable with bounded
+  interface; Theorem 4 if projection-free and locally tractable; otherwise
+  the general exponential procedure (Theorem 1: Σ₂ᵖ-complete).
+* ``PARTIAL-EVAL`` / ``MAX-EVAL``: Theorems 8/9 (LOGCFL) under global
+  tractability; NP/DP-hard otherwise (Propositions 1/4).
+
+The report renders as a table and is used by the examples; it is a
+diagnostics tool, not a query optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..hypergraphs.hypergraph import hypergraph_of_atoms
+from ..hypergraphs.hypertree import hypertreewidth_exact
+from ..hypergraphs.treewidth import treewidth_exact
+from ..exceptions import BudgetExceededError
+from .classes import interface_width
+from .subtrees import interface_to_children
+from .wdpt import WDPT
+
+
+class WDPTProfile:
+    """Structural profile of a WDPT (see :func:`explain`)."""
+
+    def __init__(self, p: WDPT):
+        self.tree_size = len(p.tree)
+        self.size = p.size()
+        self.n_variables = len(p.variables())
+        self.n_free = len(p.free_variables)
+        self.projection_free = p.is_projection_free()
+        self.node_treewidths: List[Optional[int]] = []
+        self.node_hypertreewidths: List[Optional[int]] = []
+        for label in p.labels:
+            H = hypergraph_of_atoms(label)
+            self.node_treewidths.append(_safe(lambda: treewidth_exact(H)))
+            self.node_hypertreewidths.append(_safe(lambda: hypertreewidth_exact(H)))
+        self.interface_width = interface_width(p)
+        self.node_interfaces = [
+            len(interface_to_children(p, n)) for n in p.tree.nodes()
+        ]
+        full = hypergraph_of_atoms(p.atoms_of(p.tree.nodes()))
+        self.global_treewidth = _safe(lambda: treewidth_exact(full))
+        self.global_hypertreewidth = _safe(lambda: hypertreewidth_exact(full))
+
+    @property
+    def local_treewidth(self) -> Optional[int]:
+        widths = [w for w in self.node_treewidths if w is not None]
+        if len(widths) != len(self.node_treewidths):
+            return None
+        return max(max(widths, default=0), 0)
+
+    def eval_route(self) -> str:
+        """Which EVAL algorithm the profile licenses."""
+        if self.local_treewidth is not None and self.interface_width <= max(
+            2, self.local_treewidth
+        ):
+            return (
+                "Theorem 7 DP: ℓ-TW(%d) ∩ BI(%d) → LOGCFL"
+                % (self.local_treewidth, self.interface_width)
+            )
+        if self.projection_free and self.local_treewidth is not None:
+            return "Theorem 4: projection-free + ℓ-TW(%d) → PTIME" % self.local_treewidth
+        return "general procedure (EVAL is Σ₂ᵖ-complete, Theorem 1)"
+
+    def partial_eval_route(self) -> str:
+        if self.global_treewidth is not None:
+            return "Theorem 8: g-TW(%d) → LOGCFL" % max(self.global_treewidth, 1)
+        return "general procedure (PARTIAL-EVAL is NP-complete, Prop. 1)"
+
+    def as_table(self) -> str:
+        from ..benchharness.reporting import format_table
+
+        rows = [
+            ["tree nodes", self.tree_size],
+            ["|p| (relational size)", self.size],
+            ["variables (free)", "%d (%d)" % (self.n_variables, self.n_free)],
+            ["projection-free", self.projection_free],
+            ["local treewidth (max node)", _fmt(self.local_treewidth)],
+            ["interface width (BI)", self.interface_width],
+            ["global treewidth (g-TW)", _fmt(self.global_treewidth)],
+            ["global hypertreewidth", _fmt(self.global_hypertreewidth)],
+            ["EVAL route", self.eval_route()],
+            ["PARTIAL/MAX-EVAL route", self.partial_eval_route()],
+        ]
+        return format_table(["property", "value"], rows, title="WDPT profile")
+
+    def __repr__(self) -> str:
+        return self.as_table()
+
+
+def explain(p: WDPT) -> WDPTProfile:
+    """Profile ``p`` against the paper's tractability conditions.
+
+    >>> from repro.workloads.families import figure1_wdpt
+    >>> profile = explain(figure1_wdpt())
+    >>> profile.interface_width
+    2
+    >>> profile.global_treewidth
+    1
+    """
+    return WDPTProfile(p)
+
+
+def _safe(fn):
+    try:
+        return fn()
+    except BudgetExceededError:
+        return None
+
+
+def _fmt(value: Optional[int]) -> str:
+    return "?" if value is None else str(value)

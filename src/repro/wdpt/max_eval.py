@@ -1,0 +1,55 @@
+"""Maximal-mapping evaluation of WDPTs (Theorem 9, Section 3.4).
+
+``MAX-EVAL``: is ``h ∈ p_m(D)``, i.e. is ``h`` an answer that is
+⊑-maximal among all answers?
+
+The algorithm rests on a small lemma (implicit in the paper's treatment):
+
+    ``h ∈ p_m(D)``  ⟺  ``h`` is a partial answer and no partial answer
+    properly extends ``h``.
+
+(⇐) a maximal partial answer is subsumed by a full answer, hence equals
+it; (⇒) any properly-extending partial answer would be subsumed by an
+answer properly extending ``h``.  Moreover restrictions of partial answers
+are partial answers, so it suffices to refute *single-variable* extensions
+``h ∪ {y ↦ v}`` — and the existential over ``v`` collapses into one
+CQ-satisfiability call per free variable ``y`` (leave ``y`` unsubstituted).
+Total cost: ``1 + |x̄ ∖ dom(h)|`` partial-evaluation calls, each LOGCFL
+under global tractability — matching Theorem 9.
+"""
+
+from __future__ import annotations
+
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..cqalgs.naive import satisfiable
+from .partial_eval import partial_eval
+from .subtrees import minimal_subtree_containing
+from .wdpt import WDPT
+
+
+def max_eval(p: WDPT, db: Database, h: Mapping, method: str = "naive") -> bool:
+    """``MAX-EVAL``: is ``h ∈ p_m(D)``?"""
+    if not partial_eval(p, db, h, method=method):
+        return False
+    dom = h.domain()
+    for y in p.free_variables:
+        if y in dom:
+            continue
+        if _extension_exists(p, db, h, y, method):
+            return False
+    return True
+
+
+def _extension_exists(p: WDPT, db: Database, h: Mapping, y, method: str) -> bool:
+    """Is some ``h ∪ {y ↦ v}`` a partial answer?  Equivalently: is the
+    minimal subtree for ``dom(h) ∪ {y}``, with ``h`` substituted and ``y``
+    left open, satisfiable?"""
+    subtree = minimal_subtree_containing(p, set(h.domain()) | {y})
+    atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
+    if method == "naive":
+        return satisfiable(atoms, db)
+    from ..core.cq import ConjunctiveQuery
+    from ..cqalgs.dispatch import evaluate as cq_evaluate
+
+    return bool(cq_evaluate(ConjunctiveQuery((), atoms), db, method=method))

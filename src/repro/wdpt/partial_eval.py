@@ -1,0 +1,65 @@
+"""Partial evaluation of WDPTs (Theorem 8).
+
+``PARTIAL-EVAL``: given ``p``, ``D`` and a partial mapping ``h``, is there
+an answer ``h' ∈ p(D)`` with ``h ⊑ h'``?
+
+The paper's algorithm (proof of Theorem 8): ``h`` extends to an answer iff
+``h`` extends to *some* homomorphism of ``p`` — maximality is free, because
+every homomorphism extends to a maximal one and extension preserves ``⊑``
+of the projections.  So it suffices to
+
+1. take the minimal rooted subtree ``T'`` whose variables cover
+   ``dom(h)`` (LOGSPACE in the paper, a few tree walks here), and
+2. decide non-emptiness of ``q̂_{T'}``, the subtree CQ with ``h``
+   substituted — a CQ in ``TW(k)`` / ``HW(k)`` whenever ``p`` is globally
+   tractable, hence LOGCFL by Theorems 2/3.
+
+``method`` selects the CQ backend: ``"naive"`` backtracking or the
+structure-exploiting engines (``"auto"`` routes through
+:mod:`repro.cqalgs.dispatch`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..core.cq import ConjunctiveQuery
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..cqalgs.dispatch import evaluate as cq_evaluate
+from ..cqalgs.naive import satisfiable
+from .subtrees import minimal_subtree_containing
+from .wdpt import WDPT
+
+
+def partial_eval(p: WDPT, db: Database, h: Mapping, method: str = "naive") -> bool:
+    """``PARTIAL-EVAL``: is there ``h' ∈ p(D)`` with ``h ⊑ h'``?
+
+    Answers of ``p`` are defined on subsets of ``x̄``, so a mapping using a
+    non-free variable can never be extended by one.
+    """
+    dom = h.domain()
+    if not dom <= frozenset(p.free_variables):
+        return False
+    if not dom <= p.variables():
+        return False
+    subtree = minimal_subtree_containing(p, dom)
+    atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
+    if method == "naive":
+        return satisfiable(atoms, db)
+    # Non-emptiness of the substituted subtree CQ, as a Boolean query.
+    return bool(cq_evaluate(ConjunctiveQuery((), atoms), db, method=method))
+
+
+def partial_answers(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+    """All partial answers of ``p`` over ``db`` — the downward closure of
+    ``p(D)`` under restriction.  Reference-quality helper for tests."""
+    from .evaluation import evaluate
+
+    out = set()
+    for answer in evaluate(p, db):
+        domain = sorted(answer.domain())
+        for mask in range(1 << len(domain)):
+            chosen = [v for i, v in enumerate(domain) if mask >> i & 1]
+            out.add(answer.restrict(chosen))
+    return frozenset(out)

@@ -1,0 +1,194 @@
+"""≡ₛ-preserving rewrites: a small logical optimizer for pattern trees.
+
+Three rewrites, each individually sound (preserving subsumption-
+equivalence, hence partial and maximal answers — the semantics the
+paper's Section 5 argues is the right one to preserve):
+
+1. **Local redundancy removal** (:func:`remove_redundant_atoms`): within a
+   node, drop atoms implied by the rest of the node *given the variables
+   visible elsewhere* — a per-node core computation that keeps frozen the
+   free variables and every variable shared with the parent or children
+   (folding those would change cross-node semantics).
+2. **Duplicate-branch elimination** (:func:`merge_duplicate_branches`):
+   sibling subtrees that are structurally identical contribute identical
+   optional extensions; keep one.
+3. **Lemma 1 normal form** (re-exported from
+   :mod:`repro.wdpt.transform`): prune free-variable-less branches and
+   merge chains.
+
+:func:`optimize` composes them and — under ``verify=True`` (default) —
+checks ``≡ₛ`` against the input with the exact subsumption test, so a
+(hypothetical) unsound rewrite could never escape silently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..core.atoms import Atom, variables_of
+from ..core.terms import Variable
+from ..cqalgs.homomorphism import apply_homomorphism, query_homomorphisms
+from ..exceptions import ReproError
+from .subsumption import is_subsumption_equivalent
+from .transform import lemma1_normal_form
+from .tree import PatternTree
+from .wdpt import WDPT
+
+
+def remove_redundant_atoms(p: WDPT) -> WDPT:
+    """Drop, per node, atoms implied by the node's remaining atoms.
+
+    An atom ``a`` of ``λ(t)`` is redundant if ``λ(t) ∖ {a}`` maps
+    homomorphically onto itself covering ``a`` while fixing every
+    *pinned* variable of ``t`` — the free variables plus the variables
+    shared with the parent or any child.  Folding only unpinned local
+    existentials cannot change any cross-node interaction, and within the
+    node it preserves the CQ up to equivalence.
+    """
+    new_labels: List[FrozenSet[Atom]] = []
+    for node in p.tree.nodes():
+        pinned = _pinned_variables(p, node)
+        new_labels.append(_reduce_label(p.labels[node], pinned))
+    return WDPT(p.tree, new_labels, p.free_variables)
+
+
+def _pinned_variables(p: WDPT, node: int) -> FrozenSet[Variable]:
+    pinned: Set[Variable] = set(p.free_variables) & set(p.node_variables(node))
+    parent = p.tree.parent(node)
+    if parent is not None:
+        pinned |= p.node_variables(node) & p.node_variables(parent)
+    for child in p.tree.children(node):
+        pinned |= p.node_variables(node) & p.node_variables(child)
+    return frozenset(pinned)
+
+
+def _reduce_label(label: FrozenSet[Atom], pinned: FrozenSet[Variable]) -> FrozenSet[Atom]:
+    atoms = set(label)
+    fixed = {v: v for v in pinned}
+    changed = True
+    while changed and len(atoms) > 1:
+        changed = False
+        for a in sorted(atoms):
+            rest = atoms - {a}
+            if not variables_of(rest) >= (a.variables() & pinned):
+                continue
+            for h in query_homomorphisms(atoms, rest, fixed=fixed):
+                if apply_homomorphism(atoms, h) <= rest:
+                    atoms = set(rest)
+                    changed = True
+                    break
+            if changed:
+                break
+    return frozenset(atoms)
+
+
+def merge_duplicate_branches(p: WDPT) -> WDPT:
+    """Remove sibling subtrees that duplicate each other up to renaming of
+    their branch-local *existential* variables.
+
+    Well-designedness forbids two siblings from sharing a variable absent
+    from the parent, so literal duplicates cannot exist; the meaningful
+    notion is isomorphism fixing the parent-shared variables.  Such a
+    duplicate is only droppable when its branch-local variables are all
+    existential: the two copies are then simultaneously (un)extendable
+    with identical projections, so keeping one preserves ``≡ₛ``.  A copy
+    introducing its own *free* variable contributes distinct answers and
+    is kept.
+    """
+    frees = frozenset(p.free_variables)
+    keep: Set[int] = set()
+
+    def subtree_variables(node: int) -> FrozenSet[Variable]:
+        out: Set[Variable] = set(p.node_variables(node))
+        for c in p.tree.children(node):
+            out |= subtree_variables(c)
+        return frozenset(out)
+
+    def canonize_node(node: int, renaming: Dict[Variable, Variable], counter: List[int]) -> Tuple:
+        """Assign canonical names to the node's new variables in a
+        name-independent order: repeatedly pick the ⊑-least atom under the
+        current partial renaming (unknowns render as '*'), then name its
+        new variables left to right.  One shared counter per branch keeps
+        the renaming injective."""
+        remaining = set(p.labels[node])
+        ordered: List[Atom] = []
+        while remaining:
+            def key(a: Atom) -> Tuple:
+                return (
+                    a.relation,
+                    tuple(
+                        repr(renaming[t]) if isinstance(t, Variable) and t in renaming
+                        else (repr(t) if not isinstance(t, Variable) else "*")
+                        for t in a.args
+                    ),
+                )
+
+            chosen = min(remaining, key=key)
+            remaining.discard(chosen)
+            for t in chosen.args:
+                if isinstance(t, Variable) and t not in renaming:
+                    counter[0] += 1
+                    renaming[t] = Variable("__canon_%d" % counter[0])
+            ordered.append(chosen.rename(renaming))
+        return tuple(ordered)
+
+    def signature(node: int, renaming: Dict[Variable, Variable], counter: List[int]) -> Tuple:
+        label = canonize_node(node, renaming, counter)
+        children = tuple(
+            signature(c, renaming, counter) for c in p.tree.children(node)
+        )
+        return (label, children)
+
+    def branch_signature(child: int, parent: int) -> Tuple:
+        shared = p.node_variables(child) & p.node_variables(parent)
+        renaming: Dict[Variable, Variable] = {v: v for v in shared}
+        return signature(child, renaming, [0])
+
+    def walk(node: int) -> None:
+        keep.add(node)
+        seen: Set[Tuple] = set()
+        for child in p.tree.children(node):
+            local = subtree_variables(child) - p.node_variables(node)
+            if not local & frees:
+                sig = branch_signature(child, node)
+                if sig in seen:
+                    continue
+                seen.add(sig)
+            walk(child)
+
+    walk(0)
+    if len(keep) == len(p.tree):
+        return p
+    old_order = sorted(keep)
+    new_id = {old: i for i, old in enumerate(old_order)}
+    parents = []
+    for old in old_order[1:]:
+        parent = p.tree.parent(old)
+        assert parent is not None
+        parents.append(new_id[parent])
+    labels = [p.labels[old] for old in old_order]
+    kept_vars = {v for label in labels for a in label for v in a.variables()}
+    frees = [v for v in p.free_variables if v in kept_vars]
+    return WDPT(PatternTree(parents), labels, frees)
+
+
+def optimize(p: WDPT, verify: bool = True) -> WDPT:
+    """Compose all rewrites; optionally verify ``≡ₛ`` with the original.
+
+    >>> from repro.core.atoms import atom
+    >>> from repro.wdpt.wdpt import wdpt_from_nested
+    >>> p = wdpt_from_nested(
+    ...     ([atom("E", "?x", "?y"), atom("E", "?x", "?u")], []),
+    ...     free_variables=["?x", "?y"])
+    >>> optimize(p).atom_count()   # E(x,u) folds onto E(x,y)
+    1
+    """
+    result = lemma1_normal_form(p)
+    result = merge_duplicate_branches(result)
+    result = remove_redundant_atoms(result)
+    if verify and not is_subsumption_equivalent(p, result):
+        raise ReproError(
+            "internal error: rewrite changed semantics (please report); "
+            "original %r, rewritten %r" % (p, result)
+        )
+    return result

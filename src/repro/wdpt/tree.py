@@ -1,0 +1,162 @@
+"""Rooted trees for pattern trees.
+
+:class:`PatternTree` is a plain rooted tree over integer node ids with the
+root fixed at id ``0``.  It carries no labels — the labelling function ``λ``
+lives in :class:`repro.wdpt.wdpt.WDPT` — and is deliberately minimal:
+parents, children, depth-first orders, paths to the root, and subtree
+extraction, which is all the WDPT algorithms need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+ROOT = 0
+
+
+class PatternTree:
+    """A rooted tree over node ids ``0 … n−1`` with root ``0``.
+
+    Constructed from parent links: ``parents[i]`` is the parent of node
+    ``i + 1`` (the root has no entry).  Every parent id must be smaller
+    than its child id, which both guarantees acyclicity and makes node ids
+    a topological order.
+
+    >>> t = PatternTree([0, 0, 1])   # root with children 1, 2; 3 under 1
+    >>> t.children(0)
+    (1, 2)
+    >>> t.parent(3)
+    1
+    """
+
+    __slots__ = ("_parents", "_children")
+
+    def __init__(self, parents: Sequence[int] = ()):
+        self._parents: Tuple[int, ...] = tuple(parents)
+        for child_minus_one, parent in enumerate(self._parents):
+            child = child_minus_one + 1
+            if not 0 <= parent < child:
+                raise ValueError(
+                    "parent of node %d must be an earlier node, got %d" % (child, parent)
+                )
+        children: Dict[int, List[int]] = {i: [] for i in range(len(self._parents) + 1)}
+        for child_minus_one, parent in enumerate(self._parents):
+            children[parent].append(child_minus_one + 1)
+        self._children: Dict[int, Tuple[int, ...]] = {
+            node: tuple(kids) for node, kids in children.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        return ROOT
+
+    def __len__(self) -> int:
+        return len(self._parents) + 1
+
+    def nodes(self) -> range:
+        """All node ids in topological (parents-first) order."""
+        return range(len(self))
+
+    def parent(self, node: int) -> Optional[int]:
+        """Parent id, or ``None`` for the root."""
+        if node == ROOT:
+            return None
+        return self._parents[node - 1]
+
+    def children(self, node: int) -> Tuple[int, ...]:
+        return self._children[node]
+
+    def is_leaf(self, node: int) -> bool:
+        return not self._children[node]
+
+    def leaves(self) -> Tuple[int, ...]:
+        return tuple(n for n in self.nodes() if self.is_leaf(n))
+
+    def depth(self, node: int) -> int:
+        d = 0
+        while node != ROOT:
+            node = self._parents[node - 1]
+            d += 1
+        return d
+
+    def path_to_root(self, node: int) -> List[int]:
+        """Nodes from ``node`` up to and including the root."""
+        path = [node]
+        while node != ROOT:
+            node = self._parents[node - 1]
+            path.append(node)
+        return path
+
+    def descendants(self, node: int) -> FrozenSet[int]:
+        """All strict descendants of ``node``."""
+        out: List[int] = []
+        stack = list(self._children[node])
+        while stack:
+            n = stack.pop()
+            out.append(n)
+            stack.extend(self._children[n])
+        return frozenset(out)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PatternTree) and other._parents == self._parents
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self._parents)
+
+    def __repr__(self) -> str:
+        return "PatternTree(%r)" % (list(self._parents),)
+
+    # ------------------------------------------------------------------
+    # Rooted-subtree utilities
+    # ------------------------------------------------------------------
+    def is_rooted_subtree(self, nodes: Iterable[int]) -> bool:
+        """Is ``nodes`` a subtree rooted at the root (contains the root and
+        is closed under taking parents)?"""
+        node_set = frozenset(nodes)
+        if ROOT not in node_set:
+            return False
+        return all(
+            n == ROOT or self._parents[n - 1] in node_set for n in node_set
+        )
+
+    def rooted_subtrees(self) -> Iterator[FrozenSet[int]]:
+        """All subtrees rooted at the root, as frozensets of node ids.
+
+        There are exponentially many in general — this enumeration is the
+        deliberate exponential part of subsumption testing, reference
+        semantics and the ``φ_cq`` construction.
+        """
+
+        def expand(node: int) -> List[FrozenSet[int]]:
+            """All rooted subtrees of the subtree under ``node`` that
+            include ``node``."""
+            options: List[FrozenSet[int]] = [frozenset([node])]
+            for child in self._children[node]:
+                child_options = expand(child)
+                options = [
+                    base | extra
+                    for base in options
+                    for extra in ([frozenset()] + child_options)
+                ]
+            return options
+
+        # Rebuild lazily instead of materializing the cross-product above:
+        # the simple recursive product is fine for the tree sizes in scope,
+        # but we still yield rather than return a list.
+        yield from expand(ROOT)
+
+    def count_rooted_subtrees(self) -> int:
+        """Number of rooted subtrees (product-form dynamic program)."""
+        counts: Dict[int, int] = {}
+        for node in reversed(self.nodes()):
+            total = 1
+            for child in self._children[node]:
+                total *= counts[child] + 1
+            counts[node] = total
+        return counts[ROOT]

@@ -1,0 +1,162 @@
+"""Answer provenance: *why* is ``h`` an answer?
+
+For debugging optional matching, knowing the answer set is rarely enough —
+one wants the witness: which subtree matched, with which full
+homomorphism, and why each unmatched branch failed.  :func:`witness`
+produces exactly that, re-using the evaluation machinery:
+
+* the witness subtree ``T*`` (node ids),
+* a maximal homomorphism ``ĥ`` with ``ĥ|_x̄ = h``,
+* per frontier child: the reason it is absent — ``"unsatisfiable"`` (no
+  extension exists; the OPT branch truly has no data) — which is the only
+  possible reason at a maximal homomorphism.
+
+This is the constructive counterpart of the EVAL decision procedures: the
+returned object *certifies* membership and can be checked independently
+(:meth:`AnswerWitness.verify`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..cqalgs.naive import satisfiable
+from .evaluation import maximal_homomorphisms
+from .tree import ROOT
+from .wdpt import WDPT
+
+
+class AnswerWitness:
+    """A certificate that ``answer ∈ p(D)``.
+
+    Attributes
+    ----------
+    answer:
+        The answer mapping (restriction of ``homomorphism`` to ``x̄``).
+    homomorphism:
+        A maximal homomorphism projecting to ``answer``.
+    subtree:
+        The witness subtree: nodes whose variables are all bound and whose
+        atoms are satisfied under ``homomorphism``.
+    blocked_children:
+        Frontier children (outside the subtree, parent inside) — each is
+        unextendable under the homomorphism, which certifies maximality.
+    """
+
+    def __init__(
+        self,
+        p: WDPT,
+        db: Database,
+        answer: Mapping,
+        homomorphism: Mapping,
+        subtree: FrozenSet[int],
+        blocked_children: Tuple[int, ...],
+    ):
+        self._p = p
+        self._db = db
+        self.answer = answer
+        self.homomorphism = homomorphism
+        self.subtree = subtree
+        self.blocked_children = blocked_children
+
+    def verify(self) -> bool:
+        """Re-check the certificate from scratch (no trust in evaluation)."""
+        p, db, h = self._p, self._db, self.homomorphism
+        if not p.tree.is_rooted_subtree(self.subtree):
+            return False
+        assignment = h.as_dict()
+        for node in self.subtree:
+            if not p.node_variables(node) <= h.domain():
+                return False
+            if not all(a.substitute(assignment) in db for a in p.labels[node]):
+                return False
+        for child in self.blocked_children:
+            shared = p.node_variables(child) & h.domain()
+            if satisfiable(p.labels[child], db, h.restrict(shared)):
+                return False
+        # Every frontier child must be accounted for.
+        frontier = {
+            child
+            for node in self.subtree
+            for child in p.tree.children(node)
+            if child not in self.subtree
+        }
+        if frontier != set(self.blocked_children):
+            return False
+        return self.answer == h.restrict(p.free_variables)
+
+    def describe(self) -> str:
+        """A human-readable account of the match."""
+        lines = ["answer %r" % (self.answer,)]
+        lines.append("matched nodes: %s" % sorted(self.subtree))
+        for node in sorted(self.subtree):
+            atoms = ", ".join(repr(a) for a in sorted(self._p.labels[node]))
+            lines.append("  [%d] %s" % (node, atoms))
+        for child in self.blocked_children:
+            atoms = ", ".join(repr(a) for a in sorted(self._p.labels[child]))
+            lines.append("  [%d] OPT failed (no data): %s" % (child, atoms))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "AnswerWitness(%r, %d nodes, %d blocked)" % (
+            self.answer,
+            len(self.subtree),
+            len(self.blocked_children),
+        )
+
+
+def witness(p: WDPT, db: Database, answer: Mapping) -> Optional[AnswerWitness]:
+    """A verified certificate that ``answer ∈ p(D)``, or ``None``.
+
+    >>> from repro.core import atom, Database, Mapping
+    >>> from repro.wdpt.wdpt import wdpt_from_nested
+    >>> p = wdpt_from_nested(
+    ...     ([atom("A", "?x")], [([atom("B", "?x", "?y")], [])]),
+    ...     free_variables=["?x", "?y"])
+    >>> db = Database([atom("A", 1)])
+    >>> w = witness(p, db, Mapping({"?x": 1}))
+    >>> w.subtree == frozenset({0}) and w.blocked_children == (1,)
+    True
+    """
+    frees = p.free_variables
+    for h in maximal_homomorphisms(p, db):
+        if h.restrict(frees) != answer:
+            continue
+        subtree = _matched_subtree(p, db, h)
+        frontier = tuple(
+            sorted(
+                child
+                for node in subtree
+                for child in p.tree.children(node)
+                if child not in subtree
+            )
+        )
+        candidate = AnswerWitness(p, db, answer, h, subtree, frontier)
+        if candidate.verify():
+            return candidate
+    return None
+
+
+def _matched_subtree(p: WDPT, db: Database, h: Mapping) -> FrozenSet[int]:
+    """The maximal rooted subtree fully bound and satisfied under ``h``."""
+    assignment = h.as_dict()
+    matched = set()
+
+    def ok(node: int) -> bool:
+        return p.node_variables(node) <= h.domain() and all(
+            a.substitute(assignment) in db for a in p.labels[node]
+        )
+
+    if not ok(ROOT):
+        return frozenset()
+    stack = [ROOT]
+    matched.add(ROOT)
+    while stack:
+        node = stack.pop()
+        for child in p.tree.children(node):
+            if child not in matched and ok(child):
+                matched.add(child)
+                stack.append(child)
+    return frozenset(matched)

@@ -1,0 +1,133 @@
+"""Tests for the compositional SPARQL semantics, and the [17] theorem that
+it coincides with pattern-tree semantics on well-designed patterns."""
+
+import random
+
+import pytest
+
+from repro.core.mappings import Mapping
+from repro.rdf.algebra import And, Opt, TriplePattern, is_well_designed
+from repro.rdf.algebra_eval import (
+    difference,
+    evaluate_pattern,
+    join,
+    left_outer_join,
+)
+from repro.rdf.graph import RDFGraph
+from repro.rdf.translate import pattern_to_wdpt
+from repro.wdpt.evaluation import evaluate
+
+
+@pytest.fixture
+def graph():
+    return RDFGraph(
+        [
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("a", "q", "x"),
+            ("c", "q", "y"),
+        ]
+    )
+
+
+class TestPrimitives:
+    def test_triple_matching(self, graph):
+        result = evaluate_pattern(TriplePattern("?s", "p", "?o"), graph)
+        assert len(result) == 2
+
+    def test_triple_with_constant_mismatch(self, graph):
+        assert evaluate_pattern(TriplePattern("a", "z", "?o"), graph) == frozenset()
+
+    def test_repeated_variable(self):
+        g = RDFGraph([("a", "p", "a"), ("a", "p", "b")])
+        result = evaluate_pattern(TriplePattern("?x", "p", "?x"), g)
+        assert result == frozenset([Mapping({"?x": "a"})])
+
+    def test_join_compatibility(self):
+        left = frozenset([Mapping({"?x": 1}), Mapping({"?x": 2})])
+        right = frozenset([Mapping({"?x": 1, "?y": 5})])
+        assert join(left, right) == frozenset([Mapping({"?x": 1, "?y": 5})])
+
+    def test_difference(self):
+        left = frozenset([Mapping({"?x": 1}), Mapping({"?x": 2})])
+        right = frozenset([Mapping({"?x": 1, "?y": 5})])
+        assert difference(left, right) == frozenset([Mapping({"?x": 2})])
+
+    def test_left_outer_join(self):
+        left = frozenset([Mapping({"?x": 1}), Mapping({"?x": 2})])
+        right = frozenset([Mapping({"?x": 1, "?y": 5})])
+        assert left_outer_join(left, right) == frozenset(
+            [Mapping({"?x": 1, "?y": 5}), Mapping({"?x": 2})]
+        )
+
+
+class TestOptSemantics:
+    def test_optional_fills_when_possible(self, graph):
+        pat = Opt(TriplePattern("?s", "p", "?o"), TriplePattern("?o", "q", "?v"))
+        result = evaluate_pattern(pat, graph)
+        assert Mapping({"?s": "a", "?o": "b"}) in result          # no q from b
+        assert Mapping({"?s": "b", "?o": "c", "?v": "y"}) in result
+
+    def test_and_of_triples(self, graph):
+        pat = And(TriplePattern("?s", "p", "?o"), TriplePattern("?o", "p", "?t"))
+        result = evaluate_pattern(pat, graph)
+        assert result == frozenset([Mapping({"?s": "a", "?o": "b", "?t": "c"})])
+
+
+class TestAgreementWithPatternTrees:
+    """[17]: on well-designed patterns, compositional semantics =
+    projection-free WDPT semantics."""
+
+    def test_figure1(self):
+        from repro.rdf.parser import parse_pattern
+        from repro.workloads.families import FIGURE1_QUERY_TEXT, example2_graph
+
+        pattern = parse_pattern(FIGURE1_QUERY_TEXT)
+        graph = example2_graph()
+        compositional = evaluate_pattern(pattern, graph)
+        tree = pattern_to_wdpt(pattern)
+        assert evaluate(tree, graph.to_database()) == compositional
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_well_designed_patterns(self, seed):
+        rng = random.Random(seed)
+        graph = RDFGraph(
+            [
+                (
+                    "n%d" % rng.randrange(5),
+                    rng.choice(["p", "q"]),
+                    "n%d" % rng.randrange(5),
+                )
+                for _ in range(rng.randint(3, 10))
+            ]
+        )
+        pattern = _random_well_designed_pattern(rng)
+        assert is_well_designed(pattern)
+        compositional = evaluate_pattern(pattern, graph)
+        tree = pattern_to_wdpt(pattern)
+        assert evaluate(tree, graph.to_database()) == compositional
+
+
+def _random_well_designed_pattern(rng):
+    """Grow a *nested* well-designed pattern: each OPT branch anchors on a
+    variable of its own parent node (never of a sibling branch), so every
+    shared variable occurs along a root path — the tree discipline that
+    defines well-designedness."""
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        return "?v%d" % counter[0]
+
+    def build(anchor, depth):
+        node = TriplePattern(anchor, rng.choice(["p", "q"]), fresh())
+        pattern = node
+        if rng.random() < 0.4:
+            pattern = And(pattern, TriplePattern(anchor, "p", fresh()))
+        n_children = rng.randint(0, 2) if depth < 2 else 0
+        for _ in range(n_children):
+            child_anchor = "?%s" % rng.choice(sorted(node.variables())).name
+            pattern = Opt(pattern, build(child_anchor, depth + 1))
+        return pattern
+
+    return build(fresh(), 0)

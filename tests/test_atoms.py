@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.atoms."""
+
+import pytest
+
+from repro.core.atoms import Atom, Schema, atom, constants_of, variables_of
+from repro.core.terms import Constant, Variable
+from repro.exceptions import SchemaError
+
+
+class TestAtom:
+    def test_construction_and_coercion(self):
+        a = Atom("E", ("?x", 1))
+        assert a.relation == "E"
+        assert a.args == (Variable("x"), Constant(1))
+
+    def test_arity(self):
+        assert atom("R", "?x", "?y", "?z").arity == 3
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom("R", ())
+
+    def test_bad_relation_name(self):
+        with pytest.raises(SchemaError):
+            Atom("", ("?x",))
+
+    def test_variables_and_constants(self):
+        a = atom("R", "?x", "c", "?x", 3)
+        assert a.variables() == {Variable("x")}
+        assert a.constants() == {Constant("c"), Constant(3)}
+
+    def test_is_ground(self):
+        assert atom("R", 1, 2).is_ground()
+        assert not atom("R", "?x", 2).is_ground()
+
+    def test_substitute_partial(self):
+        a = atom("R", "?x", "?y")
+        b = a.substitute({Variable("x"): Constant(1)})
+        assert b == atom("R", 1, "?y")
+
+    def test_rename(self):
+        a = atom("R", "?x", "?y")
+        assert a.rename({Variable("x"): Variable("z")}) == atom("R", "?z", "?y")
+
+    def test_equality_and_hash(self):
+        assert atom("R", "?x") == atom("R", "?x")
+        assert atom("R", "?x") != atom("R", "?y")
+        assert atom("R", "?x") != atom("S", "?x")
+        assert len({atom("R", "?x"), atom("R", "?x")}) == 1
+
+    def test_repr_roundtrip_style(self):
+        assert repr(atom("E", "?x", 1)) == "E(?x, 1)"
+
+    def test_ordering_is_total_on_examples(self):
+        atoms = [atom("B", 1), atom("A", 2), atom("A", 1)]
+        assert sorted(atoms) == [atom("A", 1), atom("A", 2), atom("B", 1)]
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        s = Schema({"E": 2})
+        assert s.arity("E") == 2
+        assert "E" in s and "F" not in s
+
+    def test_conflicting_arity(self):
+        s = Schema({"E": 2})
+        with pytest.raises(SchemaError):
+            s.add_relation("E", 3)
+
+    def test_reregister_same_arity_ok(self):
+        s = Schema({"E": 2})
+        s.add_relation("E", 2)
+        assert len(s) == 1
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Schema().arity("E")
+
+    def test_validate_atom(self):
+        s = Schema({"E": 2})
+        s.validate_atom(atom("E", 1, 2))
+        with pytest.raises(SchemaError):
+            s.validate_atom(atom("E", 1))
+        with pytest.raises(SchemaError):
+            s.validate_atom(atom("F", 1))
+
+    def test_infer(self):
+        s = Schema.infer([atom("E", 1, 2), atom("U", 1)])
+        assert s.arity("E") == 2 and s.arity("U") == 1
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"E": 0})
+
+
+def test_variables_of_and_constants_of():
+    atoms = [atom("E", "?x", "?y"), atom("F", "?y", 1)]
+    assert variables_of(atoms) == {Variable("x"), Variable("y")}
+    assert constants_of(atoms) == {Constant(1)}

@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestProfile:
+    def test_surface_query(self, capsys):
+        assert main(["profile", "SELECT ?x WHERE { ?x knows ?y }"]) == 0
+        out = capsys.readouterr().out
+        assert "WDPT profile" in out and "EVAL route" in out
+
+    def test_algebraic_fallback(self, capsys):
+        assert main(["profile", "(?x, knows, ?y) OPT (?x, age, ?a)"]) == 0
+        out = capsys.readouterr().out
+        assert "tree nodes" in out
+
+    def test_unparseable(self, capsys):
+        assert main(["profile", "((("]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRun:
+    @pytest.fixture
+    def triples_file(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("# comment\na knows b\nb knows c\na age 30\n")
+        return str(path)
+
+    def test_run(self, capsys, triples_file):
+        code = main(
+            ["run", "SELECT ?x ?a WHERE { ?x knows ?y OPTIONAL { ?x age ?a } }",
+             triples_file]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 answer(s)" in out
+        assert "'30'" in out
+
+    def test_bad_triples_line(self, capsys, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only two\n")
+        assert main(["run", "{ ?x knows ?y }", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        with pytest.raises(FileNotFoundError):
+            main(["run", "{ ?x knows ?y }", "/nonexistent/file.tsv"])
+
+
+class TestDemo:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Our_love" in out and "Theorem 7" in out

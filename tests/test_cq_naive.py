@@ -1,0 +1,104 @@
+"""Unit tests for the backtracking CQ engine."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.cq import cq
+from repro.core.database import Database
+from repro.core.mappings import Mapping
+from repro.cqalgs.naive import (
+    count_homomorphisms,
+    evaluate_naive,
+    homomorphisms,
+    is_answer,
+    satisfiable,
+)
+
+
+@pytest.fixture
+def db():
+    return Database([atom("E", 1, 2), atom("E", 2, 3), atom("E", 3, 1), atom("E", 2, 2)])
+
+
+class TestEvaluate:
+    def test_single_atom(self, db):
+        q = cq(["?x", "?y"], [atom("E", "?x", "?y")])
+        assert len(evaluate_naive(q, db)) == 4
+
+    def test_projection(self, db):
+        q = cq(["?x"], [atom("E", "?x", "?y")])
+        assert evaluate_naive(q, db) == {
+            Mapping({"?x": 1}),
+            Mapping({"?x": 2}),
+            Mapping({"?x": 3}),
+        }
+
+    def test_join(self, db):
+        q = cq(["?x", "?z"], [atom("E", "?x", "?y"), atom("E", "?y", "?z")])
+        answers = evaluate_naive(q, db)
+        assert Mapping({"?x": 1, "?z": 3}) in answers
+        assert Mapping({"?x": 1, "?z": 2}) in answers  # through the loop at 2
+
+    def test_boolean(self, db):
+        q = cq([], [atom("E", "?x", "?x")])
+        assert evaluate_naive(q, db) == {Mapping({})}
+
+    def test_boolean_false(self, db):
+        q = cq([], [atom("E", 1, 1)])
+        assert evaluate_naive(q, db) == frozenset()
+
+    def test_constants_in_atoms(self, db):
+        q = cq(["?y"], [atom("E", 2, "?y")])
+        assert evaluate_naive(q, db) == {Mapping({"?y": 3}), Mapping({"?y": 2})}
+
+    def test_repeated_variable(self, db):
+        q = cq(["?x"], [atom("E", "?x", "?x")])
+        assert evaluate_naive(q, db) == {Mapping({"?x": 2})}
+
+
+class TestHomomorphisms:
+    def test_total_on_variables(self, db):
+        homs = list(homomorphisms([atom("E", "?x", "?y")], db))
+        assert all(len(h) == 2 for h in homs)
+        assert len(homs) == 4
+
+    def test_no_duplicates(self, db):
+        homs = list(homomorphisms([atom("E", "?x", "?y"), atom("E", "?x", "?y")], db))
+        assert len(homs) == len(set(homs))
+
+    def test_pre_assignment(self, db):
+        pre = Mapping({"?x": 2})
+        homs = set(homomorphisms([atom("E", "?x", "?y")], db, pre))
+        assert homs == {Mapping({"?x": 2, "?y": 3}), Mapping({"?x": 2, "?y": 2})}
+
+    def test_pre_assignment_with_foreign_variable(self, db):
+        pre = Mapping({"?q": 7})
+        homs = list(homomorphisms([atom("E", "?x", "?x")], db, pre))
+        assert homs == [Mapping({"?q": 7, "?x": 2})]
+
+    def test_limit(self, db):
+        homs = list(homomorphisms([atom("E", "?x", "?y")], db, limit=2))
+        assert len(homs) == 2
+
+    def test_count(self, db):
+        assert count_homomorphisms([atom("E", "?x", "?y")], db) == 4
+
+    def test_cartesian_product(self, db):
+        homs = list(homomorphisms([atom("E", "?a", "?b"), atom("E", "?c", "?d")], db))
+        assert len(homs) == 16
+
+
+class TestDecision:
+    def test_satisfiable(self, db):
+        assert satisfiable([atom("E", "?x", "?x")], db)
+        assert not satisfiable([atom("E", 1, 1)], db)
+
+    def test_satisfiable_with_pre(self, db):
+        assert satisfiable([atom("E", "?x", "?y")], db, Mapping({"?x": 1}))
+        assert not satisfiable([atom("E", "?x", "?y")], db, Mapping({"?x": 99}))
+
+    def test_is_answer_exact_domain(self, db):
+        q = cq(["?x"], [atom("E", "?x", "?y")])
+        assert is_answer(q, db, Mapping({"?x": 1}))
+        assert not is_answer(q, db, Mapping({"?x": 1, "?y": 2}))  # wrong domain
+        assert not is_answer(q, db, Mapping({"?x": 99}))

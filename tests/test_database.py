@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.database."""
+
+import pytest
+
+from repro.core.atoms import Schema, atom
+from repro.core.database import Database
+from repro.core.terms import Constant
+from repro.exceptions import NotGroundError, SchemaError
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [atom("E", 1, 2), atom("E", 2, 3), atom("E", 2, 2), atom("U", 1)]
+    )
+
+
+class TestBasics:
+    def test_len_and_contains(self, db):
+        assert len(db) == 4
+        assert atom("E", 1, 2) in db
+        assert atom("E", 9, 9) not in db
+
+    def test_duplicate_insert(self, db):
+        assert not db.add(atom("E", 1, 2))
+        assert len(db) == 4
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(NotGroundError):
+            Database([atom("E", "?x", 1)])
+
+    def test_explicit_schema_enforced(self):
+        db = Database(schema=Schema({"E": 2}))
+        db.add(atom("E", 1, 2))
+        with pytest.raises(SchemaError):
+            db.add(atom("E", 1, 2, 3))
+        with pytest.raises(SchemaError):
+            db.add(atom("F", 1))
+
+    def test_inferred_schema(self, db):
+        assert db.schema.arity("E") == 2
+        assert db.schema.arity("U") == 1
+
+    def test_active_domain(self, db):
+        assert db.active_domain() == {Constant(1), Constant(2), Constant(3)}
+
+    def test_relations_and_facts(self, db):
+        assert db.relations() == {"E", "U"}
+        assert len(db.facts("E")) == 3
+        assert len(db.facts()) == 4
+
+    def test_update_counts_new(self, db):
+        assert db.update([atom("E", 1, 2), atom("E", 9, 9)]) == 1
+
+    def test_copy_is_independent(self, db):
+        clone = db.copy()
+        clone.add(atom("E", 7, 7))
+        assert len(db) == 4 and len(clone) == 5
+
+    def test_equality(self, db):
+        assert db == db.copy()
+        assert db != Database()
+
+    def test_unhashable(self, db):
+        with pytest.raises(TypeError):
+            hash(db)
+
+
+class TestMatch:
+    def test_all_variables(self, db):
+        assert len(list(db.match(atom("E", "?x", "?y")))) == 3
+
+    def test_constant_position(self, db):
+        assert sorted(db.match(atom("E", 2, "?y"))) == [atom("E", 2, 2), atom("E", 2, 3)]
+
+    def test_both_constants(self, db):
+        assert list(db.match(atom("E", 1, 2))) == [atom("E", 1, 2)]
+        assert list(db.match(atom("E", 1, 3))) == []
+
+    def test_repeated_variable(self, db):
+        assert list(db.match(atom("E", "?x", "?x"))) == [atom("E", 2, 2)]
+
+    def test_unknown_relation(self, db):
+        assert list(db.match(atom("Z", "?x"))) == []
+
+    def test_unknown_constant(self, db):
+        assert list(db.match(atom("E", 99, "?y"))) == []
+
+    def test_match_count(self, db):
+        assert db.match_count(atom("E", "?x", "?y")) == 3
+
+    def test_arity_mismatch_matches_nothing(self, db):
+        assert list(db.match(atom("E", "?x", "?y", "?z"))) == []

@@ -1,0 +1,28 @@
+"""Run every doctest in the library — documentation that executes."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield "repro"
+    for pkg in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield pkg.name
+
+
+MODULES = sorted(set(_iter_modules()))
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, "%d doctest failure(s) in %s" % (
+        results.failed,
+        module_name,
+    )

@@ -1,0 +1,68 @@
+"""Unit tests for streaming answer enumeration."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.cq import cq
+from repro.core.database import Database
+from repro.cqalgs.enumeration import enumerate_answers
+from repro.cqalgs.naive import evaluate_naive
+from repro.workloads.generators import path_cq, random_graph_database
+
+
+@pytest.fixture
+def db():
+    return random_graph_database(7, 20, seed=3)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("length", [1, 2, 4])
+    def test_acyclic_stream_matches_set_semantics(self, db, length):
+        q = path_cq(length)
+        assert frozenset(enumerate_answers(q, db)) == evaluate_naive(q, db)
+
+    def test_cyclic_fallback_matches(self, db):
+        tri = cq(["?x"], [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")])
+        assert frozenset(enumerate_answers(tri, db)) == evaluate_naive(tri, db)
+
+    def test_no_duplicates(self, db):
+        q = path_cq(3)
+        answers = list(enumerate_answers(q, db))
+        assert len(answers) == len(set(answers))
+
+    def test_boolean_query(self, db):
+        q = path_cq(2, frees=[])
+        stream = list(enumerate_answers(q, db))
+        assert len(stream) == len(evaluate_naive(q, db))
+
+
+class TestStreaming:
+    def test_limit_short_circuits(self, db):
+        q = path_cq(2)
+        full = list(enumerate_answers(q, db))
+        if len(full) >= 3:
+            assert len(list(enumerate_answers(q, db, limit=3))) == 3
+
+    def test_lazy_first_answer(self):
+        """A big cartesian product must not be materialized to get one
+        answer."""
+        db = Database(
+            [atom("A", i) for i in range(50)] + [atom("B", i) for i in range(50)]
+        )
+        q = cq(["?x", "?y"], [atom("A", "?x"), atom("B", "?y")])
+        first = next(iter(enumerate_answers(q, db)))
+        assert len(first) == 2
+
+    def test_empty_result(self):
+        db = Database([atom("A", 1)])
+        q = cq(["?x"], [atom("A", "?x"), atom("Z", "?x")])
+        assert list(enumerate_answers(q, db)) == []
+
+    def test_semijoin_reduction_prunes_dead_branches(self):
+        db = Database(
+            [atom("R", 1, 2), atom("S", 2, 3), atom("T", 3, 4)]
+            + [atom("S", 2, 90 + i) for i in range(30)]  # dangling
+        )
+        q = cq(["?a", "?d"], [atom("R", "?a", "?b"), atom("S", "?b", "?c"), atom("T", "?c", "?d")])
+        answers = list(enumerate_answers(q, db))
+        assert len(answers) == 1

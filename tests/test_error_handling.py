@@ -1,0 +1,153 @@
+"""Failure-injection tests: every malformed input raises the right error
+from the :mod:`repro.exceptions` hierarchy, and never a bare ``KeyError``
+or silent wrong answer.
+"""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.cq import cq
+from repro.core.database import Database
+from repro.core.mappings import Mapping
+from repro.exceptions import (
+    BudgetExceededError,
+    ClassMembershipError,
+    ConstantsNotSupportedError,
+    NotGroundError,
+    NotWellDesignedError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            BudgetExceededError,
+            ClassMembershipError,
+            ConstantsNotSupportedError,
+            NotGroundError,
+            NotWellDesignedError,
+            ParseError,
+            SchemaError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestCoreFailures:
+    def test_database_rejects_variables(self):
+        with pytest.raises(NotGroundError):
+            Database([atom("E", "?x", 1)])
+
+    def test_cq_rejects_unknown_free(self):
+        with pytest.raises(SchemaError):
+            cq(["?nope"], [atom("E", "?x", "?y")])
+
+    def test_mapping_type_errors(self):
+        with pytest.raises(TypeError):
+            Mapping({"plainstring": 1})
+
+
+class TestWdptFailures:
+    def test_disconnected_variable(self):
+        from repro.wdpt.wdpt import wdpt_from_nested
+
+        with pytest.raises(NotWellDesignedError):
+            wdpt_from_nested(
+                ([atom("A", "?x")], [([atom("B", "?q")], []), ([atom("C", "?q")], [])]),
+                free_variables=["?x"],
+            )
+
+    def test_decision_procedures_return_false_not_raise(self):
+        """Queries about foreign variables are answers, not crashes."""
+        from repro.wdpt.eval_tractable import eval_tractable
+        from repro.wdpt.max_eval import max_eval
+        from repro.wdpt.partial_eval import partial_eval
+        from repro.wdpt.wdpt import wdpt_from_nested
+
+        p = wdpt_from_nested(([atom("A", "?x")], []), free_variables=["?x"])
+        db = Database([atom("A", 1)])
+        foreign = Mapping({"?zz": 1})
+        assert eval_tractable(p, db, foreign) is False
+        assert partial_eval(p, db, foreign) is False
+        assert max_eval(p, db, foreign) is False
+
+
+class TestApproximationFailures:
+    def test_constants_blocked_everywhere(self):
+        from repro.cqalgs.approximation import tw_approximations
+        from repro.wdpt.approximation import wb_approximations
+        from repro.wdpt.wdpt import WDPT, wdpt_from_nested
+
+        q = cq([], [atom("E", "?x", "const")])
+        with pytest.raises(ConstantsNotSupportedError):
+            tw_approximations(q, 1)
+        p = wdpt_from_nested(
+            ([atom("E", "?x", "const")], [([atom("F", "?x", "?w")], [])]),
+            free_variables=["?x"],
+        )
+        with pytest.raises(ConstantsNotSupportedError):
+            wb_approximations(p, 1)
+
+    def test_quotient_budget(self):
+        from repro.cqalgs.quotients import enumerate_quotients
+
+        wide = cq([], [atom("R", *["?v%d" % i for i in range(13)])])
+        with pytest.raises(BudgetExceededError):
+            list(enumerate_quotients(wide))
+
+
+class TestEngineFailures:
+    def test_yannakakis_needs_acyclic(self):
+        from repro.cqalgs.yannakakis import evaluate_acyclic
+
+        tri = cq([], [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")])
+        with pytest.raises(ClassMembershipError):
+            evaluate_acyclic(tri, Database([atom("E", 1, 1)]))
+
+    def test_width_bound_violation(self):
+        from repro.cqalgs.structured import evaluate_bounded_treewidth
+
+        tri = cq([], [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")])
+        with pytest.raises(ClassMembershipError):
+            evaluate_bounded_treewidth(tri, Database([atom("E", 1, 1)]), k=1)
+
+    def test_treewidth_budget(self):
+        import itertools
+
+        from repro.hypergraphs.hypergraph import Hypergraph
+        from repro.hypergraphs.treewidth import treewidth_exact
+
+        K30 = Hypergraph([{i, j} for i, j in itertools.combinations(range(30), 2)])
+        with pytest.raises(BudgetExceededError):
+            treewidth_exact(K30)
+
+
+class TestParserFailures:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "(?x, p, ?y",
+            "(?x, p)",
+            "(?x AND ?y)",
+            "SELECT WHERE (?x, p, ?y) garbage",
+        ],
+    )
+    def test_parse_errors(self, text):
+        from repro.rdf.parser import parse_query
+
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_non_well_designed_pattern_rejected(self):
+        from repro.rdf.parser import parse_query
+
+        with pytest.raises(NotWellDesignedError):
+            parse_query("((?x, a, ?y) OPT (?y, b, ?z)) AND (?z, c, ?w)")

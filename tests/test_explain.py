@@ -1,0 +1,58 @@
+"""Unit tests for the EXPLAIN profiler."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.wdpt.explain import explain
+from repro.wdpt.wdpt import wdpt_from_nested
+from repro.workloads.families import figure1_wdpt, prop2_family
+
+
+class TestFigure1Profile:
+    def test_profile_values(self):
+        profile = explain(figure1_wdpt())
+        assert profile.tree_size == 3
+        assert profile.n_variables == 4
+        assert profile.projection_free
+        assert profile.local_treewidth == 1
+        assert profile.interface_width == 2
+        assert profile.global_treewidth == 1
+
+    def test_routes(self):
+        profile = explain(figure1_wdpt())
+        assert "Theorem 7" in profile.eval_route()
+        assert "Theorem 8" in profile.partial_eval_route()
+
+    def test_table_renders(self):
+        text = explain(figure1_wdpt()).as_table()
+        assert "WDPT profile" in text
+        assert "EVAL route" in text
+
+
+class TestRouting:
+    def test_wide_interface_tree_loses_theorem7(self):
+        profile = explain(prop2_family(8))
+        assert profile.interface_width == 8
+        # ℓ-TW(1) but interface 8 ≫ 1: Theorem 7 routing refused...
+        route = profile.eval_route()
+        assert "Theorem 7" not in route or "BI(8)" in route
+
+    def test_projection_free_fallback(self):
+        p = prop2_family(8)
+        full = p.with_free_variables(sorted(p.variables()))
+        profile = explain(full)
+        assert profile.projection_free
+
+    def test_cyclic_tree_global_width(self):
+        p = wdpt_from_nested(
+            (
+                [atom("E", "?a", "?b"), atom("E", "?b", "?c"), atom("E", "?c", "?a")],
+                [([atom("F", "?a", "?w")], [])],
+            ),
+            free_variables=["?a", "?w"],
+        )
+        profile = explain(p)
+        assert profile.global_treewidth == 2
+        assert profile.node_treewidths[0] == 2
+        assert profile.node_hypertreewidths[0] == 2
+        assert profile.global_hypertreewidth == 2

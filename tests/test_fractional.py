@@ -1,0 +1,77 @@
+"""Unit tests for fractional edge covers and fractional hypertree width."""
+
+import itertools
+
+import pytest
+
+from repro.hypergraphs.fractional import (
+    fractional_cover_number,
+    fractional_hypertreewidth,
+    fractional_hypertreewidth_upper_bound,
+)
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.hypertree import hypertreewidth_exact
+
+
+def triangle():
+    return Hypergraph([{1, 2}, {2, 3}, {1, 3}])
+
+
+def clique(n):
+    return Hypergraph([{i, j} for i, j in itertools.combinations(range(n), 2)])
+
+
+class TestFractionalCover:
+    def test_triangle_is_three_halves(self):
+        assert fractional_cover_number(triangle(), frozenset({1, 2, 3})) == pytest.approx(1.5)
+
+    def test_single_edge(self):
+        H = Hypergraph([{1, 2, 3}])
+        assert fractional_cover_number(H, frozenset({1, 2, 3})) == pytest.approx(1.0)
+
+    def test_empty_bag(self):
+        assert fractional_cover_number(triangle(), frozenset()) == 0.0
+
+    def test_uncoverable(self):
+        H = Hypergraph([{1}], vertices=[2])
+        assert fractional_cover_number(H, frozenset({2})) == float("inf")
+
+    def test_at_most_integral_cover(self):
+        from repro.hypergraphs.hypertree import edge_cover_number
+
+        for H in (triangle(), clique(5)):
+            bag = frozenset(H.vertices)
+            integral = edge_cover_number(H, bag, len(H.edges))
+            assert integral is not None
+            assert fractional_cover_number(H, bag) <= integral + 1e-9
+
+    def test_k5_is_five_halves(self):
+        # K_n with pair edges: ρ*(all vertices) = n/2.
+        assert fractional_cover_number(clique(5), frozenset(range(5))) == pytest.approx(2.5)
+
+
+class TestFhw:
+    def test_acyclic_is_one(self):
+        H = Hypergraph([{1, 2}, {2, 3}])
+        assert fractional_hypertreewidth(H) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        assert fractional_hypertreewidth(triangle()) == pytest.approx(1.5)
+
+    def test_at_most_ghw(self):
+        for H in (triangle(), clique(4), clique(5)):
+            assert fractional_hypertreewidth(H) <= hypertreewidth_exact(H) + 1e-9
+
+    def test_upper_bound_is_upper(self):
+        for H in (triangle(), clique(4)):
+            assert (
+                fractional_hypertreewidth(H)
+                <= fractional_hypertreewidth_upper_bound(H) + 1e-9
+            )
+
+    def test_empty(self):
+        assert fractional_hypertreewidth(Hypergraph([])) == 0.0
+
+    def test_disconnected(self):
+        H = Hypergraph([{1, 2}, {2, 3}, {1, 3}, {10, 11}])
+        assert fractional_hypertreewidth(H) == pytest.approx(1.5)

@@ -1,0 +1,106 @@
+"""Unit tests for generalized hypertree decompositions and ghw."""
+
+import itertools
+
+import pytest
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.hypertree import (
+    edge_cover_number,
+    greedy_edge_cover,
+    hypertree_decomposition,
+    hypertreewidth_at_most,
+    hypertreewidth_exact,
+    minimum_edge_cover,
+)
+
+
+def clique(n):
+    return Hypergraph([{i, j} for i, j in itertools.combinations(range(n), 2)])
+
+
+def theta(n):
+    """Example 5's hypergraph: clique plus one covering hyperedge."""
+    edges = [{i, j} for i, j in itertools.combinations(range(n), 2)]
+    edges.append(set(range(n)))
+    return Hypergraph(edges)
+
+
+class TestEdgeCovers:
+    def test_exact_cover_number(self):
+        H = Hypergraph([{1, 2}, {3, 4}, {1, 2, 3}])
+        assert edge_cover_number(H, frozenset({1, 2, 3, 4}), 5) == 2
+
+    def test_limit_respected(self):
+        H = Hypergraph([{1}, {2}, {3}])
+        assert edge_cover_number(H, frozenset({1, 2, 3}), 2) is None
+        assert edge_cover_number(H, frozenset({1, 2, 3}), 3) == 3
+
+    def test_uncoverable(self):
+        H = Hypergraph([{1}], vertices=[2])
+        assert edge_cover_number(H, frozenset({2}), 5) is None
+
+    def test_empty_bag(self):
+        assert edge_cover_number(Hypergraph([{1}]), frozenset(), 0) == 0
+
+    def test_greedy_cover_covers(self):
+        H = theta(5)
+        cover = greedy_edge_cover(H, frozenset(range(5)))
+        assert cover is not None
+        covered = set()
+        for e in cover:
+            covered |= e
+        assert covered >= set(range(5))
+
+    def test_minimum_edge_cover_witness(self):
+        H = theta(4)
+        cover = minimum_edge_cover(H, frozenset(range(4)), 4)
+        assert cover is not None and len(cover) == 1
+
+
+class TestGhw:
+    def test_acyclic_is_one(self):
+        assert hypertreewidth_exact(Hypergraph([{1, 2}, {2, 3}])) == 1
+        assert hypertreewidth_exact(theta(5)) == 1
+
+    def test_triangle_is_two(self):
+        assert hypertreewidth_exact(Hypergraph([{1, 2}, {2, 3}, {1, 3}])) == 2
+
+    def test_clique_6(self):
+        assert hypertreewidth_exact(clique(6)) == 3
+
+    def test_decision_fast_paths(self):
+        assert hypertreewidth_at_most(Hypergraph([]), 0)
+        assert hypertreewidth_at_most(theta(6), 1)
+        assert not hypertreewidth_at_most(clique(4), 1)
+        # k ≥ number of edges always succeeds
+        assert hypertreewidth_at_most(clique(4), 6)
+
+    def test_vertex_without_edge(self):
+        H = Hypergraph([{1}], vertices=[2])
+        assert not hypertreewidth_at_most(H, 3)
+
+    def test_disconnected(self):
+        H = Hypergraph([{1, 2}, {2, 3}, {1, 3}, {10, 11}])
+        assert hypertreewidth_exact(H) == 2
+
+
+class TestDecompositionWitness:
+    @pytest.mark.parametrize("H", [theta(4), clique(5), Hypergraph([{1, 2}, {2, 3}, {1, 3}])],
+                             ids=["theta4", "K5", "triangle"])
+    def test_witness_valid_and_tight(self, H):
+        width = hypertreewidth_exact(H)
+        htd = hypertree_decomposition(H)
+        assert htd.covers is not None
+        assert htd.is_valid_for(H)
+        assert htd.hypertree_width() == width
+
+    def test_explicit_width(self):
+        H = clique(4)
+        htd = hypertree_decomposition(H, k=3)
+        assert htd.is_valid_for(H)
+        assert htd.hypertree_width() <= 3
+
+    def test_edgeless(self):
+        htd = hypertree_decomposition(Hypergraph([]))
+        assert len(htd) == 1

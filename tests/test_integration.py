@@ -1,0 +1,144 @@
+"""End-to-end integration tests across packages."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.mappings import Mapping
+from repro.rdf.parser import parse_query
+from repro.wdpt.classes import WB_TW, is_in_wb
+from repro.wdpt.evaluation import evaluate, evaluate_max
+from repro.wdpt.eval_tractable import eval_tractable
+from repro.wdpt.max_eval import max_eval
+from repro.wdpt.partial_eval import partial_eval
+from repro.wdpt.subsumption import is_subsumed_by
+from repro.wdpt.unions import UWDPT, evaluate_union, uwb_approximation, union_subsumed_by
+from repro.wdpt.wdpt import wdpt_from_nested
+from repro.workloads.datasets import company_directory, music_catalog
+
+
+class TestMusicCatalogPipeline:
+    """Parse SPARQL → translate → evaluate over a generated triple store."""
+
+    @pytest.fixture
+    def db(self):
+        return music_catalog(n_bands=6, records_per_band=2, rating_fraction=0.5,
+                             seed=11).to_database()
+
+    @pytest.fixture
+    def query(self):
+        return parse_query(
+            "SELECT ?record ?band ?rating WHERE "
+            "((?record, recorded_by, ?band) OPT (?record, NME_rating, ?rating))"
+        )
+
+    def test_every_record_answered(self, db, query):
+        answers = evaluate(query, db)
+        assert len(answers) == 12  # 6 bands × 2 records, never dropped
+
+    def test_optional_filled_when_available(self, db, query):
+        answers = evaluate(query, db)
+        rated = [a for a in answers if "?rating" in a]
+        unrated = [a for a in answers if "?rating" not in a]
+        assert rated and unrated  # fractions make both appear
+
+    def test_decision_procedures_consistent(self, db, query):
+        answers = evaluate(query, db)
+        some = sorted(answers, key=repr)[0]
+        assert eval_tractable(query, db, some)
+        assert partial_eval(query, db, some.restrict(["?band"]))
+
+    def test_sparsity_never_loses_mandatory_answers(self):
+        q = parse_query(
+            "SELECT ?r ?b ?v WHERE ((?r, recorded_by, ?b) OPT (?r, NME_rating, ?v))"
+        )
+        for fraction in (0.0, 0.3, 1.0):
+            db = music_catalog(n_bands=4, records_per_band=2,
+                               rating_fraction=fraction, seed=3).to_database()
+            assert len(evaluate(q, db)) == 8
+
+
+class TestCompanyDirectoryPipeline:
+    """Relational (non-RDF) WDPTs over the company dataset."""
+
+    @pytest.fixture
+    def db(self):
+        return company_directory(n_departments=3, employees_per_department=4, seed=5)
+
+    @pytest.fixture
+    def query(self):
+        return wdpt_from_nested(
+            (
+                [atom("works_in", "?e", "?d")],
+                [
+                    ([atom("phone", "?e", "?p")], []),
+                    ([atom("office", "?e", "?o")], []),
+                    ([atom("reports_to", "?e", "?m")],
+                     [([atom("phone", "?m", "?mp")], [])]),
+                ],
+            ),
+            free_variables=["?e", "?d", "?p", "?o", "?m", "?mp"],
+        )
+
+    def test_all_employees_present(self, db, query):
+        answers = evaluate(query, db)
+        employees = {a["?e"] for a in answers}
+        assert len(employees) == 12
+
+    def test_classes_and_tractable_eval(self, db, query):
+        from repro.wdpt.classes import interface_width, is_locally_in_tw
+
+        assert is_locally_in_tw(query, 1)
+        assert interface_width(query) == 1
+        for h in sorted(evaluate(query, db), key=repr)[:5]:
+            assert eval_tractable(query, db, h)
+
+    def test_max_eval_consistency(self, db, query):
+        maximal = evaluate_max(query, db)
+        for h in sorted(maximal, key=repr)[:5]:
+            assert max_eval(query, db, h)
+
+
+class TestOptimizeThenEvaluate:
+    """Corollary 2's pipeline: replace a tree by its WB(k) equivalent and
+    answer partial queries on the substitute."""
+
+    def test_pipeline(self):
+        from repro.wdpt.approximation import find_wb_equivalent
+
+        # Cyclic junk in a free-variable-less branch: prunable.
+        p = wdpt_from_nested(
+            (
+                [atom("works_in", "?e", "?d")],
+                [([atom("E", "?u", "?v"), atom("E", "?v", "?w"),
+                   atom("E", "?w", "?u"), atom("E", "?e", "?u")], [])],
+            ),
+            free_variables=["?e", "?d"],
+        )
+        assert not is_in_wb(p, 1, WB_TW)
+        witness = find_wb_equivalent(p, 1, WB_TW)
+        assert witness is not None and is_in_wb(witness, 1, WB_TW)
+        db = company_directory(n_departments=2, employees_per_department=2, seed=1)
+        for emp in ("emp_0_0", "emp_1_1"):
+            h = Mapping({"?e": emp})
+            assert partial_eval(p, db, h) == partial_eval(witness, db, h)
+
+
+class TestUnionPipeline:
+    def test_union_of_frontends(self):
+        q1 = parse_query("SELECT ?b WHERE (?r, recorded_by, ?b)")
+        q2 = parse_query("SELECT ?b ?y WHERE ((?b, formed_in, ?y))")
+        phi = UWDPT([q1, q2])
+        db = music_catalog(n_bands=3, seed=2).to_database()
+        answers = evaluate_union(phi, db)
+        assert answers == evaluate(q1, db) | evaluate(q2, db)
+
+    def test_union_approximation_sound_end_to_end(self):
+        from repro.core.cq import cq
+        from repro.wdpt.wdpt import WDPT
+
+        tri = WDPT.from_cq(
+            cq([], [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")])
+        )
+        phi = UWDPT([tri])
+        app = uwb_approximation(phi, 1, WB_TW)
+        assert union_subsumed_by(app, phi)

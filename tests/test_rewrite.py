@@ -1,0 +1,148 @@
+"""Unit tests for the ≡ₛ-preserving rewriter."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.wdpt.rewrite import (
+    merge_duplicate_branches,
+    optimize,
+    remove_redundant_atoms,
+)
+from repro.wdpt.subsumption import is_subsumption_equivalent
+from repro.wdpt.wdpt import wdpt_from_nested
+from repro.workloads.generators import random_wdpt
+
+
+class TestRedundantAtoms:
+    def test_folds_unpinned_duplicate(self):
+        p = wdpt_from_nested(
+            ([atom("E", "?x", "?y"), atom("E", "?x", "?u")], []),
+            free_variables=["?x", "?y"],
+        )
+        reduced = remove_redundant_atoms(p)
+        assert reduced.atom_count() == 1
+        assert is_subsumption_equivalent(p, reduced)
+
+    def test_keeps_pinned_variables(self):
+        # ?u is shared with the child: must not be folded away.
+        p = wdpt_from_nested(
+            (
+                [atom("E", "?x", "?y"), atom("E", "?x", "?u")],
+                [([atom("F", "?u", "?w")], [])],
+            ),
+            free_variables=["?x", "?y", "?w"],
+        )
+        reduced = remove_redundant_atoms(p)
+        assert reduced.atom_count() == p.atom_count()
+
+    def test_keeps_free_variables(self):
+        p = wdpt_from_nested(
+            ([atom("E", "?x", "?y"), atom("E", "?x", "?u")], []),
+            free_variables=["?x", "?y", "?u"],
+        )
+        assert remove_redundant_atoms(p).atom_count() == 2
+
+    def test_constants_matter(self):
+        p = wdpt_from_nested(
+            ([atom("E", "?x", "c"), atom("E", "?x", "?u")], []),
+            free_variables=["?x"],
+        )
+        reduced = remove_redundant_atoms(p)
+        # E(x, u) folds onto E(x, c) — but not vice versa.
+        assert reduced.atom_count() == 1
+        assert atom("E", "?x", "c") in reduced.labels[0]
+
+
+class TestDuplicateBranches:
+    def test_isomorphic_existential_siblings_merged(self):
+        # Same branch twice, differing only in the local existential name.
+        p = wdpt_from_nested(
+            (
+                [atom("A", "?x")],
+                [([atom("B", "?x", "?y1")], []), ([atom("B", "?x", "?y2")], [])],
+            ),
+            free_variables=["?x"],
+        )
+        merged = merge_duplicate_branches(p)
+        assert len(merged.tree) == 2
+        assert is_subsumption_equivalent(p, merged)
+
+    def test_free_variable_copies_kept(self):
+        # The copies introduce *free* variables: distinct answers, keep both.
+        p = wdpt_from_nested(
+            (
+                [atom("A", "?x")],
+                [([atom("B", "?x", "?y1")], []), ([atom("B", "?x", "?y2")], [])],
+            ),
+            free_variables=["?x", "?y1", "?y2"],
+        )
+        assert merge_duplicate_branches(p) == p
+
+    def test_distinct_siblings_kept(self):
+        p = wdpt_from_nested(
+            (
+                [atom("A", "?x")],
+                [([atom("B", "?x", "?y")], []), ([atom("C", "?x", "?z")], [])],
+            ),
+            free_variables=["?x", "?y", "?z"],
+        )
+        assert merge_duplicate_branches(p) == p
+
+    def test_nested_duplicates(self):
+        dup1 = ([atom("B", "?x", "?u1")], [([atom("C", "?u1", "?w1")], [])])
+        dup2 = ([atom("B", "?x", "?u2")], [([atom("C", "?u2", "?w2")], [])])
+        p = wdpt_from_nested(
+            ([atom("A", "?x")], [dup1, dup2]),
+            free_variables=["?x"],
+        )
+        merged = merge_duplicate_branches(p)
+        assert len(merged.tree) == 3
+        assert is_subsumption_equivalent(p, merged)
+
+    def test_semantic_agreement_after_merge(self):
+        from repro.core.database import Database
+        from repro.wdpt.evaluation import evaluate
+
+        p = wdpt_from_nested(
+            (
+                [atom("A", "?x")],
+                [([atom("B", "?x", "?y1")], []), ([atom("B", "?x", "?y2")], [])],
+            ),
+            free_variables=["?x"],
+        )
+        merged = merge_duplicate_branches(p)
+        db = Database([atom("A", 1), atom("A", 2), atom("B", 2, 9)])
+        assert evaluate(p, db) == evaluate(merged, db)
+
+
+class TestOptimize:
+    def test_composition(self):
+        p = wdpt_from_nested(
+            (
+                [atom("A", "?x"), atom("A", "?x2")],  # A(x2) folds away
+                [
+                    ([atom("B", "?x", "?y")], []),      # free branch, kept
+                    ([atom("B", "?x", "?u1")], []),     # existential dup #1
+                    ([atom("B", "?x", "?u2")], []),     # existential dup #2
+                    ([atom("Z", "?x", "?q")], []),      # prunable (no frees)
+                ],
+            ),
+            free_variables=["?x", "?y"],
+        )
+        optimized = optimize(p)
+        # Pruning drops the three free-variable-less branches entirely
+        # (they never affect projections), redundancy folds A(x2).
+        assert len(optimized.tree) == 2
+        assert optimized.atom_count() == 2
+        assert is_subsumption_equivalent(p, optimized)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_trees_verified(self, seed):
+        p = random_wdpt(depth=2, fanout=2, atoms_per_node=2,
+                        fresh_vars_per_node=1, seed=seed)
+        optimized = optimize(p, verify=True)  # raises if unsound
+        assert optimized.size() <= p.size()
+
+    def test_verify_flag_off(self):
+        p = wdpt_from_nested(([atom("A", "?x")], []), free_variables=["?x"])
+        assert optimize(p, verify=False) == p

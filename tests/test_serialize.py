@@ -1,0 +1,99 @@
+"""Unit tests for JSON serialization round-trips."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.cq import cq
+from repro.core.database import Database
+from repro.core.mappings import Mapping
+from repro.serialize import (
+    SerializationError,
+    atom_from_json,
+    atom_to_json,
+    dumps,
+    loads,
+    term_from_json,
+    term_to_json,
+)
+from repro.core.terms import Constant, Variable
+from repro.wdpt.unions import UWDPT
+from repro.wdpt.wdpt import WDPT
+from repro.workloads.families import figure1_wdpt
+
+
+class TestTerms:
+    def test_variable_roundtrip(self):
+        v = Variable("x")
+        assert term_from_json(term_to_json(v)) == v
+
+    def test_constant_roundtrip(self):
+        for value in ("abc", 7, 3.5, True, None, "?looks_like_var"):
+            c = Constant(value)
+            assert term_from_json(term_to_json(c)) == c
+
+    def test_ambiguous_string_constant_survives(self):
+        # A constant whose value *starts with ?* must not come back as a
+        # variable.
+        c = Constant("?x")
+        assert term_from_json(term_to_json(c)) == c
+
+    def test_unserializable_constant(self):
+        with pytest.raises(SerializationError):
+            term_to_json(Constant((1, 2)))
+
+    def test_bad_payloads(self):
+        for bad in (42, {"x": 1}, ["?x"]):
+            with pytest.raises(SerializationError):
+                term_from_json(bad)
+
+
+class TestAtoms:
+    def test_roundtrip(self):
+        a = atom("E", "?x", "abc", 3)
+        assert atom_from_json(atom_to_json(a)) == a
+
+    def test_bad(self):
+        with pytest.raises(SerializationError):
+            atom_from_json(["E"])  # no args
+
+
+class TestFrontDoor:
+    def test_cq_roundtrip(self):
+        q = cq(["?x"], [atom("E", "?x", "?y"), atom("F", "?y", 1)])
+        assert loads(dumps(q)) == q
+
+    def test_wdpt_roundtrip(self):
+        p = figure1_wdpt()
+        assert loads(dumps(p)) == p
+
+    def test_uwdpt_roundtrip(self):
+        phi = UWDPT([figure1_wdpt(), WDPT.from_cq(cq(["?a"], [atom("G", "?a")]))])
+        assert loads(dumps(phi)) == phi
+
+    def test_database_roundtrip(self):
+        db = Database([atom("E", 1, 2), atom("U", "hello")])
+        assert loads(dumps(db)) == db
+
+    def test_mapping_roundtrip(self):
+        m = Mapping({"?x": "Swim", "?y": 2})
+        assert loads(dumps(m)) == m
+
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            loads('{"kind": "martian"}')
+
+    def test_unsupported_object(self):
+        with pytest.raises(SerializationError):
+            dumps(object())
+
+    def test_output_is_deterministic(self):
+        p = figure1_wdpt()
+        assert dumps(p) == dumps(loads(dumps(p)))
+
+    def test_semantics_preserved(self):
+        from repro.wdpt.evaluation import evaluate
+        from repro.workloads.families import example2_graph
+
+        p = figure1_wdpt()
+        db = example2_graph().to_database()
+        assert evaluate(loads(dumps(p)), loads(dumps(db))) == evaluate(p, db)

@@ -1,0 +1,115 @@
+"""Unit tests for the surface SPARQL parser (SELECT … WHERE { … })."""
+
+import pytest
+
+from repro.core.mappings import Mapping
+from repro.core.terms import Variable
+from repro.exceptions import NotWellDesignedError, ParseError
+from repro.rdf.sparql import parse_sparql
+from repro.wdpt.evaluation import evaluate
+from repro.workloads.families import example2_graph
+
+
+@pytest.fixture
+def db():
+    return example2_graph().to_database()
+
+
+class TestParsing:
+    def test_single_triple(self):
+        p = parse_sparql("SELECT ?b WHERE { ?r recorded_by ?b }")
+        assert p.free_variables == (Variable("b"),)
+        assert len(p.tree) == 1
+
+    def test_bgp_with_dots(self):
+        p = parse_sparql(
+            'SELECT ?r WHERE { ?r recorded_by ?b . ?r published "after_2010" }'
+        )
+        assert len(p.labels[0]) == 2
+
+    def test_optional_groups(self):
+        p = parse_sparql(
+            "SELECT ?r ?v ?y WHERE { ?r recorded_by ?b "
+            "OPTIONAL { ?r NME_rating ?v } OPTIONAL { ?b formed_in ?y } }"
+        )
+        assert len(p.tree) == 3
+        assert p.tree.children(0) == (1, 2)
+
+    def test_nested_optionals(self):
+        p = parse_sparql(
+            "SELECT * WHERE { ?r recorded_by ?b "
+            "OPTIONAL { ?b formed_in ?y OPTIONAL { ?b disbanded ?z } } }"
+        )
+        assert len(p.tree) == 3
+        assert p.tree.parent(2) == 1
+        assert p.is_projection_free()
+
+    def test_select_star_and_omitted_select(self):
+        a = parse_sparql("SELECT * WHERE { ?r recorded_by ?b }")
+        b = parse_sparql("WHERE { ?r recorded_by ?b }")
+        c = parse_sparql("{ ?r recorded_by ?b }")
+        assert a == b == c
+        assert a.is_projection_free()
+
+    def test_quoted_literals(self):
+        p = parse_sparql('SELECT ?r WHERE { ?r published "after_2010" }')
+        constants = {c.value for c in p.constants()}
+        assert "after_2010" in constants
+
+    def test_keywords_case_insensitive(self):
+        p = parse_sparql("select ?b where { ?r recorded_by ?b optional { ?r rated ?v } }")
+        assert len(p.tree) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT ?x WHERE { }",
+            "SELECT ?x WHERE { ?a b }",
+            "SELECT ?x WHERE { ?a b ?c",
+            "SELECT x WHERE { ?a b ?c }",
+            "SELECT * ?x WHERE { ?a b ?x }",
+            "SELECT ?x WHERE { ?a b ?x } trailing",
+            "SELECT ?x WHERE { OPTIONAL { ?a b ?x } }",
+        ],
+    )
+    def test_parse_errors(self, text):
+        with pytest.raises(ParseError):
+            parse_sparql(text)
+
+    def test_non_well_designed_rejected(self):
+        # ?v appears in a sibling optional but not in the root BGP.
+        with pytest.raises(NotWellDesignedError):
+            parse_sparql(
+                "SELECT * WHERE { ?r recorded_by ?b "
+                "OPTIONAL { ?r rated ?v } OPTIONAL { ?b likes ?v } }"
+            )
+
+
+class TestEvaluation:
+    def test_figure1_via_surface_syntax(self, db):
+        p = parse_sparql(
+            "SELECT ?x ?y ?z ?z2 WHERE { "
+            '?x recorded_by ?y . ?x published "after_2010" '
+            "OPTIONAL { ?x NME_rating ?z } OPTIONAL { ?y formed_in ?z2 } }"
+        )
+        assert evaluate(p, db) == {
+            Mapping({"?x": "Our_love", "?y": "Caribou"}),
+            Mapping({"?x": "Swim", "?y": "Caribou", "?z": "2"}),
+        }
+
+    def test_agrees_with_algebraic_parser(self, db):
+        from repro.rdf.parser import parse_query
+
+        surface = parse_sparql(
+            "SELECT ?y ?z WHERE { "
+            '?x recorded_by ?y . ?x published "after_2010" '
+            "OPTIONAL { ?x NME_rating ?z } }"
+        )
+        algebraic = parse_query(
+            "SELECT ?y ?z WHERE "
+            '((?x, recorded_by, ?y) AND (?x, published, "after_2010"))'
+            " OPT (?x, NME_rating, ?z)"
+        )
+        assert evaluate(surface, db) == evaluate(algebraic, db)

@@ -1,0 +1,106 @@
+"""Unit tests for bounded-treewidth / bounded-hypertreewidth evaluation."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.cq import cq
+from repro.core.database import Database
+from repro.cqalgs.dispatch import evaluate, holds
+from repro.cqalgs.naive import evaluate_naive
+from repro.cqalgs.structured import (
+    evaluate_bounded_hypertreewidth,
+    evaluate_bounded_treewidth,
+)
+from repro.exceptions import ClassMembershipError
+from repro.workloads.generators import (
+    cycle_cq,
+    grid_cq,
+    path_cq,
+    random_graph_database,
+)
+
+
+@pytest.fixture
+def db():
+    return random_graph_database(7, 22, seed=7)
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        path_cq(3),
+        cycle_cq(4),
+        cycle_cq(5),
+        grid_cq(2, 3),
+        cq(["?x"], [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")]),
+    ],
+    ids=["path3", "cycle4", "cycle5", "grid2x3", "triangle-free-x"],
+)
+def test_td_engine_agrees_with_naive(db, query):
+    assert evaluate_bounded_treewidth(query, db) == evaluate_naive(query, db)
+
+
+@pytest.mark.parametrize(
+    "query",
+    [path_cq(3), cycle_cq(4), cq([], [atom("E", "?x", "?y"), atom("E", "?y", "?x")])],
+    ids=["path3", "cycle4", "two-cycle"],
+)
+def test_hw_engine_agrees_with_naive(db, query):
+    assert evaluate_bounded_hypertreewidth(query, db) == evaluate_naive(query, db)
+
+
+def test_width_bound_enforced(db):
+    tri = cycle_cq(3)
+    with pytest.raises(ClassMembershipError):
+        evaluate_bounded_treewidth(tri, db, k=1)
+    assert evaluate_bounded_treewidth(tri, db, k=2) == evaluate_naive(tri, db)
+
+
+def test_hw_bound_enforced(db):
+    tri = cycle_cq(3)
+    with pytest.raises(ClassMembershipError):
+        evaluate_bounded_hypertreewidth(tri, db, k=1)
+
+
+def test_ground_atom_filters():
+    db = Database([atom("E", 1, 2), atom("M", 5)])
+    q_ok = cq(["?x"], [atom("E", "?x", "?y"), atom("M", 5)])
+    q_fail = cq(["?x"], [atom("E", "?x", "?y"), atom("M", 6)])
+    assert evaluate_bounded_treewidth(q_ok, db) == evaluate_naive(q_ok, db)
+    assert evaluate_bounded_treewidth(q_fail, db) == frozenset()
+
+
+def test_constants_inside_atoms(db):
+    q = cq(["?y"], [atom("E", 0, "?y"), atom("E", "?y", "?z"), atom("E", "?z", 0)])
+    assert evaluate_bounded_treewidth(q, db) == evaluate_naive(q, db)
+
+
+def test_repeated_variables(db):
+    q = cq(["?x"], [atom("E", "?x", "?x"), atom("E", "?x", "?y")])
+    assert evaluate_bounded_treewidth(q, db) == evaluate_naive(q, db)
+
+
+class TestDispatch:
+    def test_auto_acyclic(self, db):
+        q = path_cq(3)
+        assert evaluate(q, db) == evaluate_naive(q, db)
+
+    def test_auto_cyclic_small_width(self, db):
+        q = cycle_cq(4)
+        assert evaluate(q, db) == evaluate_naive(q, db)
+
+    def test_explicit_methods_agree(self, db):
+        q = cycle_cq(4)
+        results = {
+            evaluate(q, db, method=m)
+            for m in ("naive", "treewidth", "hypertreewidth")
+        }
+        assert len(results) == 1
+
+    def test_unknown_method(self, db):
+        with pytest.raises(ValueError):
+            evaluate(path_cq(2), db, method="quantum")
+
+    def test_holds(self, db):
+        assert holds(cq([], [atom("E", "?x", "?y")]), db)
+        assert not holds(cq([], [atom("Z", "?x")]), db)

@@ -1,0 +1,42 @@
+"""Tests for the subsumption counterexample API."""
+
+from repro.core.atoms import atom
+from repro.wdpt.subsumption import is_subsumed_by, subsumption_counterexample
+from repro.wdpt.wdpt import wdpt_from_nested
+from repro.workloads.families import figure1_wdpt
+
+
+def test_none_when_subsumed():
+    p = figure1_wdpt()
+    assert subsumption_counterexample(p, p) is None
+
+
+def test_identifies_dropped_branch():
+    p = figure1_wdpt()
+    from repro.wdpt.transform import _restrict_to_nodes
+
+    pruned = _restrict_to_nodes(p, {0, 1})  # dropped the formed_in branch
+    assert is_subsumed_by(pruned, p)
+    ce = subsumption_counterexample(p, pruned)
+    assert ce is not None
+    assert 2 in ce  # the witnessing subtree uses the dropped branch
+
+
+def test_foreign_free_variable_detected():
+    a = wdpt_from_nested(([atom("A", "?x")], []), free_variables=["?x"])
+    b = wdpt_from_nested(([atom("A", "?q")], []), free_variables=["?q"])
+    ce = subsumption_counterexample(a, b)
+    assert ce == frozenset({0})
+
+
+def test_counterexample_consistent_with_decision():
+    weak = wdpt_from_nested(([atom("A", "?x")], []), free_variables=["?x"])
+    strong = wdpt_from_nested(
+        ([atom("A", "?x"), atom("B", "?x")], []), free_variables=["?x"]
+    )
+    assert (subsumption_counterexample(strong, weak) is None) == is_subsumed_by(
+        strong, weak
+    )
+    assert (subsumption_counterexample(weak, strong) is None) == is_subsumed_by(
+        weak, strong
+    )

@@ -1,0 +1,105 @@
+"""Exhaustive semantic validation of the subsumption characterization.
+
+The syntactic test (canonical witnesses + PARTIAL-EVAL) is proved correct
+in docs/ALGORITHMS.md §4.  Here we *measure* that proof on a small world:
+for pairs of tiny WDPTs over a fixed signature, we enumerate **every**
+database over a 2-element domain and check
+
+* soundness:     syntactic ``p₁ ⊑ p₂``  ⇒  semantic subsumption on every D;
+* completeness:  syntactic ``p₁ ⋢ p₂``  ⇒  some enumerated D refutes it
+  semantically, OR one of the canonical witnesses does (the proof
+  guarantees a canonical refutation; enumerated databases use a smaller
+  domain than the frozen constants, so both sources are consulted).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.atoms import Atom, atom
+from repro.core.database import Database
+from repro.wdpt.subsumption import is_subsumed_by, subsumed_on
+from repro.wdpt.containment import canonical_witnesses
+from repro.wdpt.wdpt import WDPT, wdpt_from_nested
+
+
+def all_databases(relations, domain):
+    """Every database over the given (name, arity) signature and domain."""
+    facts = []
+    for name, arity in relations:
+        for args in itertools.product(domain, repeat=arity):
+            facts.append(Atom(name, args))
+    for mask in range(1 << len(facts)):
+        chosen = [f for i, f in enumerate(facts) if mask >> i & 1]
+        yield Database(chosen)
+
+
+SIGNATURE = [("A", 1), ("B", 2)]
+DOMAIN = (0, 1)
+
+PAIRS = [
+    # (p1, p2) — a mix of subsumed and non-subsumed pairs.
+    (
+        wdpt_from_nested(([atom("A", "?x")], []), free_variables=["?x"]),
+        wdpt_from_nested(([atom("A", "?x")], [([atom("B", "?x", "?y")], [])]),
+                         free_variables=["?x", "?y"]),
+    ),
+    (
+        wdpt_from_nested(([atom("A", "?x")], [([atom("B", "?x", "?y")], [])]),
+                         free_variables=["?x", "?y"]),
+        wdpt_from_nested(([atom("A", "?x")], []), free_variables=["?x"]),
+    ),
+    (
+        wdpt_from_nested(([atom("A", "?x"), atom("B", "?x", "?x")], []),
+                         free_variables=["?x"]),
+        wdpt_from_nested(([atom("A", "?x")], []), free_variables=["?x"]),
+    ),
+    (
+        wdpt_from_nested(([atom("B", "?x", "?y")], []), free_variables=["?x"]),
+        wdpt_from_nested(([atom("B", "?x", "?x")], []), free_variables=["?x"]),
+    ),
+    (
+        wdpt_from_nested(([atom("B", "?x", "?x")], []), free_variables=["?x"]),
+        wdpt_from_nested(([atom("B", "?x", "?y")], []), free_variables=["?x"]),
+    ),
+    (
+        wdpt_from_nested(
+            ([atom("A", "?x")],
+             [([atom("B", "?x", "?y")], [([atom("A", "?y")], [])])]),
+            free_variables=["?x", "?y"],
+        ),
+        wdpt_from_nested(
+            ([atom("A", "?x")], [([atom("B", "?x", "?y")], [])]),
+            free_variables=["?x", "?y"],
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("index", range(len(PAIRS)))
+def test_syntactic_vs_semantic_subsumption(index):
+    p1, p2 = PAIRS[index]
+    syntactic = is_subsumed_by(p1, p2)
+    refuted = None
+    for db in all_databases(SIGNATURE, DOMAIN):
+        if not subsumed_on(p1, p2, db):
+            refuted = db
+            break
+    if refuted is None:
+        for db in canonical_witnesses(p1):
+            if not subsumed_on(p1, p2, db):
+                refuted = db
+                break
+    if syntactic:
+        assert refuted is None, (
+            "syntactic test claimed p1 ⊑ p2 but %r refutes it" % (refuted,)
+        )
+    else:
+        assert refuted is not None, (
+            "syntactic test claimed p1 ⋢ p2 but no database refutes it"
+        )
+
+
+def test_small_world_size_sanity():
+    # 2 unary + 4 binary possible facts → 64 databases: genuinely exhaustive.
+    assert sum(1 for _ in all_databases(SIGNATURE, DOMAIN)) == 64

@@ -1,0 +1,84 @@
+"""Unit tests for repro.core.terms."""
+
+import pytest
+
+from repro.core.terms import Constant, Variable, is_constant, is_variable, term, terms
+
+
+class TestVariable:
+    def test_name(self):
+        assert Variable("x").name == "x"
+
+    def test_question_mark_stripped(self):
+        assert Variable("?x") == Variable("x")
+
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable(self):
+        assert len({Variable("x"), Variable("?x"), Variable("y")}) == 2
+
+    def test_repr(self):
+        assert repr(Variable("abc")) == "?abc"
+
+    def test_ordering(self):
+        assert Variable("a") < Variable("b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+        with pytest.raises(ValueError):
+            Variable("?")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            Variable(3)  # type: ignore[arg-type]
+
+
+class TestConstant:
+    def test_value(self):
+        assert Constant(42).value == 42
+
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_not_equal_to_variable(self):
+        assert Constant("x") != Variable("x")
+
+    def test_nested_terms_rejected(self):
+        with pytest.raises(ValueError):
+            Constant(Variable("x"))
+        with pytest.raises(ValueError):
+            Constant(Constant(1))
+
+    def test_ordering_mixed_types_falls_back_to_str(self):
+        # Must not raise even for unorderable payload mixes.
+        assert isinstance(Constant(1) < Constant("a"), bool)
+
+
+class TestCoercion:
+    def test_question_string_is_variable(self):
+        assert term("?x") == Variable("x")
+
+    def test_plain_string_is_constant(self):
+        assert term("Caribou") == Constant("Caribou")
+
+    def test_int_is_constant(self):
+        assert term(7) == Constant(7)
+
+    def test_terms_pass_through(self):
+        v = Variable("v")
+        c = Constant(1)
+        assert term(v) is v
+        assert term(c) is c
+
+    def test_terms_tuple(self):
+        result = terms(["?x", 1])
+        assert result == (Variable("x"), Constant(1))
+
+    def test_predicates(self):
+        assert is_variable(Variable("x")) and not is_variable(Constant(1))
+        assert is_constant(Constant(1)) and not is_constant(Variable("x"))

@@ -1,0 +1,122 @@
+"""Unit tests for the Lemma 1 normal-form transformations."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.wdpt.subsumption import is_subsumption_equivalent
+from repro.wdpt.transform import (
+    introduces_free_variable,
+    lemma1_normal_form,
+    merge_chains,
+    prune_non_free_branches,
+)
+from repro.wdpt.wdpt import wdpt_from_nested
+from repro.workloads.generators import random_database, random_wdpt
+
+
+@pytest.fixture
+def deep():
+    """Root(x) — chain of two existential nodes — leaf introducing free w,
+    plus a purely existential side branch."""
+    return wdpt_from_nested(
+        (
+            [atom("A", "?x")],
+            [
+                (
+                    [atom("B", "?x", "?u")],
+                    [([atom("C", "?u", "?v")], [([atom("D", "?v", "?w")], [])])],
+                ),
+                ([atom("Z", "?x", "?q")], []),
+            ],
+        ),
+        free_variables=["?x", "?w"],
+    )
+
+
+class TestIntroduces:
+    def test_root(self, deep):
+        assert introduces_free_variable(deep, 0)
+
+    def test_existential_nodes(self, deep):
+        assert not introduces_free_variable(deep, 1)
+        assert not introduces_free_variable(deep, 2)
+        assert not introduces_free_variable(deep, 4)
+
+    def test_leaf(self, deep):
+        assert introduces_free_variable(deep, 3)
+
+
+class TestPrune:
+    def test_drops_existential_branch(self, deep):
+        pruned = prune_non_free_branches(deep)
+        assert len(pruned.tree) == 4  # Z-branch dropped
+        assert not any("Z" in repr(label) for label in pruned.labels)
+
+    def test_keeps_path_to_free(self, deep):
+        pruned = prune_non_free_branches(deep)
+        assert any("D" in repr(label) for label in pruned.labels)
+
+    def test_equivalence_preserved(self, deep):
+        assert is_subsumption_equivalent(deep, prune_non_free_branches(deep))
+
+    def test_noop_when_all_introduce(self):
+        p = wdpt_from_nested(
+            ([atom("A", "?x")], [([atom("B", "?x", "?y")], [])]),
+            free_variables=["?x", "?y"],
+        )
+        assert prune_non_free_branches(p) == p
+
+
+class TestMerge:
+    def test_merges_chain(self, deep):
+        pruned = prune_non_free_branches(deep)
+        merged = merge_chains(pruned)
+        # Nodes 1 and 2 (no new frees, single child) collapse into node 3.
+        assert len(merged.tree) == 2
+
+    def test_merged_labels_union(self, deep):
+        merged = merge_chains(prune_non_free_branches(deep))
+        leaf_label = merged.labels[1]
+        names = {a.relation for a in leaf_label}
+        assert names == {"B", "C", "D"}
+
+    def test_equivalence_preserved(self, deep):
+        pruned = prune_non_free_branches(deep)
+        assert is_subsumption_equivalent(pruned, merge_chains(pruned))
+
+    def test_branching_node_not_merged(self):
+        p = wdpt_from_nested(
+            (
+                [atom("A", "?x")],
+                [([atom("B", "?x", "?u")],
+                  [([atom("C", "?u", "?y")], []), ([atom("D", "?u", "?z")], [])])],
+            ),
+            free_variables=["?x", "?y", "?z"],
+        )
+        assert merge_chains(p) == p
+
+
+class TestNormalForm:
+    def test_deep_example(self, deep):
+        norm = lemma1_normal_form(deep)
+        assert len(norm.tree) == 2
+        assert is_subsumption_equivalent(deep, norm)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_trees_equivalence(self, seed):
+        p = random_wdpt(depth=2, fanout=2, atoms_per_node=1, fresh_vars_per_node=1,
+                        free_fraction=0.3, seed=seed)
+        norm = lemma1_normal_form(p)
+        assert is_subsumption_equivalent(p, norm)
+        assert len(norm.tree) <= len(p.tree)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_semantic_spot_check(self, seed):
+        from repro.wdpt.evaluation import evaluate_max
+
+        p = random_wdpt(depth=2, fanout=2, atoms_per_node=1, fresh_vars_per_node=1,
+                        free_fraction=0.3, seed=seed)
+        norm = lemma1_normal_form(p)
+        db = random_database(8, relations=("E",), domain_size=4, seed=seed)
+        # ≡ₛ ⇒ identical maximal answers (Proposition 5).
+        assert evaluate_max(p, db) == evaluate_max(norm, db)

@@ -1,0 +1,133 @@
+"""Unit tests for WB(k) membership and approximation (Section 5)."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.cq import cq
+from repro.exceptions import ConstantsNotSupportedError
+from repro.wdpt.approximation import (
+    candidate_space,
+    find_wb_equivalent,
+    is_in_m_wb,
+    is_wb_approximation,
+    wb_approximation,
+    wb_approximations,
+)
+from repro.wdpt.classes import WB_BETA_HW, WB_TW, is_in_wb
+from repro.wdpt.subsumption import is_subsumed_by, is_subsumption_equivalent
+from repro.wdpt.wdpt import WDPT, wdpt_from_nested
+
+
+@pytest.fixture
+def triangle_tree():
+    """Triangle in the root (tw 2) with an optional acyclic child."""
+    return wdpt_from_nested(
+        (
+            [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")],
+            [([atom("F", "?x", "?w")], [])],
+        ),
+        free_variables=["?x", "?w"],
+    )
+
+
+class TestCandidateSpace:
+    def test_candidates_subsumed_and_include_normal_form(self, triangle_tree):
+        candidates = list(candidate_space(triangle_tree))
+        assert candidates
+        for c in candidates[:10]:
+            assert is_subsumed_by(c, triangle_tree)
+
+    def test_constants_rejected(self):
+        p = wdpt_from_nested(([atom("E", "?x", "c")], []), free_variables=["?x"])
+        with pytest.raises(ConstantsNotSupportedError):
+            list(candidate_space(p))
+
+
+class TestMembership:
+    def test_already_in_class(self, triangle_tree):
+        assert is_in_m_wb(triangle_tree, 2, WB_TW)
+        assert find_wb_equivalent(triangle_tree, 2, WB_TW) is not None
+
+    def test_not_in_class(self, triangle_tree):
+        assert not is_in_m_wb(triangle_tree, 1, WB_TW)
+
+    def test_single_node_exact_positive(self):
+        # Triangle + self-loop: semantically TW(1) (folds to the loop).
+        q = cq(
+            ["?x"],
+            [
+                atom("E", "?x", "?x"),
+                atom("E", "?x", "?y"),
+                atom("E", "?y", "?z"),
+                atom("E", "?z", "?y"),
+            ],
+        )
+        p = WDPT.from_cq(q)
+        witness = find_wb_equivalent(p, 1, WB_TW)
+        assert witness is not None
+        assert is_in_wb(witness, 1, WB_TW)
+        assert is_subsumption_equivalent(p, witness)
+
+    def test_single_node_exact_negative(self):
+        tri = WDPT.from_cq(
+            cq([], [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")])
+        )
+        assert not is_in_m_wb(tri, 1, WB_TW)
+
+    def test_prunable_tree_member(self):
+        # The cyclic part sits in a branch with no free variables: pruning
+        # removes it, so p IS subsumption-equivalent to a WB(1) tree.
+        p = wdpt_from_nested(
+            (
+                [atom("A", "?x")],
+                [([atom("E", "?u", "?v"), atom("E", "?v", "?w"), atom("E", "?w", "?u"),
+                   atom("E", "?x", "?u")], [])],
+            ),
+            free_variables=["?x"],
+        )
+        assert not is_in_wb(p, 1, WB_TW)
+        witness = find_wb_equivalent(p, 1, WB_TW)
+        assert witness is not None
+        assert is_in_wb(witness, 1, WB_TW)
+        assert is_subsumption_equivalent(p, witness)
+
+    def test_beta_hw_variant(self, triangle_tree):
+        assert is_in_m_wb(triangle_tree, 2, WB_BETA_HW)
+        assert not is_in_m_wb(triangle_tree, 1, WB_BETA_HW)
+
+
+class TestApproximation:
+    def test_in_class_returns_self(self, triangle_tree):
+        assert wb_approximation(triangle_tree, 2, WB_TW) == triangle_tree
+
+    def test_soundness(self, triangle_tree):
+        apps = wb_approximations(triangle_tree, 1, WB_TW)
+        assert apps
+        for a in apps:
+            assert is_in_wb(a, 1, WB_TW)
+            assert is_subsumed_by(a, triangle_tree)
+
+    def test_maximality_within_space(self, triangle_tree):
+        apps = wb_approximations(triangle_tree, 1, WB_TW)
+        for a in apps:
+            assert is_wb_approximation(a, triangle_tree, 1, WB_TW)
+
+    def test_single_node_delegates_to_cq_theory(self):
+        tri = WDPT.from_cq(
+            cq([], [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")])
+        )
+        apps = wb_approximations(tri, 1, WB_TW)
+        assert len(apps) == 1
+        assert apps[0].to_cq().atoms == frozenset([atom("E", "?x", "?x")]) or len(
+            apps[0].to_cq().atoms
+        ) == 1
+
+    def test_non_member_rejected_by_checker(self, triangle_tree):
+        assert not is_wb_approximation(triangle_tree, triangle_tree, 1, WB_TW)
+
+    def test_tree_approximation_keeps_optional_branch(self, triangle_tree):
+        # A good approximation should retain the optional F-branch (pure
+        # collapse would lose optionality); at minimum the chosen one must
+        # subsume the collapse.
+        apps = wb_approximations(triangle_tree, 1, WB_TW)
+        assert any(len(a.tree) > 1 for a in apps)

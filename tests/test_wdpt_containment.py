@@ -1,0 +1,84 @@
+"""Unit tests for the containment semi-decision procedures (Theorem 10)."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.database import Database
+from repro.wdpt.containment import (
+    canonical_witnesses,
+    certify_containment_via_subsumption,
+    containment_holds_on,
+    equivalence_counterexample,
+    refute_containment,
+)
+from repro.wdpt.wdpt import wdpt_from_nested
+
+
+@pytest.fixture
+def base():
+    return wdpt_from_nested(
+        ([atom("A", "?x")], [([atom("B", "?x", "?y")], [])]),
+        free_variables=["?x", "?y"],
+    )
+
+
+class TestRefutation:
+    def test_subsumption_is_not_containment(self, base):
+        """The classic gap: fewer free variables give ⊑ but not ⊆."""
+        narrower = base.with_free_variables(["?x"])
+        from repro.wdpt.subsumption import is_subsumed_by
+
+        assert is_subsumed_by(narrower, base)
+        counterexample = refute_containment(narrower, base)
+        assert counterexample is not None
+        assert not containment_holds_on(narrower, base, counterexample)
+
+    def test_reflexive_never_refuted(self, base):
+        assert refute_containment(base, base) is None
+
+    def test_extra_databases_consulted(self, base):
+        stronger = wdpt_from_nested(
+            ([atom("A", "?x"), atom("C", "?x")], [([atom("B", "?x", "?y")], [])]),
+            free_variables=["?x", "?y"],
+        )
+        # base ⊄ stronger; a database with A but no C separates them.
+        witness = Database([atom("A", 1)])
+        counterexample = refute_containment(base, stronger, extra_databases=[witness])
+        assert counterexample is not None
+
+    def test_canonical_witness_count(self, base):
+        assert len(canonical_witnesses(base)) == 2
+
+
+class TestCertification:
+    def test_certifies_reordered_equivalents(self):
+        a = wdpt_from_nested(
+            ([atom("R", "?x")], [([atom("S", "?x", "?y")], []), ([atom("T", "?x", "?z")], [])]),
+            free_variables=["?x", "?y", "?z"],
+        )
+        b = wdpt_from_nested(
+            ([atom("R", "?x")], [([atom("T", "?x", "?z")], []), ([atom("S", "?x", "?y")], [])]),
+            free_variables=["?x", "?y", "?z"],
+        )
+        assert certify_containment_via_subsumption(a, b)
+        assert certify_containment_via_subsumption(b, a)
+
+    def test_refuses_without_subsumption(self, base):
+        other = wdpt_from_nested(([atom("Z", "?q")], []), free_variables=["?q"])
+        assert not certify_containment_via_subsumption(base, other)
+
+    def test_refuses_on_counterexample(self, base):
+        narrower = base.with_free_variables(["?x"])
+        assert not certify_containment_via_subsumption(narrower, base)
+
+
+class TestEquivalenceCounterexample:
+    def test_separating_database_found(self, base):
+        narrower = base.with_free_variables(["?x"])
+        result = equivalence_counterexample(base, narrower)
+        assert result is not None
+        db, direction = result
+        assert direction in ("p1 ⊄ p2", "p2 ⊄ p1")
+
+    def test_none_for_identical(self, base):
+        assert equivalence_counterexample(base, base) is None

@@ -1,0 +1,159 @@
+"""Unit tests for the WDPT data type (Definition 1)."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.cq import cq
+from repro.core.terms import Constant, Variable
+from repro.exceptions import NotWellDesignedError, SchemaError
+from repro.wdpt.tree import PatternTree
+from repro.wdpt.wdpt import WDPT, wdpt_from_nested
+
+
+@pytest.fixture
+def figure1():
+    """The WDPT of Figure 1 (relational flavour)."""
+    return wdpt_from_nested(
+        (
+            [atom("recorded_by", "?x", "?y"), atom("published", "?x", "after_2010")],
+            [
+                ([atom("NME_rating", "?x", "?z")], []),
+                ([atom("formed_in", "?y", "?z2")], []),
+            ],
+        ),
+        free_variables=["?x", "?y", "?z", "?z2"],
+    )
+
+
+class TestConstruction:
+    def test_figure1_shape(self, figure1):
+        assert len(figure1.tree) == 3
+        assert figure1.tree.children(0) == (1, 2)
+
+    def test_well_designedness_violation(self):
+        # ?z occurs in two sibling leaves but not in the root: disconnected.
+        with pytest.raises(NotWellDesignedError):
+            wdpt_from_nested(
+                (
+                    [atom("R", "?x")],
+                    [([atom("S", "?z")], []), ([atom("T", "?z")], [])],
+                ),
+                free_variables=["?x"],
+            )
+
+    def test_well_designed_through_path(self):
+        # ?z occurs along a root-to-leaf path: connected, fine.
+        p = wdpt_from_nested(
+            ([atom("R", "?x", "?z")], [([atom("S", "?z")], [([atom("T", "?z")], [])])]),
+            free_variables=["?x"],
+        )
+        assert Variable("z") in p.variables()
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(SchemaError):
+            WDPT(PatternTree(), [[]], [])
+
+    def test_stray_free_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            wdpt_from_nested(([atom("R", "?x")], []), free_variables=["?q"])
+
+    def test_duplicate_free_variables_rejected(self):
+        with pytest.raises(SchemaError):
+            wdpt_from_nested(([atom("R", "?x")], []), free_variables=["?x", "?x"])
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            WDPT(PatternTree([0]), [[atom("R", "?x")]], [])
+
+
+class TestStructure:
+    def test_variables(self, figure1):
+        assert figure1.variables() == {
+            Variable("x"),
+            Variable("y"),
+            Variable("z"),
+            Variable("z2"),
+        }
+
+    def test_constants(self, figure1):
+        assert figure1.constants() == {Constant("after_2010")}
+
+    def test_node_variables(self, figure1):
+        assert figure1.node_variables(1) == {Variable("x"), Variable("z")}
+
+    def test_projection_free(self, figure1):
+        assert figure1.is_projection_free()
+        assert not figure1.with_free_variables(["?x"]).is_projection_free()
+
+    def test_size(self, figure1):
+        assert figure1.size() == 8
+
+    def test_atom_count(self, figure1):
+        assert figure1.atom_count() == 4
+
+    def test_existential_variables(self, figure1):
+        p = figure1.with_free_variables(["?y", "?z"])
+        assert p.existential_variables() == {Variable("x"), Variable("z2")}
+
+
+class TestDerivedCQs:
+    def test_full_cq(self, figure1):
+        q = figure1.full_cq()
+        assert len(q.atoms) == 4
+        assert q.is_full()
+
+    def test_subtree_cq_all_vars_free(self, figure1):
+        q = figure1.subtree_cq({0, 1})
+        assert frozenset(q.free_variables) == {Variable("x"), Variable("y"), Variable("z")}
+
+    def test_subtree_answer_cq_projects(self, figure1):
+        p = figure1.with_free_variables(["?y", "?z"])
+        q = p.subtree_answer_cq({0})
+        assert q.free_variables == (Variable("y"),)
+
+    def test_invalid_subtree_rejected(self, figure1):
+        with pytest.raises(ValueError):
+            figure1.subtree_cq({1})
+
+
+class TestConversions:
+    def test_cq_roundtrip(self):
+        q = cq(["?x"], [atom("E", "?x", "?y")])
+        p = WDPT.from_cq(q)
+        assert p.is_single_node()
+        assert p.to_cq() == q
+
+    def test_to_cq_requires_single_node(self, figure1):
+        with pytest.raises(ValueError):
+            figure1.to_cq()
+
+    def test_rename(self, figure1):
+        renamed = figure1.rename({Variable("x"): Variable("a")})
+        assert Variable("a") in renamed.variables()
+        assert Variable("a") in renamed.free_variables
+
+    def test_rename_merging_frees_rejected(self, figure1):
+        with pytest.raises(SchemaError):
+            figure1.rename({Variable("x"): Variable("y")})
+
+    def test_rename_breaking_connectedness_rejected(self):
+        p = wdpt_from_nested(
+            ([atom("R", "?x")], [([atom("S", "?x", "?a")], []), ([atom("T", "?x", "?b")], [])]),
+            free_variables=["?x"],
+        )
+        with pytest.raises(NotWellDesignedError):
+            p.rename({Variable("a"): Variable("c"), Variable("b"): Variable("c")})
+
+    def test_equality_and_hash(self, figure1):
+        clone = wdpt_from_nested(
+            (
+                [atom("published", "?x", "after_2010"), atom("recorded_by", "?x", "?y")],
+                [
+                    ([atom("NME_rating", "?x", "?z")], []),
+                    ([atom("formed_in", "?y", "?z2")], []),
+                ],
+            ),
+            free_variables=["?x", "?y", "?z", "?z2"],
+        )
+        assert figure1 == clone
+        assert hash(figure1) == hash(clone)

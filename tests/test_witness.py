@@ -1,0 +1,80 @@
+"""Unit tests for answer provenance (witness certificates)."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.database import Database
+from repro.core.mappings import Mapping
+from repro.wdpt.evaluation import evaluate
+from repro.wdpt.witness import witness
+from repro.wdpt.wdpt import wdpt_from_nested
+from repro.workloads.families import example2_graph, figure1_wdpt
+from repro.workloads.generators import random_database, random_wdpt
+
+
+@pytest.fixture
+def figure1():
+    return figure1_wdpt()
+
+
+@pytest.fixture
+def db():
+    return example2_graph().to_database()
+
+
+class TestFigure1Witnesses:
+    def test_partial_answer_witness(self, figure1, db):
+        w = witness(figure1, db, Mapping({"?x": "Our_love", "?y": "Caribou"}))
+        assert w is not None
+        assert w.subtree == frozenset({0})
+        assert set(w.blocked_children) == {1, 2}
+        assert w.verify()
+
+    def test_extended_answer_witness(self, figure1, db):
+        w = witness(figure1, db, Mapping({"?x": "Swim", "?y": "Caribou", "?z": "2"}))
+        assert w is not None
+        assert w.subtree == frozenset({0, 1})
+        assert w.blocked_children == (2,)
+        assert w.verify()
+
+    def test_non_answer_has_no_witness(self, figure1, db):
+        assert witness(figure1, db, Mapping({"?x": "Swim", "?y": "Caribou"})) is None
+        assert witness(figure1, db, Mapping({"?x": "Nope"})) is None
+
+    def test_describe_readable(self, figure1, db):
+        w = witness(figure1, db, Mapping({"?x": "Our_love", "?y": "Caribou"}))
+        text = w.describe()
+        assert "matched nodes" in text and "OPT failed" in text
+
+
+class TestVerification:
+    def test_tampered_certificate_fails(self, figure1, db):
+        w = witness(figure1, db, Mapping({"?x": "Our_love", "?y": "Caribou"}))
+        # Tamper: claim a bigger subtree.
+        w.subtree = frozenset({0, 1})
+        assert not w.verify()
+
+    def test_wrong_blocked_set_fails(self, figure1, db):
+        w = witness(figure1, db, Mapping({"?x": "Our_love", "?y": "Caribou"}))
+        w.blocked_children = (1,)  # missing child 2
+        assert not w.verify()
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_answer_has_verified_witness(self, seed):
+        p = random_wdpt(depth=2, fanout=2, atoms_per_node=2, fresh_vars_per_node=1, seed=seed)
+        db = random_database(10, relations=("E",), domain_size=5, seed=seed + 3)
+        for answer in sorted(evaluate(p, db), key=repr)[:8]:
+            w = witness(p, db, answer)
+            assert w is not None and w.verify()
+
+    def test_projection_hides_variables_but_witness_is_total(self):
+        p = wdpt_from_nested(
+            ([atom("A", "?x", "?u")], [([atom("B", "?u", "?y")], [])]),
+            free_variables=["?x", "?y"],
+        )
+        db = Database([atom("A", 1, 10), atom("B", 10, 5)])
+        w = witness(p, db, Mapping({"?x": 1, "?y": 5}))
+        assert w is not None
+        assert w.homomorphism["?u"].value == 10

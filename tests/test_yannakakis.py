@@ -1,0 +1,79 @@
+"""Unit tests for Yannakakis' algorithm (cross-checked against naive)."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.cq import cq
+from repro.core.database import Database
+from repro.cqalgs.naive import evaluate_naive
+from repro.cqalgs.yannakakis import evaluate_acyclic
+from repro.exceptions import ClassMembershipError
+from repro.workloads.generators import path_cq, random_graph_database, star_cq
+
+
+@pytest.fixture
+def db():
+    return random_graph_database(8, 25, seed=42)
+
+
+@pytest.mark.parametrize("length", [1, 2, 3, 5])
+def test_path_queries_agree_with_naive(db, length):
+    q = path_cq(length)
+    assert evaluate_acyclic(q, db) == evaluate_naive(q, db)
+
+
+def test_star_query(db):
+    q = star_cq(3)
+    assert evaluate_acyclic(q, db) == evaluate_naive(q, db)
+
+
+def test_boolean_query(db):
+    q = path_cq(4, frees=[])
+    assert evaluate_acyclic(q, db) == evaluate_naive(q, db)
+
+
+def test_full_query(db):
+    q = path_cq(3)
+    q_full = q.full()
+    assert evaluate_acyclic(q_full, db) == evaluate_naive(q_full, db)
+
+
+def test_cyclic_rejected(db):
+    tri = cq([], [atom("E", "?x", "?y"), atom("E", "?y", "?z"), atom("E", "?z", "?x")])
+    with pytest.raises(ClassMembershipError):
+        evaluate_acyclic(tri, db)
+
+
+def test_dangling_tuples_removed():
+    """The classic case semi-joins exist for: tuples that join locally but
+    not globally must not survive."""
+    db = Database([atom("R", 1, 2), atom("S", 2, 3), atom("T", 3, 4), atom("S", 2, 9)])
+    q = cq(["?a"], [atom("R", "?a", "?b"), atom("S", "?b", "?c"), atom("T", "?c", "?d")])
+    assert evaluate_acyclic(q, db) == evaluate_naive(q, db)
+
+
+def test_empty_relation_short_circuits():
+    db = Database([atom("R", 1, 2)])
+    q = cq([], [atom("R", "?x", "?y"), atom("Z", "?y", "?w")])
+    assert evaluate_acyclic(q, db) == frozenset()
+
+
+def test_constants_in_query(db):
+    q = cq(["?y"], [atom("E", 0, "?x"), atom("E", "?x", "?y")])
+    assert evaluate_acyclic(q, db) == evaluate_naive(q, db)
+
+
+def test_disconnected_query(db):
+    q = cq(["?x", "?u"], [atom("E", "?x", "?y"), atom("E", "?u", "?v")])
+    assert evaluate_acyclic(q, db) == evaluate_naive(q, db)
+
+
+def test_theta_family_is_acyclic_and_agrees():
+    from repro.workloads.families import example5_theta
+
+    q = example5_theta(3)
+    db = Database(
+        [atom("E", i, j) for i in range(3) for j in range(3)]
+        + [atom("T3", 0, 1, 2), atom("T3", 1, 1, 1)]
+    )
+    assert evaluate_acyclic(q, db) == evaluate_naive(q, db)
