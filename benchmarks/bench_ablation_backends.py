@@ -13,13 +13,19 @@ Design choices DESIGN.md calls out, measured:
 
 import pytest
 
-from repro.benchharness import Series, format_series_table, time_callable
+from repro.benchharness import (
+    Series,
+    format_planner_stats,
+    format_series_table,
+    time_callable,
+)
 from repro.core.atoms import Atom, atom
 from repro.core.cq import ConjunctiveQuery
 from repro.core.database import Database
 from repro.core.mappings import Mapping
 from repro.cqalgs.enumeration import enumerate_answers
 from repro.cqalgs.naive import evaluate_naive
+from repro.planner import Planner
 from repro.wdpt.partial_eval import partial_eval
 from repro.wdpt.wdpt import wdpt_from_nested
 from repro.workloads.datasets import company_directory
@@ -39,6 +45,7 @@ def _query():
 
 def test_backend_ablation_on_typical_nodes():
     query = _query()
+    planner = Planner()
     naive = Series("partial-eval, naive backend")
     auto = Series("partial-eval, auto backend")
     h = Mapping({"?e": "emp_0_0"})
@@ -47,11 +54,25 @@ def test_backend_ablation_on_typical_nodes():
         naive.add(employees, time_callable(lambda: partial_eval(query, db, h), repeats=3))
         auto.add(
             employees,
-            time_callable(lambda: partial_eval(query, db, h, method="auto"), repeats=3),
+            time_callable(
+                lambda: partial_eval(query, db, h, method="auto", planner=planner),
+                repeats=3,
+            ),
         )
-        assert partial_eval(query, db, h) == partial_eval(query, db, h, method="auto")
+        assert partial_eval(query, db, h) == partial_eval(
+            query, db, h, method="auto", planner=planner
+        )
     print()
-    print(format_series_table([naive, auto], parameter_name="employees/dept"))
+    print(
+        format_series_table(
+            [naive, auto],
+            parameter_name="employees/dept",
+            cache_hit_rates={auto.name: planner.cache_hit_rate()},
+        )
+    )
+    print(format_planner_stats(planner.stats(), title="planner (auto backend)"))
+    # One analysis of the query shape served every auto call.
+    assert planner.cache_hit_rate() > 0
     # Both are flat; on tiny node CQs the constant factor favours naive.
     for s in (naive, auto):
         slope = s.loglog_slope()

@@ -9,9 +9,15 @@ polynomially in database size on realistic optional-matching queries.
 
 import pytest
 
-from repro.benchharness import Series, format_series_table, time_callable
+from repro.benchharness import (
+    Series,
+    format_planner_stats,
+    format_series_table,
+    time_callable,
+)
 from repro.core.atoms import atom
 from repro.core.mappings import Mapping
+from repro.planner import Planner
 from repro.wdpt.eval_tractable import eval_tractable
 from repro.wdpt.partial_eval import partial_eval
 from repro.wdpt.wdpt import wdpt_from_nested
@@ -58,13 +64,34 @@ def _company_query():
 
 def test_partial_eval_polynomial_in_data():
     query = _company_query()
+    planner = Planner()
     series = Series("PARTIAL-EVAL")
+    auto_series = Series("PARTIAL-EVAL (auto, planned)")
     for employees in (8, 16, 32, 64):
         db = company_directory(n_departments=4, employees_per_department=employees, seed=3)
         h = Mapping({"?e": "emp_0_0"})
         series.add(4 * employees, time_callable(lambda: partial_eval(query, db, h), repeats=3))
+        auto_series.add(
+            4 * employees,
+            time_callable(
+                lambda: partial_eval(query, db, h, method="auto", planner=planner),
+                repeats=3,
+            ),
+        )
     print()
-    print(format_series_table([series], parameter_name="employees"))
+    print(
+        format_series_table(
+            [series, auto_series],
+            parameter_name="employees",
+            cache_hit_rates={auto_series.name: planner.cache_hit_rate()},
+        )
+    )
+    print(format_planner_stats(planner.stats(), title="planner (auto runs)"))
+    # The planner analysed the query shape once and reused it (acceptance:
+    # auto is no slower than a cold analysis per call would be, and the
+    # cache-hit rate is reported and non-zero).
+    assert planner.cache_hit_rate() > 0
+    assert planner.stats()["subtree_profiles"]["hits"] > 0
     slope = series.loglog_slope()
     assert slope is not None and slope < 2.0
 

@@ -1,6 +1,13 @@
 """Measurement harness: sweeps, growth estimates, table rendering."""
 
-from .reporting import format_series_table, format_table
+from .reporting import format_planner_stats, format_series_table, format_table
 from .runner import Series, sweep, time_callable
 
-__all__ = ["format_series_table", "format_table", "Series", "sweep", "time_callable"]
+__all__ = [
+    "format_planner_stats",
+    "format_series_table",
+    "format_table",
+    "Series",
+    "sweep",
+    "time_callable",
+]

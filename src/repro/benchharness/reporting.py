@@ -6,7 +6,7 @@ two figures; this module keeps the formatting in one place.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from .runner import Series
 
@@ -30,9 +30,19 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_series_table(series_list: Sequence[Series], parameter_name: str = "n") -> str:
+def format_series_table(
+    series_list: Sequence[Series],
+    parameter_name: str = "n",
+    cache_hit_rates: Optional[Mapping[str, float]] = None,
+) -> str:
     """One row per parameter value, one column per series, plus a summary
-    line with the log–log slope and step-growth ratio of each series."""
+    line with the log–log slope and step-growth ratio of each series.
+
+    ``cache_hit_rates`` optionally maps series names to the planner's
+    structural-cache hit rate for that run; matching series get a
+    ``cache-hit`` summary row (``-`` for series without one, e.g. the
+    naive backend that never consults the planner).
+    """
     parameters = sorted({p for s in series_list for p, _ in s.points})
     headers = [parameter_name] + [s.name for s in series_list]
     lookup = [{p: sec for p, sec in s.points} for s in series_list]
@@ -51,7 +61,62 @@ def format_series_table(series_list: Sequence[Series], parameter_name: str = "n"
         summary_ratio.append("%.2f" % ratio if ratio is not None else "-")
     rows.append(summary_slope)
     rows.append(summary_ratio)
+    if cache_hit_rates is not None:
+        hit_row: List[object] = ["cache-hit"]
+        for s in series_list:
+            rate = cache_hit_rates.get(s.name)
+            hit_row.append("%.0f%%" % (100 * rate) if rate is not None else "-")
+        rows.append(hit_row)
     return format_table(headers, rows)
+
+
+def format_planner_stats(stats: Mapping[str, object], title: str = "planner") -> str:
+    """Render :meth:`repro.planner.planner.Planner.stats` (equivalently
+    ``session.stats()``) as a table: cache hit rates, per-engine selection
+    counts, analysis vs. engine time."""
+    rows: List[List[object]] = []
+    for cache_key in ("plan_cache", "parse_cache"):
+        cache = stats.get(cache_key)
+        if isinstance(cache, Mapping):
+            rows.append(
+                [
+                    cache_key,
+                    "%d/%d entries, %d hits, %d misses, %d evictions, %.0f%% hit rate"
+                    % (
+                        cache.get("size", 0),
+                        cache.get("maxsize", 0),
+                        cache.get("hits", 0),
+                        cache.get("misses", 0),
+                        cache.get("evictions", 0),
+                        100 * float(cache.get("hit_rate", 0.0)),
+                    ),
+                ]
+            )
+    subtree = stats.get("subtree_profiles")
+    if isinstance(subtree, Mapping):
+        rows.append(
+            [
+                "subtree profiles",
+                "%d hits, %d misses"
+                % (subtree.get("hits", 0), subtree.get("misses", 0)),
+            ]
+        )
+    selections = stats.get("engine_selections")
+    if isinstance(selections, Mapping):
+        rows.append(
+            [
+                "engine selections",
+                ", ".join(
+                    "%s×%d" % (engine, count)
+                    for engine, count in sorted(selections.items())
+                )
+                or "-",
+            ]
+        )
+    rows.append(["plans built", stats.get("plans_built", 0)])
+    rows.append(["analysis time", _fmt_seconds(float(stats.get("analysis_seconds", 0.0)))])
+    rows.append(["engine time", _fmt_seconds(float(stats.get("engine_seconds", 0.0)))])
+    return format_table(["counter", "value"], rows, title=title)
 
 
 def _cell(value: object) -> str:

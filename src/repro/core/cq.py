@@ -42,7 +42,7 @@ class ConjunctiveQuery:
     True
     """
 
-    __slots__ = ("free_variables", "atoms", "_hash")
+    __slots__ = ("free_variables", "atoms", "_hash", "_fingerprint")
 
     def __init__(self, free_variables: Iterable[object], atoms: Iterable[Atom]):
         body = frozenset(atoms)
@@ -62,6 +62,7 @@ class ConjunctiveQuery:
         self.free_variables = frees
         self.atoms = body
         self._hash = hash((frees, body))
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -94,6 +95,28 @@ class ConjunctiveQuery:
     def relations(self) -> FrozenSet[str]:
         """Relation names used by the body."""
         return frozenset(a.relation for a in self.atoms)
+
+    def structural_fingerprint(self) -> str:
+        """A stable, canonical key for this query's structure.
+
+        Independent of object identity, atom ordering, and Python's
+        per-process hash seed (the body is serialized in sorted order and
+        digested), so it is usable as a plan-cache key:
+
+        >>> a = ConjunctiveQuery(["?x"], [Atom("R", ("?x", "?y")), Atom("S", ("?y",))])
+        >>> b = ConjunctiveQuery(["?x"], [Atom("S", ("?y",)), Atom("R", ("?x", "?y"))])
+        >>> a.structural_fingerprint() == b.structural_fingerprint()
+        True
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            payload = "cq|%s|%s" % (
+                ",".join(repr(v) for v in self.free_variables),
+                ";".join(repr(a) for a in sorted(self.atoms)),
+            )
+            self._fingerprint = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Transformations

@@ -3,9 +3,16 @@
 :func:`evaluate` routes a query to the cheapest applicable engine:
 
 * acyclic → Yannakakis (:mod:`repro.cqalgs.yannakakis`);
-* small-treewidth (heuristic bound ≤ :data:`AUTO_TW_CUTOFF`) → the bounded
-  treewidth engine (:mod:`repro.cqalgs.structured`);
+* small-treewidth (heuristic bound ≤ the planner's ``tw_cutoff``,
+  default :data:`AUTO_TW_CUTOFF`) → the bounded treewidth engine
+  (:mod:`repro.cqalgs.structured`);
 * otherwise → backtracking (:mod:`repro.cqalgs.naive`).
+
+The ``auto`` path goes through :mod:`repro.planner`: the structural
+analysis (join tree, width bounds, decomposition) is computed once per
+query shape, cached in a bounded LRU keyed by the structural fingerprint,
+and handed to the chosen engine — the join tree built to *decide*
+acyclicity is the one Yannakakis *runs on*, never rebuilt.
 
 All engines implement the same contract — the full set of answer mappings
 ``h|_x̄`` — and are cross-validated against each other in the test suite.
@@ -13,28 +20,36 @@ All engines implement the same contract — the full set of answer mappings
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import FrozenSet, Optional, TYPE_CHECKING
 
 from ..core.cq import ConjunctiveQuery
 from ..core.database import Database
 from ..core.mappings import Mapping
-from ..hypergraphs.gyo import join_tree_of_atoms
-from ..hypergraphs.hypergraph import hypergraph_of_cq
-from ..hypergraphs.treewidth import treewidth_upper_bound
 from .naive import evaluate_naive
 from .structured import evaluate_bounded_hypertreewidth, evaluate_bounded_treewidth
 from .yannakakis import evaluate_acyclic
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner uses engines)
+    from ..planner.planner import Planner
+
 #: Treewidth (heuristic upper bound) below which the TD engine is preferred.
+#: (Kept as the historical name; the planner's ``tw_cutoff`` defaults to it.)
 AUTO_TW_CUTOFF = 3
 
 _METHODS = ("auto", "naive", "yannakakis", "treewidth", "hypertreewidth")
 
 
 def evaluate(
-    query: ConjunctiveQuery, db: Database, method: str = "auto"
+    query: ConjunctiveQuery,
+    db: Database,
+    method: str = "auto",
+    planner: "Optional[Planner]" = None,
 ) -> FrozenSet[Mapping]:
-    """``q(D)`` with the engine chosen by ``method`` (default ``auto``)."""
+    """``q(D)`` with the engine chosen by ``method`` (default ``auto``).
+
+    ``auto`` routes through ``planner`` (the process-wide default planner
+    when omitted), reusing cached structural analyses across calls.
+    """
     if method not in _METHODS:
         raise ValueError("unknown method %r; pick one of %r" % (method, _METHODS))
     if method == "naive":
@@ -45,12 +60,12 @@ def evaluate(
         return evaluate_bounded_treewidth(query, db)
     if method == "hypertreewidth":
         return evaluate_bounded_hypertreewidth(query, db)
-    # auto
-    if join_tree_of_atoms(sorted(query.atoms)) is not None:
-        return evaluate_acyclic(query, db)
-    if treewidth_upper_bound(hypergraph_of_cq(query)) <= AUTO_TW_CUTOFF:
-        return evaluate_bounded_treewidth(query, db)
-    return evaluate_naive(query, db)
+    # auto: plan-aware routing with memoized analysis.
+    if planner is None:
+        from ..planner.planner import get_default_planner
+
+        planner = get_default_planner()
+    return planner.evaluate_cq(query, db)
 
 
 def holds(query: ConjunctiveQuery, db: Database) -> bool:

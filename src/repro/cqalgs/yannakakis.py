@@ -12,7 +12,7 @@ to an acyclic instance first.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
 from ..core.cq import ConjunctiveQuery
@@ -23,14 +23,25 @@ from ..exceptions import ClassMembershipError
 from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_root
 
 
-def evaluate_acyclic(query: ConjunctiveQuery, db: Database) -> FrozenSet[Mapping]:
+def evaluate_acyclic(
+    query: ConjunctiveQuery,
+    db: Database,
+    atoms: Optional[Sequence[Atom]] = None,
+    links: Optional[Sequence[Tuple[int, int]]] = None,
+) -> FrozenSet[Mapping]:
     """``q(D)`` for an acyclic CQ via Yannakakis.
 
-    Raises :class:`~repro.exceptions.ClassMembershipError` when the query
+    ``atoms``/``links`` optionally supply a precomputed join tree (e.g. the
+    one the dispatcher or planner already built to decide acyclicity), so
+    the GYO reduction is not rerun.  Raises
+    :class:`~repro.exceptions.ClassMembershipError` when the query
     hypergraph is cyclic.
     """
-    atoms = sorted(query.atoms)
-    links = join_tree_of_atoms(atoms)
+    if atoms is None:
+        atoms = sorted(query.atoms)
+        links = None  # a caller-supplied tree is only valid for its atoms
+    if links is None:
+        links = join_tree_of_atoms(atoms)
     if links is None:
         raise ClassMembershipError("query is not acyclic: %r" % (query,))
     return evaluate_with_join_tree(query, db, atoms, links)

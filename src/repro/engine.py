@@ -13,9 +13,13 @@ parsing, routing and caching:
     2
 
 A :class:`Result` carries the answer set plus lazy access to maximal
-answers, witnesses, and the query profile.  Parsed queries are cached by
-text; decision problems (``ask``/``contains``/``is_partial``) route to the
-tractable algorithms of Sections 3.
+answers, witnesses, and the query profile.  Each Session owns a private
+:class:`~repro.planner.planner.Planner`: parsed queries are LRU-cached by
+text, structural analyses are memoized by fingerprint, and decision
+problems (``ask``/``contains``/``is_partial``) route to the tractable
+algorithms of Sections 3 through the planner's engine router.
+:meth:`Session.stats` reports the accumulated counters (cache hit rates,
+per-engine selections, analysis vs. engine time).
 
 The Session accepts :class:`~repro.core.database.Database`,
 :class:`~repro.rdf.graph.RDFGraph`, or an iterable of ground atoms.
@@ -23,6 +27,7 @@ The Session accepts :class:`~repro.core.database.Database`,
 
 from __future__ import annotations
 
+import time
 from typing import Dict, FrozenSet, Iterable, Optional, Union
 
 from .core.atoms import Atom
@@ -32,6 +37,7 @@ from .exceptions import ParseError
 from .rdf.graph import RDFGraph
 from .rdf.parser import parse_query
 from .rdf.sparql import parse_sparql
+from .planner.planner import Planner
 from .wdpt.eval_tractable import eval_tractable
 from .wdpt.evaluation import evaluate, evaluate_max
 from .wdpt.explain import WDPTProfile, explain
@@ -77,8 +83,8 @@ class Result:
         return witness(self.query, self._session.database, answer)
 
     def profile(self) -> WDPTProfile:
-        """The EXPLAIN profile of the query."""
-        return explain(self.query)
+        """The EXPLAIN profile of the query (via the session's planner)."""
+        return explain(self.query, planner=self._session.planner)
 
     def to_table(self, limit: Optional[int] = None) -> str:
         """Render answers as a fixed-width table (missing optionals = ``-``)."""
@@ -102,7 +108,8 @@ class Result:
 
 
 class Session:
-    """A database plus a query cache.
+    """A database plus a query planner (parse cache, memoized structural
+    analyses, plan-aware routing, instrumentation).
 
     >>> from repro.core.atoms import atom
     >>> s = Session([atom("E", 1, 2)])
@@ -110,38 +117,25 @@ class Session:
     1
     """
 
-    def __init__(self, data: DataSource):
+    def __init__(self, data: DataSource, planner: Optional[Planner] = None):
         if isinstance(data, Database):
             self.database = data
         elif isinstance(data, RDFGraph):
             self.database = data.to_database()
         else:
             self.database = Database(data)
-        self._query_cache: Dict[str, WDPT] = {}
+        self.planner = planner if planner is not None else Planner()
 
     # ------------------------------------------------------------------
     # Parsing
     # ------------------------------------------------------------------
     def parse(self, query: Query) -> WDPT:
         """Parse a query string (surface SPARQL, falling back to the
-        paper's algebraic notation) or pass a WDPT through."""
+        paper's algebraic notation) or pass a WDPT through.  Parses are
+        LRU-cached by text in the planner."""
         if isinstance(query, WDPT):
             return query
-        cached = self._query_cache.get(query)
-        if cached is not None:
-            return cached
-        try:
-            parsed = parse_sparql(query)
-        except ParseError:
-            try:
-                parsed = parse_query(query)
-            except ParseError as exc:
-                raise ParseError(
-                    "query parses neither as surface SPARQL nor as the "
-                    "algebraic notation: %s" % exc
-                ) from None
-        self._query_cache[query] = parsed
-        return parsed
+        return self.planner.cached_parse(query, _parse_text)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -149,29 +143,53 @@ class Session:
     def query(self, query: Query) -> Result:
         """Evaluate and return all answers."""
         p = self.parse(query)
-        return Result(self, p, evaluate(p, self.database))
+        self.planner.profile_wdpt(p)  # warm the shared structural analysis
+        start = time.perf_counter()
+        answers = evaluate(p, self.database)
+        self.planner._record_engine("wdpt-topdown", time.perf_counter() - start)
+        return Result(self, p, answers)
 
     def query_maximal(self, query: Query) -> Result:
         """Evaluate under the maximal-mapping semantics ``p_m(D)``."""
         p = self.parse(query)
-        return Result(self, p, evaluate_max(p, self.database))
+        self.planner.profile_wdpt(p)
+        start = time.perf_counter()
+        answers = evaluate_max(p, self.database)
+        self.planner._record_engine("wdpt-topdown-max", time.perf_counter() - start)
+        return Result(self, p, answers)
 
-    def ask(self, query: Query, candidate: Mapping) -> bool:
-        """``EVAL``: is ``candidate`` an answer?  (Theorem 6 DP.)"""
-        return eval_tractable(self.parse(query), self.database, candidate)
+    def ask(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
+        """``EVAL``: is ``candidate`` an answer?  (Theorem 6 DP, node
+        checks routed through the planner.)"""
+        return eval_tractable(
+            self.parse(query), self.database, candidate,
+            method=method, planner=self.planner,
+        )
 
-    def is_partial(self, query: Query, candidate: Mapping) -> bool:
+    def is_partial(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
         """``PARTIAL-EVAL``: does some answer extend ``candidate``?
-        (Theorem 8.)"""
-        return partial_eval(self.parse(query), self.database, candidate)
+        (Theorem 8, subtree CQ routed through the planner.)"""
+        return partial_eval(
+            self.parse(query), self.database, candidate,
+            method=method, planner=self.planner,
+        )
 
-    def is_maximal(self, query: Query, candidate: Mapping) -> bool:
+    def is_maximal(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
         """``MAX-EVAL``: is ``candidate`` a ⊑-maximal answer?  (Theorem 9.)"""
-        return max_eval(self.parse(query), self.database, candidate)
+        return max_eval(
+            self.parse(query), self.database, candidate,
+            method=method, planner=self.planner,
+        )
 
     def explain(self, query: Query) -> WDPTProfile:
-        """EXPLAIN profile without evaluating."""
-        return explain(self.parse(query))
+        """EXPLAIN profile without evaluating (shares the planner's
+        memoized analysis with the evaluation paths)."""
+        return explain(self.parse(query), planner=self.planner)
+
+    def stats(self) -> Dict[str, object]:
+        """Planner instrumentation: cache hit rates, per-engine selection
+        counts, analysis vs. engine time."""
+        return self.planner.stats()
 
     # ------------------------------------------------------------------
     # Data management
@@ -195,5 +213,19 @@ class Session:
     def __repr__(self) -> str:
         return "Session(%d facts, %d cached queries)" % (
             len(self.database),
-            len(self._query_cache),
+            len(self.planner.parses),
         )
+
+
+def _parse_text(text: str) -> WDPT:
+    """Surface SPARQL, falling back to the paper's algebraic notation."""
+    try:
+        return parse_sparql(text)
+    except ParseError:
+        try:
+            return parse_query(text)
+        except ParseError as exc:
+            raise ParseError(
+                "query parses neither as surface SPARQL nor as the "
+                "algebraic notation: %s" % exc
+            ) from None

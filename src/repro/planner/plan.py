@@ -1,0 +1,66 @@
+"""Query plans: the routing decision, its paper justification, and the
+precomputed structures the chosen engine consumes.
+
+A :class:`QueryPlan` is cheap — all heavy lifting lives in the memoized
+:class:`~repro.planner.profile.StructuralProfile` it references — and
+explicit: it names the engine, cites the theorem licensing it, and exposes
+``describe()`` for EXPLAIN-style output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .profile import StructuralProfile
+
+#: Engine identifiers (also used as keys in planner statistics).
+ENGINE_YANNAKAKIS = "yannakakis"
+ENGINE_TREEWIDTH = "treewidth"
+ENGINE_HYPERTREEWIDTH = "hypertreewidth"
+ENGINE_NAIVE = "naive"
+
+
+class QueryPlan:
+    """The planner's routing decision for one CQ shape.
+
+    Attributes
+    ----------
+    fingerprint:
+        The structural fingerprint the plan is cached under.
+    engine:
+        One of the ``ENGINE_*`` identifiers.
+    theorem:
+        The paper result justifying the choice.
+    profile:
+        The memoized structural analysis (join tree / decomposition) the
+        engine consumes — shared with every other plan for this shape.
+    """
+
+    __slots__ = ("fingerprint", "engine", "theorem", "profile")
+
+    def __init__(
+        self,
+        fingerprint: str,
+        engine: str,
+        theorem: str,
+        profile: StructuralProfile,
+    ):
+        self.fingerprint = fingerprint
+        self.engine = engine
+        self.theorem = theorem
+        self.profile = profile
+
+    def describe(self) -> str:
+        """One-line EXPLAIN: engine plus justification."""
+        return "%s — %s" % (self.engine, self.theorem)
+
+    def width_note(self) -> Optional[str]:
+        """A short note on the width parameters behind the decision."""
+        if self.engine == ENGINE_YANNAKAKIS:
+            return "acyclic (join tree of %d atoms)" % len(self.profile.sorted_atoms)
+        if self.engine == ENGINE_TREEWIDTH:
+            return "tw ≤ %d" % self.profile.treewidth_upper
+        return None
+
+    def __repr__(self) -> str:
+        return "QueryPlan(%s)" % self.describe()

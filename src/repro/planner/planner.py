@@ -1,0 +1,294 @@
+"""The central query planner: memoized analysis + plan-aware engine routing.
+
+One :class:`Planner` owns
+
+* a bounded LRU :class:`~repro.planner.cache.PlanCache` of
+  :class:`~repro.planner.profile.StructuralProfile` /
+  :class:`~repro.planner.profile.TreeProfile` objects keyed by structural
+  fingerprint (object identity and atom order are irrelevant);
+* a parse cache (query text → WDPT) for the session layer;
+* instrumentation: cache hits/misses/evictions, per-engine selection
+  counts, cumulative analysis and engine time.
+
+Routing follows the paper:
+
+* acyclic CQ → Yannakakis (Theorem 3 with ``k = 1``, ``HW(1) = AC``);
+* treewidth bound ≤ ``tw_cutoff`` → bounded-treewidth engine (Theorem 2);
+* otherwise → backtracking (no structural guarantee; EVAL for CQs is
+  NP-complete in general).
+
+The module-level :func:`get_default_planner` provides a process-wide
+planner so free functions (``cqalgs.dispatch.evaluate``, ``wdpt.classes``,
+``wdpt.explain``) share analyses without explicit wiring; a
+:class:`~repro.engine.Session` owns a private planner instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, FrozenSet, List, Mapping as TMapping, Optional
+
+from ..core.atoms import Atom
+from ..core.cq import ConjunctiveQuery
+from ..core.database import Database
+from ..core.mappings import Mapping
+from ..core.terms import Term, Variable
+from ..cqalgs.naive import evaluate_naive, satisfiable
+from ..cqalgs.structured import (
+    evaluate_bounded_hypertreewidth,
+    evaluate_bounded_treewidth,
+)
+from ..cqalgs.yannakakis import evaluate_with_join_tree
+from ..hypergraphs.treedecomp import TreeDecomposition
+from ..wdpt.wdpt import WDPT
+from .cache import PlanCache
+from .plan import (
+    ENGINE_NAIVE,
+    ENGINE_TREEWIDTH,
+    ENGINE_YANNAKAKIS,
+    QueryPlan,
+)
+from .profile import StructuralProfile, TreeProfile
+
+#: Treewidth (heuristic upper bound) below which the TD engine is preferred.
+DEFAULT_TW_CUTOFF = 3
+
+
+class Planner:
+    """Memoized structural analysis plus plan-aware engine routing."""
+
+    def __init__(
+        self,
+        profile_cache_size: int = 256,
+        parse_cache_size: int = 256,
+        tw_cutoff: int = DEFAULT_TW_CUTOFF,
+    ):
+        self.profiles = PlanCache(profile_cache_size)
+        self.parses = PlanCache(parse_cache_size)
+        self.tw_cutoff = tw_cutoff
+        self.engine_selections: Dict[str, int] = {}
+        self.analysis_seconds = 0.0
+        self.engine_seconds = 0.0
+        self.plans_built = 0
+
+    # ------------------------------------------------------------------
+    # Profiles (memoized by structural fingerprint)
+    # ------------------------------------------------------------------
+    def profile_cq(self, query: ConjunctiveQuery) -> StructuralProfile:
+        """The memoized structural profile of ``query``."""
+        key = query.structural_fingerprint()
+        profile = self.profiles.get(key)
+        if profile is None:
+            profile = StructuralProfile(
+                sorted(query.atoms),
+                free_variables=query.free_variables,
+                on_analysis=self._on_analysis,
+            )
+            self.profiles.put(key, profile)
+        return profile
+
+    def profile_wdpt(self, p: WDPT) -> TreeProfile:
+        """The memoized structural profile of a pattern tree — one shared
+        analysis for classes, EXPLAIN, and the Theorem 6/8/9 algorithms."""
+        key = p.structural_fingerprint()
+        profile = self.profiles.get(key)
+        if profile is None:
+            profile = TreeProfile(p, on_analysis=self._on_analysis)
+            self.profiles.put(key, profile)
+        return profile
+
+    def _on_analysis(self, seconds: float) -> None:
+        self.analysis_seconds += seconds
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    def plan_cq(self, query: ConjunctiveQuery) -> QueryPlan:
+        """The plan for ``query``: engine + justification + structures."""
+        profile = self.profile_cq(query)
+        return self._plan_for_profile(query.structural_fingerprint(), profile)
+
+    def _plan_for_profile(self, fingerprint: str, profile: StructuralProfile) -> QueryPlan:
+        self.plans_built += 1
+        if profile.is_acyclic:
+            return QueryPlan(
+                fingerprint,
+                ENGINE_YANNAKAKIS,
+                "Theorem 3, k=1 (HW(1) = AC): Yannakakis over the memoized join tree",
+                profile,
+            )
+        if profile.treewidth_upper <= self.tw_cutoff:
+            return QueryPlan(
+                fingerprint,
+                ENGINE_TREEWIDTH,
+                "Theorem 2: TW(%d) bounded-treewidth engine over the memoized decomposition"
+                % profile.treewidth_upper,
+                profile,
+            )
+        return QueryPlan(
+            fingerprint,
+            ENGINE_NAIVE,
+            "no structural bound (Theorem 1 regime): backtracking search",
+            profile,
+        )
+
+    def evaluate_cq(self, query: ConjunctiveQuery, db: Database) -> FrozenSet:
+        """``q(D)`` through the plan-aware router (the ``auto`` method)."""
+        plan = self.plan_cq(query)
+        start = time.perf_counter()
+        try:
+            if plan.engine == ENGINE_YANNAKAKIS:
+                return evaluate_with_join_tree(
+                    query, db, plan.profile.sorted_atoms, plan.profile.join_tree
+                )
+            if plan.engine == ENGINE_TREEWIDTH:
+                return evaluate_bounded_treewidth(
+                    query, db, decomposition=plan.profile.tree_decomposition
+                )
+            return evaluate_naive(query, db)
+        finally:
+            self._record_engine(plan.engine, time.perf_counter() - start)
+
+    def _record_engine(self, engine: str, seconds: float) -> None:
+        self.engine_seconds += seconds
+        self.engine_selections[engine] = self.engine_selections.get(engine, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Substituted satisfiability (the Theorem 6/8/9 inner loop)
+    # ------------------------------------------------------------------
+    def satisfiable_substituted(
+        self,
+        profile: StructuralProfile,
+        substitution: TMapping[Variable, Term],
+        db: Database,
+        method: str = "auto",
+    ) -> bool:
+        """Is the Boolean CQ ``σ(atoms)`` satisfiable over ``db``, where
+        ``atoms`` is the (unsubstituted) atom set profiled by ``profile``?
+
+        Routing uses the *unsubstituted* profile — sound because
+        substitution only removes hypergraph vertices, and acyclicity /
+        treewidth are monotone under vertex removal — so one analysis
+        serves every candidate mapping.
+        """
+        atoms: List[Atom] = [a.substitute(substitution) for a in profile.sorted_atoms]
+        if method == "naive":
+            return satisfiable(atoms, db)
+        if method not in ("auto",):
+            # Explicit engine: build the substituted Boolean CQ and run it.
+            q = ConjunctiveQuery((), atoms)
+            start = time.perf_counter()
+            try:
+                if method == "yannakakis":
+                    from ..cqalgs.yannakakis import evaluate_acyclic
+
+                    return bool(evaluate_acyclic(q, db))
+                if method == "treewidth":
+                    return bool(evaluate_bounded_treewidth(q, db))
+                if method == "hypertreewidth":
+                    return bool(evaluate_bounded_hypertreewidth(q, db))
+            finally:
+                self._record_engine(method, time.perf_counter() - start)
+            raise ValueError("unknown method %r" % (method,))
+        plan = self._plan_for_profile("", profile)
+        start = time.perf_counter()
+        try:
+            if plan.engine == ENGINE_YANNAKAKIS:
+                q = ConjunctiveQuery((), atoms)
+                return bool(
+                    evaluate_with_join_tree(q, db, atoms, profile.join_tree)
+                )
+            if plan.engine == ENGINE_TREEWIDTH:
+                q = ConjunctiveQuery((), atoms)
+                td = _restrict_decomposition(
+                    profile.tree_decomposition,
+                    frozenset(v for a in atoms for v in a.variables()),
+                )
+                return bool(evaluate_bounded_treewidth(q, db, decomposition=td))
+            return satisfiable(atoms, db)
+        finally:
+            self._record_engine(plan.engine, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # Parse cache (session layer)
+    # ------------------------------------------------------------------
+    def cached_parse(self, text: str, parse: Callable[[str], WDPT]) -> WDPT:
+        """Parse ``text`` through the LRU parse cache."""
+        cached = self.parses.get(text)
+        if cached is not None:
+            return cached
+        return self.parses.put(text, parse(text))
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def cache_hit_rate(self) -> float:
+        """Hit rate of the structural-profile cache."""
+        return self.profiles.hit_rate()
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for ``session.stats()`` and the benchmark tables."""
+        subtree_hits = subtree_misses = 0
+        for key in list(self.profiles._data.keys()):
+            profile = self.profiles._data.get(key)
+            if isinstance(profile, TreeProfile):
+                subtree_hits += profile.subtree_hits
+                subtree_misses += profile.subtree_misses
+        return {
+            "plan_cache": self.profiles.stats(),
+            "parse_cache": self.parses.stats(),
+            "subtree_profiles": {"hits": subtree_hits, "misses": subtree_misses},
+            "engine_selections": dict(self.engine_selections),
+            "plans_built": self.plans_built,
+            "analysis_seconds": self.analysis_seconds,
+            "engine_seconds": self.engine_seconds,
+        }
+
+    def reset_counters(self) -> None:
+        """Zero all counters (cached analyses are kept)."""
+        self.profiles.hits = self.profiles.misses = self.profiles.evictions = 0
+        self.parses.hits = self.parses.misses = self.parses.evictions = 0
+        self.engine_selections.clear()
+        self.analysis_seconds = 0.0
+        self.engine_seconds = 0.0
+        self.plans_built = 0
+
+    def __repr__(self) -> str:
+        return "Planner(%d cached profiles, hit rate %.0f%%)" % (
+            len(self.profiles),
+            100 * self.cache_hit_rate(),
+        )
+
+
+def _restrict_decomposition(
+    td: TreeDecomposition, keep: FrozenSet
+) -> TreeDecomposition:
+    """The decomposition with every bag intersected with ``keep``.
+
+    Valid for the vertex-removed (substituted) hypergraph: per-vertex
+    connectedness is unchanged for surviving vertices, and every surviving
+    atom's variables sit inside the intersection of its original bag with
+    ``keep``.
+    """
+    return TreeDecomposition([bag & keep for bag in td.bags], td.tree_edges)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default planner
+# ---------------------------------------------------------------------------
+_default_planner: Optional[Planner] = None
+
+
+def get_default_planner() -> Planner:
+    """The process-wide planner used by free functions when no explicit
+    planner is passed."""
+    global _default_planner
+    if _default_planner is None:
+        _default_planner = Planner()
+    return _default_planner
+
+
+def set_default_planner(planner: Optional[Planner]) -> None:
+    """Install (or, with ``None``, reset) the process-wide planner."""
+    global _default_planner
+    _default_planner = planner

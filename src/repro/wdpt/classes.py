@@ -19,95 +19,89 @@ Also here: Proposition 2's containment
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional, TYPE_CHECKING
 
 from ..core.cq import ConjunctiveQuery
 from ..hypergraphs.beta import beta_hypertreewidth_at_most
 from ..hypergraphs.hypergraph import hypergraph_of_atoms
-from ..hypergraphs.hypertree import hypertreewidth_at_most
 from ..hypergraphs.treewidth import treewidth_at_most
-from .subtrees import interface_to_children
 from .wdpt import WDPT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..planner.planner import Planner
+    from ..planner.profile import TreeProfile
+
+
+def _tree_profile(p: WDPT, planner: "Optional[Planner]") -> "TreeProfile":
+    """The shared structural profile of ``p`` (per-node and global widths
+    are computed once per tree shape and memoized in the plan cache)."""
+    if planner is None:
+        from ..planner.planner import get_default_planner
+
+        planner = get_default_planner()
+    return planner.profile_wdpt(p)
 
 
 # ---------------------------------------------------------------------------
 # Local tractability
 # ---------------------------------------------------------------------------
-def is_locally_in_tw(p: WDPT, k: int) -> bool:
+def is_locally_in_tw(p: WDPT, k: int, planner: "Optional[Planner]" = None) -> bool:
     """``p ∈ ℓ-TW(k)``: each node's atom set has treewidth ≤ k."""
-    return all(
-        treewidth_at_most(hypergraph_of_atoms(label), k) for label in p.labels
-    )
+    return _tree_profile(p, planner).locally_in_tw(k)
 
 
-def is_locally_in_hw(p: WDPT, k: int) -> bool:
+def is_locally_in_hw(p: WDPT, k: int, planner: "Optional[Planner]" = None) -> bool:
     """``p ∈ ℓ-HW(k)``: each node's atom set has hypertreewidth ≤ k."""
-    return all(
-        hypertreewidth_at_most(hypergraph_of_atoms(label), k) for label in p.labels
-    )
+    return _tree_profile(p, planner).locally_in_hw(k)
 
 
 # ---------------------------------------------------------------------------
 # Bounded interface
 # ---------------------------------------------------------------------------
-def interface_width(p: WDPT) -> int:
+def interface_width(p: WDPT, planner: "Optional[Planner]" = None) -> int:
     """The smallest ``c`` with ``p ∈ BI(c)``: the maximum, over nodes, of
     the number of variables shared with the node's children."""
-    return max(
-        (len(interface_to_children(p, n)) for n in p.tree.nodes()), default=0
-    )
+    return _tree_profile(p, planner).interface_width
 
 
-def has_bounded_interface(p: WDPT, c: int) -> bool:
+def has_bounded_interface(p: WDPT, c: int, planner: "Optional[Planner]" = None) -> bool:
     """``p ∈ BI(c)``."""
-    return interface_width(p) <= c
+    return interface_width(p, planner=planner) <= c
 
 
 # ---------------------------------------------------------------------------
 # Global tractability
 # ---------------------------------------------------------------------------
-def is_globally_in_tw(p: WDPT, k: int) -> bool:
+def is_globally_in_tw(p: WDPT, k: int, planner: "Optional[Planner]" = None) -> bool:
     """``p ∈ g-TW(k)``.
 
     Collapses to a single check on the full tree: for every rooted subtree
     ``T'`` the hypergraph of ``q_{T'}`` is a subhypergraph of that of
     ``q_T``, and treewidth never increases under subhypergraphs.
     """
-    return treewidth_at_most(hypergraph_of_atoms(p.atoms_of(p.tree.nodes())), k)
+    return _tree_profile(p, planner).globally_in_tw(k)
 
 
-def is_globally_in_hw(p: WDPT, k: int) -> bool:
+def is_globally_in_hw(p: WDPT, k: int, planner: "Optional[Planner]" = None) -> bool:
     """``p ∈ g-HW(k)``: every rooted subtree's CQ has hypertreewidth ≤ k.
 
     Fast path: β-hypertreewidth ≤ k of the full CQ implies membership
     (``HW'(k) ⊆ HW(k)`` and is subquery-closed).  Otherwise rooted subtrees
     are enumerated — exponential in tree size, matching the paper's remark
-    that recognizing global tractability is itself non-trivial for HW.
+    that recognizing global tractability is itself non-trivial for HW —
+    against memoized subtree profiles.
     """
-    full = hypergraph_of_atoms(p.atoms_of(p.tree.nodes()))
-    if not hypertreewidth_at_most(full, k):
-        return False  # T itself is a rooted subtree
-    try:
-        if beta_hypertreewidth_at_most(full, k):
-            return True
-    except Exception:  # budget exceeded on the fast path: fall through
-        pass
-    return all(
-        hypertreewidth_at_most(hypergraph_of_atoms(p.atoms_of(nodes)), k)
-        for nodes in p.tree.rooted_subtrees()
-    )
+    return _tree_profile(p, planner).globally_in_hw(k)
 
 
-def is_globally_in_beta_hw(p: WDPT, k: int) -> bool:
+def is_globally_in_beta_hw(p: WDPT, k: int, planner: "Optional[Planner]" = None) -> bool:
     """``p ∈ g-HW'(k)``.
 
     ``HW'(k)`` is subquery-closed, so it suffices that ``q_T ∈ HW'(k)``
     (the full tree is itself a rooted subtree, and every ``q_{T'}`` is a
     subquery of ``q_T``).
     """
-    return beta_hypertreewidth_at_most(
-        hypergraph_of_atoms(p.atoms_of(p.tree.nodes())), k
-    )
+    return _tree_profile(p, planner).globally_in_beta_hw(k)
 
 
 # ---------------------------------------------------------------------------

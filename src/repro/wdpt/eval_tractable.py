@@ -44,7 +44,7 @@ under local tractability, mirroring the LOGCFL bound of Theorem 7.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from ..core.atoms import Atom
 from ..core.database import Database
@@ -59,16 +59,26 @@ from .subtrees import (
 from .tree import ROOT
 from .wdpt import WDPT
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..planner.planner import Planner
 
-def eval_tractable(p: WDPT, db: Database, h: Mapping, method: str = "naive") -> bool:
+
+def eval_tractable(
+    p: WDPT,
+    db: Database,
+    h: Mapping,
+    method: str = "naive",
+    planner: "Optional[Planner]" = None,
+) -> bool:
     """``EVAL`` via the Theorem 6 dynamic program: is ``h ∈ p(D)``?
 
     Correct for every WDPT; polynomial when ``p`` is locally tractable with
     bounded interface.  ``method`` selects the per-node CQ backend:
     ``"naive"`` backtracking (default) or ``"auto"`` to route node checks
-    through the structure-exploiting engines of
-    :mod:`repro.cqalgs.dispatch` — the configuration matching Theorem 7's
-    LOGCFL bound when nodes are in ``TW(k)``/``HW(k)``.
+    through the planner's memoized per-node profiles (the node label's join
+    tree / decomposition is analysed once and reused for every interface
+    assignment σ) — the configuration matching Theorem 7's LOGCFL bound
+    when nodes are in ``TW(k)``/``HW(k)``.
     """
     frees = frozenset(p.free_variables)
     dom = h.domain()
@@ -88,7 +98,7 @@ def eval_tractable(p: WDPT, db: Database, h: Mapping, method: str = "naive") -> 
         return False
     assert mandatory <= allowed
 
-    dp = _InterfaceDP(p, db, h, mandatory, allowed, method=method)
+    dp = _InterfaceDP(p, db, h, mandatory, allowed, method=method, planner=planner)
     return dp.node_in(ROOT, Mapping())
 
 
@@ -103,6 +113,7 @@ class _InterfaceDP:
         mandatory: FrozenSet[int],
         allowed: FrozenSet[int],
         method: str = "naive",
+        planner: "Optional[Planner]" = None,
     ):
         self.p = p
         self.db = db
@@ -110,6 +121,16 @@ class _InterfaceDP:
         self.mandatory = mandatory
         self.allowed = allowed
         self.method = method
+        if method == "naive":
+            self.planner = None
+            self.tree_profile = None
+        else:
+            if planner is None:
+                from ..planner.planner import get_default_planner
+
+                planner = get_default_planner()
+            self.planner = planner
+            self.tree_profile = planner.profile_wdpt(p)
         self._in_memo: Dict[Tuple[int, Mapping], bool] = {}
         self._blocked_memo: Dict[Tuple[int, Mapping], bool] = {}
 
@@ -120,18 +141,18 @@ class _InterfaceDP:
         key = (node, sigma)
         cached = self._blocked_memo.get(key)
         if cached is None:
-            cached = not self._satisfiable(self.p.labels[node], sigma)
+            cached = not self._satisfiable(node, sigma)
             self._blocked_memo[key] = cached
         return cached
 
-    def _satisfiable(self, atoms, pre: Mapping) -> bool:
+    def _satisfiable(self, node: int, pre: Mapping) -> bool:
+        """Satisfiability of ``σ(λ(node))``: naive backtracking, or the
+        planner routing on the node's memoized (unsubstituted) profile."""
         if self.method == "naive":
-            return satisfiable(atoms, self.db, pre)
-        from ..core.cq import ConjunctiveQuery
-        from ..cqalgs.dispatch import evaluate as cq_evaluate
-
-        substituted = [a.substitute(pre.as_dict()) for a in atoms]
-        return bool(cq_evaluate(ConjunctiveQuery((), substituted), self.db, method=self.method))
+            return satisfiable(self.p.labels[node], self.db, pre)
+        return self.planner.satisfiable_substituted(
+            self.tree_profile.node_profile(node), pre.as_dict(), self.db, method=self.method
+        )
 
     # ------------------------------------------------------------------
     # IN(t, σ)
@@ -152,7 +173,7 @@ class _InterfaceDP:
 
         children = p.tree.children(node)
         if not children:
-            return self._satisfiable(p.labels[node], pinned)
+            return self._satisfiable(node, pinned)
 
         # Child-interface variables not already pinned.
         interface: Set[Variable] = set()
@@ -162,7 +183,7 @@ class _InterfaceDP:
 
         for tau in self._interface_candidates(node, open_interface, pinned):
             g = pinned.union(tau)
-            if not self._satisfiable(p.labels[node], g):
+            if not self._satisfiable(node, g):
                 continue
             if self._children_handled(node, children, g):
                 return True

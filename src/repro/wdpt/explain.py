@@ -1,7 +1,7 @@
 """EXPLAIN for pattern trees: which of the paper's tractability conditions
 does a query satisfy, and which algorithm will therefore run?
 
-:func:`explain` computes the full structural profile of a WDPT — per-node
+:func:`explain` reads the full structural profile of a WDPT — per-node
 treewidth, interface width, global widths, class membership for the
 relevant ``k``/``c`` — and derives the paper-backed routing decisions:
 
@@ -11,45 +11,54 @@ relevant ``k``/``c`` — and derives the paper-backed routing decisions:
 * ``PARTIAL-EVAL`` / ``MAX-EVAL``: Theorems 8/9 (LOGCFL) under global
   tractability; NP/DP-hard otherwise (Propositions 1/4).
 
-The report renders as a table and is used by the examples; it is a
+The structural analysis itself lives in :mod:`repro.planner`: EXPLAIN asks
+the planner for the tree's memoized :class:`~repro.planner.profile.TreeProfile`,
+so the widths it prints are the same objects the evaluation algorithms
+route on — profiling a query warms the cache for evaluating it, and vice
+versa.  The report renders as a table and is used by the examples; it is a
 diagnostics tool, not a query optimizer.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
-from ..hypergraphs.hypergraph import hypergraph_of_atoms
-from ..hypergraphs.hypertree import hypertreewidth_exact
-from ..hypergraphs.treewidth import treewidth_exact
-from ..exceptions import BudgetExceededError
-from .classes import interface_width
-from .subtrees import interface_to_children
 from .wdpt import WDPT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..planner.planner import Planner
 
 
 class WDPTProfile:
-    """Structural profile of a WDPT (see :func:`explain`)."""
+    """Structural profile of a WDPT (see :func:`explain`).
 
-    def __init__(self, p: WDPT):
+    A thin, display-oriented view over the planner's memoized
+    :class:`~repro.planner.profile.TreeProfile`.
+    """
+
+    def __init__(self, p: WDPT, planner: "Optional[Planner]" = None):
+        if planner is None:
+            from ..planner.planner import get_default_planner
+
+            planner = get_default_planner()
+        tp = planner.profile_wdpt(p)
+        self.tree_profile = tp
+        self.fingerprint = tp.fingerprint
         self.tree_size = len(p.tree)
         self.size = p.size()
         self.n_variables = len(p.variables())
         self.n_free = len(p.free_variables)
         self.projection_free = p.is_projection_free()
-        self.node_treewidths: List[Optional[int]] = []
-        self.node_hypertreewidths: List[Optional[int]] = []
-        for label in p.labels:
-            H = hypergraph_of_atoms(label)
-            self.node_treewidths.append(_safe(lambda: treewidth_exact(H)))
-            self.node_hypertreewidths.append(_safe(lambda: hypertreewidth_exact(H)))
-        self.interface_width = interface_width(p)
-        self.node_interfaces = [
-            len(interface_to_children(p, n)) for n in p.tree.nodes()
+        self.node_treewidths: List[Optional[int]] = [
+            tp.node_profile(n).treewidth for n in p.tree.nodes()
         ]
-        full = hypergraph_of_atoms(p.atoms_of(p.tree.nodes()))
-        self.global_treewidth = _safe(lambda: treewidth_exact(full))
-        self.global_hypertreewidth = _safe(lambda: hypertreewidth_exact(full))
+        self.node_hypertreewidths: List[Optional[int]] = [
+            tp.node_profile(n).hypertreewidth for n in p.tree.nodes()
+        ]
+        self.interface_width = tp.interface_width
+        self.node_interfaces = tp.node_interfaces()
+        self.global_treewidth = tp.global_profile.treewidth
+        self.global_hypertreewidth = tp.global_profile.hypertreewidth
 
     @property
     def local_treewidth(self) -> Optional[int]:
@@ -88,6 +97,7 @@ class WDPTProfile:
             ["interface width (BI)", self.interface_width],
             ["global treewidth (g-TW)", _fmt(self.global_treewidth)],
             ["global hypertreewidth", _fmt(self.global_hypertreewidth)],
+            ["fingerprint", self.fingerprint[:12]],
             ["EVAL route", self.eval_route()],
             ["PARTIAL/MAX-EVAL route", self.partial_eval_route()],
         ]
@@ -97,8 +107,9 @@ class WDPTProfile:
         return self.as_table()
 
 
-def explain(p: WDPT) -> WDPTProfile:
-    """Profile ``p`` against the paper's tractability conditions.
+def explain(p: WDPT, planner: "Optional[Planner]" = None) -> WDPTProfile:
+    """Profile ``p`` against the paper's tractability conditions, through
+    the (default or supplied) planner's memoized analysis.
 
     >>> from repro.workloads.families import figure1_wdpt
     >>> profile = explain(figure1_wdpt())
@@ -107,14 +118,7 @@ def explain(p: WDPT) -> WDPTProfile:
     >>> profile.global_treewidth
     1
     """
-    return WDPTProfile(p)
-
-
-def _safe(fn):
-    try:
-        return fn()
-    except BudgetExceededError:
-        return None
+    return WDPTProfile(p, planner=planner)
 
 
 def _fmt(value: Optional[int]) -> str:

@@ -20,6 +20,8 @@ under global tractability — matching Theorem 9.
 
 from __future__ import annotations
 
+from typing import Optional, TYPE_CHECKING
+
 from ..core.database import Database
 from ..core.mappings import Mapping
 from ..cqalgs.naive import satisfiable
@@ -27,29 +29,47 @@ from .partial_eval import partial_eval
 from .subtrees import minimal_subtree_containing
 from .wdpt import WDPT
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..planner.planner import Planner
 
-def max_eval(p: WDPT, db: Database, h: Mapping, method: str = "naive") -> bool:
+
+def max_eval(
+    p: WDPT,
+    db: Database,
+    h: Mapping,
+    method: str = "naive",
+    planner: "Optional[Planner]" = None,
+) -> bool:
     """``MAX-EVAL``: is ``h ∈ p_m(D)``?"""
-    if not partial_eval(p, db, h, method=method):
+    if not partial_eval(p, db, h, method=method, planner=planner):
         return False
     dom = h.domain()
     for y in p.free_variables:
         if y in dom:
             continue
-        if _extension_exists(p, db, h, y, method):
+        if _extension_exists(p, db, h, y, method, planner=planner):
             return False
     return True
 
 
-def _extension_exists(p: WDPT, db: Database, h: Mapping, y, method: str) -> bool:
+def _extension_exists(
+    p: WDPT,
+    db: Database,
+    h: Mapping,
+    y,
+    method: str,
+    planner: "Optional[Planner]" = None,
+) -> bool:
     """Is some ``h ∪ {y ↦ v}`` a partial answer?  Equivalently: is the
     minimal subtree for ``dom(h) ∪ {y}``, with ``h`` substituted and ``y``
     left open, satisfiable?"""
     subtree = minimal_subtree_containing(p, set(h.domain()) | {y})
-    atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
     if method == "naive":
+        atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
         return satisfiable(atoms, db)
-    from ..core.cq import ConjunctiveQuery
-    from ..cqalgs.dispatch import evaluate as cq_evaluate
+    if planner is None:
+        from ..planner.planner import get_default_planner
 
-    return bool(cq_evaluate(ConjunctiveQuery((), atoms), db, method=method))
+        planner = get_default_planner()
+    sub_profile = planner.profile_wdpt(p).subtree_profile(subtree)
+    return planner.satisfiable_substituted(sub_profile, h.as_dict(), db, method=method)

@@ -15,24 +15,34 @@ of the projections.  So it suffices to
    tractable, hence LOGCFL by Theorems 2/3.
 
 ``method`` selects the CQ backend: ``"naive"`` backtracking or the
-structure-exploiting engines (``"auto"`` routes through
-:mod:`repro.cqalgs.dispatch`).
+structure-exploiting engines.  Non-naive methods go through the planner:
+the subtree's structural profile (join tree / decomposition) is computed
+once per subtree *shape* and reused across candidate mappings — sound
+because substituting ``h`` only removes hypergraph vertices, under which
+acyclicity and treewidth are monotone.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import FrozenSet, Optional, TYPE_CHECKING
 
-from ..core.cq import ConjunctiveQuery
 from ..core.database import Database
 from ..core.mappings import Mapping
-from ..cqalgs.dispatch import evaluate as cq_evaluate
 from ..cqalgs.naive import satisfiable
 from .subtrees import minimal_subtree_containing
 from .wdpt import WDPT
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..planner.planner import Planner
 
-def partial_eval(p: WDPT, db: Database, h: Mapping, method: str = "naive") -> bool:
+
+def partial_eval(
+    p: WDPT,
+    db: Database,
+    h: Mapping,
+    method: str = "naive",
+    planner: "Optional[Planner]" = None,
+) -> bool:
     """``PARTIAL-EVAL``: is there ``h' ∈ p(D)`` with ``h ⊑ h'``?
 
     Answers of ``p`` are defined on subsets of ``x̄``, so a mapping using a
@@ -44,11 +54,17 @@ def partial_eval(p: WDPT, db: Database, h: Mapping, method: str = "naive") -> bo
     if not dom <= p.variables():
         return False
     subtree = minimal_subtree_containing(p, dom)
-    atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
     if method == "naive":
+        atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
         return satisfiable(atoms, db)
-    # Non-emptiness of the substituted subtree CQ, as a Boolean query.
-    return bool(cq_evaluate(ConjunctiveQuery((), atoms), db, method=method))
+    # Non-emptiness of the substituted subtree CQ, routed on the memoized
+    # profile of its unsubstituted shape.
+    if planner is None:
+        from ..planner.planner import get_default_planner
+
+        planner = get_default_planner()
+    sub_profile = planner.profile_wdpt(p).subtree_profile(subtree)
+    return planner.satisfiable_substituted(sub_profile, h.as_dict(), db, method=method)
 
 
 def partial_answers(p: WDPT, db: Database) -> FrozenSet[Mapping]:

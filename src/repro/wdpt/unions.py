@@ -23,7 +23,7 @@ cheaper than for single WDPTs through the ``φ_cq`` translation:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from ..core.cq import ConjunctiveQuery
 from ..core.database import Database
@@ -37,6 +37,9 @@ from .evaluation import evaluate as wdpt_evaluate
 from .partial_eval import partial_eval as wdpt_partial_eval
 from .subtrees import subtree_free_variables
 from .wdpt import WDPT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..planner.planner import Planner
 
 
 class UWDPT:
@@ -95,20 +98,35 @@ def union_eval(phi: UWDPT, db: Database, h: Mapping) -> bool:
     return any(h in wdpt_evaluate(p, db) for p in phi)
 
 
-def union_partial_eval(phi: UWDPT, db: Database, h: Mapping, method: str = "naive") -> bool:
+def union_partial_eval(
+    phi: UWDPT,
+    db: Database,
+    h: Mapping,
+    method: str = "naive",
+    planner: "Optional[Planner]" = None,
+) -> bool:
     """``⋃-PARTIAL-EVAL``: does some ``h' ∈ φ(D)`` extend ``h``?
-    LOGCFL-style: one Theorem 8 call per member."""
-    return any(wdpt_partial_eval(p, db, h, method=method) for p in phi)
+    LOGCFL-style: one Theorem 8 call per member (sharing one planner's
+    memoized subtree profiles across members and candidate mappings)."""
+    return any(
+        wdpt_partial_eval(p, db, h, method=method, planner=planner) for p in phi
+    )
 
 
-def union_max_eval(phi: UWDPT, db: Database, h: Mapping, method: str = "naive") -> bool:
+def union_max_eval(
+    phi: UWDPT,
+    db: Database,
+    h: Mapping,
+    method: str = "naive",
+    planner: "Optional[Planner]" = None,
+) -> bool:
     """``⋃-MAX-EVAL``: is ``h`` a ⊑-maximal answer of ``φ(D)``?
 
     ``h`` must be a partial answer of the union, and no member may admit a
     partial answer properly extending it (single-variable extensions
     suffice — restrictions of partial answers are partial answers).
     """
-    if not union_partial_eval(phi, db, h, method=method):
+    if not union_partial_eval(phi, db, h, method=method, planner=planner):
         return False
     for p in phi:
         if not h.domain() <= frozenset(p.free_variables):
@@ -118,7 +136,7 @@ def union_max_eval(phi: UWDPT, db: Database, h: Mapping, method: str = "naive") 
                 continue
             from .max_eval import _extension_exists
 
-            if _extension_exists(p, db, h, y, method):
+            if _extension_exists(p, db, h, y, method, planner=planner):
                 return False
     return True
 
@@ -154,7 +172,12 @@ def phi_cq_reduced(phi: UWDPT) -> List[ConjunctiveQuery]:
 # ---------------------------------------------------------------------------
 # Subsumption between unions
 # ---------------------------------------------------------------------------
-def union_subsumed_by(phi1: UWDPT, phi2: UWDPT, method: str = "naive") -> bool:
+def union_subsumed_by(
+    phi1: UWDPT,
+    phi2: UWDPT,
+    method: str = "naive",
+    planner: "Optional[Planner]" = None,
+) -> bool:
     """``φ₁ ⊑ φ₂``: for every database, every answer of ``φ₁`` is subsumed
     by an answer of ``φ₂``.
 
@@ -167,16 +190,21 @@ def union_subsumed_by(phi1: UWDPT, phi2: UWDPT, method: str = "naive") -> bool:
         for subtree in p.tree.rooted_subtrees():
             db = canonical_database_of_atoms(p.atoms_of(subtree))
             nu = freezing_of(subtree_free_variables(p, subtree))
-            if not union_partial_eval(phi2, db, nu, method=method):
+            if not union_partial_eval(phi2, db, nu, method=method, planner=planner):
                 return False
     return True
 
 
-def union_subsumption_equivalent(phi1: UWDPT, phi2: UWDPT, method: str = "naive") -> bool:
+def union_subsumption_equivalent(
+    phi1: UWDPT,
+    phi2: UWDPT,
+    method: str = "naive",
+    planner: "Optional[Planner]" = None,
+) -> bool:
     """``φ₁ ≡ₛ φ₂``."""
-    return union_subsumed_by(phi1, phi2, method=method) and union_subsumed_by(
-        phi2, phi1, method=method
-    )
+    return union_subsumed_by(
+        phi1, phi2, method=method, planner=planner
+    ) and union_subsumed_by(phi2, phi1, method=method, planner=planner)
 
 
 def as_union_of_cqs(queries: Sequence[ConjunctiveQuery]) -> UWDPT:
@@ -217,7 +245,12 @@ def uwb_approximation(phi: UWDPT, k: int, variant: str = WB_TW) -> UWDPT:
 
 
 def is_uwb_approximation(
-    phi_prime: UWDPT, phi: UWDPT, k: int, variant: str = WB_TW, method: str = "naive"
+    phi_prime: UWDPT,
+    phi: UWDPT,
+    k: int,
+    variant: str = WB_TW,
+    method: str = "naive",
+    planner: "Optional[Planner]" = None,
 ) -> bool:
     """Proposition 10's decision procedure: ``φ'`` is a
     ``UWB(k)``-approximation of ``φ`` iff ``φ' ⊑ φ`` and the canonical
@@ -227,7 +260,7 @@ def is_uwb_approximation(
 
     if not all(is_in_wb(p, k, variant) for p in phi_prime):
         return False
-    if not union_subsumed_by(phi_prime, phi, method=method):
+    if not union_subsumed_by(phi_prime, phi, method=method, planner=planner):
         return False
     canonical_app = uwb_approximation(phi, k, variant)
-    return union_subsumed_by(canonical_app, phi_prime, method=method)
+    return union_subsumed_by(canonical_app, phi_prime, method=method, planner=planner)

@@ -63,7 +63,7 @@ class WDPT:
         On malformed labels or free variables.
     """
 
-    __slots__ = ("tree", "labels", "free_variables", "_node_vars", "_hash")
+    __slots__ = ("tree", "labels", "free_variables", "_node_vars", "_hash", "_fingerprint")
 
     def __init__(
         self,
@@ -101,6 +101,7 @@ class WDPT:
         self.free_variables: Tuple[Variable, ...] = tuple(frees)
         self._check_well_designed()
         self._hash = hash((self.tree, self.labels, self.free_variables))
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -143,6 +144,24 @@ class WDPT:
 
     def is_single_node(self) -> bool:
         return len(self.tree) == 1
+
+    def structural_fingerprint(self) -> str:
+        """A stable, canonical key for the tree's structure.
+
+        Independent of object identity, per-node atom ordering, and the
+        per-process hash seed; the tree shape, sorted node labels, and free
+        tuple are serialized and digested.  Used as the plan-cache key by
+        :mod:`repro.planner`.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            parts = ["wdpt|%r" % (tuple(self.tree.parent(n) for n in self.tree.nodes() if n != 0),)]
+            parts.append(",".join(repr(v) for v in self.free_variables))
+            for label in self.labels:
+                parts.append(";".join(repr(a) for a in sorted(label)))
+            self._fingerprint = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derived CQs
