@@ -17,6 +17,7 @@ from repro.benchharness import (
     Series,
     format_planner_stats,
     format_series_table,
+    stage_breakdown,
     time_callable,
 )
 from repro.core.atoms import Atom, atom
@@ -62,12 +63,16 @@ def test_backend_ablation_on_typical_nodes():
         assert partial_eval(query, db, h) == partial_eval(
             query, db, h, method="auto", planner=planner
         )
+    stages = stage_breakdown(
+        lambda: partial_eval(query, db, h, method="auto", planner=planner)
+    )
     print()
     print(
         format_series_table(
             [naive, auto],
             parameter_name="employees/dept",
             cache_hit_rates={auto.name: planner.cache_hit_rate()},
+            stage_seconds={auto.name: stages},
         )
     )
     print(format_planner_stats(planner.stats(), title="planner (auto backend)"))

@@ -15,7 +15,12 @@ Three measurements reproduce the row's shape:
 
 import pytest
 
-from repro.benchharness import Series, format_series_table, time_callable
+from repro.benchharness import (
+    Series,
+    format_series_table,
+    stage_breakdown,
+    time_callable,
+)
 from repro.core.mappings import Mapping
 from repro.wdpt.eval_tractable import eval_tractable
 from repro.wdpt.evaluation import eval_check, evaluate
@@ -61,8 +66,17 @@ def test_tractable_column_polynomial_in_data():
         db = company_directory(n_departments=4, employees_per_department=employees, seed=1)
         h = _answer_for(db, query)
         series.add(4 * employees, time_callable(lambda: eval_tractable(query, db, h), repeats=3))
+    stages = stage_breakdown(
+        lambda: eval_tractable(query, db, h, method="auto")
+    )
     print()
-    print(format_series_table([series], parameter_name="employees"))
+    print(
+        format_series_table(
+            [series],
+            parameter_name="employees",
+            stage_seconds={series.name: stages},
+        )
+    )
     slope = series.loglog_slope()
     assert slope is not None and slope < 2.5, "DP must scale polynomially (got slope %r)" % slope
 

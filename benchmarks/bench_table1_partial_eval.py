@@ -13,6 +13,7 @@ from repro.benchharness import (
     Series,
     format_planner_stats,
     format_series_table,
+    stage_breakdown,
     time_callable,
 )
 from repro.core.atoms import atom
@@ -78,12 +79,16 @@ def test_partial_eval_polynomial_in_data():
                 repeats=3,
             ),
         )
+    stages = stage_breakdown(
+        lambda: partial_eval(query, db, h, method="auto", planner=planner)
+    )
     print()
     print(
         format_series_table(
             [series, auto_series],
             parameter_name="employees",
             cache_hit_rates={auto_series.name: planner.cache_hit_rate()},
+            stage_seconds={auto_series.name: stages},
         )
     )
     print(format_planner_stats(planner.stats(), title="planner (auto runs)"))

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file produced by the repro tracer.
+
+Usage::
+
+    python scripts/validate_trace.py trace.json
+
+Exits non-zero (listing the problems) when the file is missing, is not
+valid JSON, contains no events, or contains malformed events — the CI
+trace-smoke job uses this to fail fast when the instrumentation regresses.
+"""
+
+import json
+import os
+import sys
+
+# Runnable straight from a checkout, before any `pip install -e .`.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.telemetry.export import validate_chrome_trace  # noqa: E402
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        print("error: cannot read %s: %s" % (path, exc), file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print("error: %s is not valid JSON: %s" % (path, exc), file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print("error: %s: %s" % (path, problem), file=sys.stderr)
+        return 1
+    events = payload["traceEvents"] if isinstance(payload, dict) else payload
+    print("%s: OK (%d trace events)" % (path, len(events)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

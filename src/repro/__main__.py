@@ -3,14 +3,19 @@
 Usage::
 
     python -m repro profile  "SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?x age ?a } }"
-    python -m repro run      QUERY  TRIPLES.tsv
+    python -m repro run      QUERY  TRIPLES.tsv  [--analyze] [--trace-out trace.json]
+    python -m repro analyze  QUERY  [TRIPLES.tsv]  [--trace-out trace.json]
     python -m repro demo
 
 * ``profile`` parses the query (surface SPARQL first, the paper's
   algebraic notation as fallback) and prints the EXPLAIN profile — widths,
   interface, and which of the paper's algorithms apply.
 * ``run`` additionally evaluates over a tab/whitespace-separated triples
-  file (one ``subject predicate object`` per line; ``#`` comments).
+  file (one ``subject predicate object`` per line; ``#`` comments);
+  ``--analyze`` appends the EXPLAIN ANALYZE report and ``--trace-out``
+  writes the Chrome ``chrome://tracing`` trace of the execution.
+* ``analyze`` runs EXPLAIN ANALYZE directly (over the paper's Example 2
+  database when no triples file is given).
 * ``demo`` replays the paper's running example.
 """
 
@@ -62,13 +67,49 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from .engine import Session
+
     p = _parse_any(args.query)
-    graph = _load_triples(args.triples)
-    answers = sorted(evaluate(p, graph.to_database()), key=repr)
-    print("%d answer(s) over %d triples:" % (len(answers), len(graph)))
+    session = Session(_load_triples(args.triples))
+    if args.analyze or args.trace_out:
+        report = session.analyze(p)
+        answers = sorted(session.query(p), key=repr)
+    else:
+        report = None
+        answers = sorted(session.query(p), key=repr)
+    print("%d answer(s) over %d facts:" % (len(answers), session.size))
     for answer in answers:
         print("   ", answer)
+    if report is not None and args.analyze:
+        print()
+        print(report.as_text())
+    if report is not None and args.trace_out:
+        _write_trace(report, args.trace_out)
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from .engine import Session
+
+    p = _parse_any(args.query)
+    if args.triples is not None:
+        session = Session(_load_triples(args.triples))
+    else:
+        from .workloads.families import example2_graph
+
+        session = Session(example2_graph())
+    report = session.analyze(p)
+    print(report.as_text())
+    if args.trace_out:
+        _write_trace(report, args.trace_out)
+    return 0
+
+
+def _write_trace(report, path: str) -> None:
+    from .telemetry.export import write_chrome_trace
+
+    events = write_chrome_trace(report.tracer, path)
+    print("wrote %d trace event(s) to %s" % (events, path))
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -100,7 +141,30 @@ def main(argv: Optional[list] = None) -> int:
     p_run = sub.add_parser("run", help="evaluate a query over a triples file")
     p_run.add_argument("query")
     p_run.add_argument("triples", help="whitespace-separated 's p o' lines")
+    p_run.add_argument(
+        "--analyze", action="store_true",
+        help="append the EXPLAIN ANALYZE report to the answers",
+    )
+    p_run.add_argument(
+        "--trace-out", metavar="TRACE.json", default=None,
+        help="write the Chrome trace-event JSON of the execution",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="EXPLAIN ANALYZE a query (Example 2 database unless TRIPLES given)",
+    )
+    p_analyze.add_argument("query")
+    p_analyze.add_argument(
+        "triples", nargs="?", default=None,
+        help="whitespace-separated 's p o' lines (default: paper's Example 2)",
+    )
+    p_analyze.add_argument(
+        "--trace-out", metavar="TRACE.json", default=None,
+        help="write the Chrome trace-event JSON of the execution",
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_demo = sub.add_parser("demo", help="replay the paper's running example")
     p_demo.set_defaults(func=cmd_demo)

@@ -1,13 +1,15 @@
 """Measurement harness: sweeps, growth estimates, table rendering."""
 
 from .reporting import format_planner_stats, format_series_table, format_table
-from .runner import Series, sweep, time_callable
+from .runner import DEFAULT_STAGES, Series, stage_breakdown, sweep, time_callable
 
 __all__ = [
+    "DEFAULT_STAGES",
     "format_planner_stats",
     "format_series_table",
     "format_table",
     "Series",
+    "stage_breakdown",
     "sweep",
     "time_callable",
 ]

@@ -34,6 +34,7 @@ def format_series_table(
     series_list: Sequence[Series],
     parameter_name: str = "n",
     cache_hit_rates: Optional[Mapping[str, float]] = None,
+    stage_seconds: Optional[Mapping[str, Mapping[str, float]]] = None,
 ) -> str:
     """One row per parameter value, one column per series, plus a summary
     line with the log–log slope and step-growth ratio of each series.
@@ -42,6 +43,12 @@ def format_series_table(
     structural-cache hit rate for that run; matching series get a
     ``cache-hit`` summary row (``-`` for series without one, e.g. the
     naive backend that never consults the planner).
+
+    ``stage_seconds`` optionally maps series names to a per-stage time
+    breakdown (``{"analysis": s, "engine": s, "semijoin": s}`` from
+    :func:`repro.benchharness.runner.stage_breakdown`); each stage becomes
+    a ``t[stage]`` summary row, with ``-`` for series that have no
+    measurement for it.
     """
     parameters = sorted({p for s in series_list for p, _ in s.points})
     headers = [parameter_name] + [s.name for s in series_list]
@@ -67,6 +74,22 @@ def format_series_table(
             rate = cache_hit_rates.get(s.name)
             hit_row.append("%.0f%%" % (100 * rate) if rate is not None else "-")
         rows.append(hit_row)
+    if stage_seconds is not None:
+        stages: List[str] = []
+        for breakdown in stage_seconds.values():
+            for stage in breakdown:
+                if stage not in stages:
+                    stages.append(stage)
+        for stage in stages:
+            stage_row: List[object] = ["t[%s]" % stage]
+            for s in series_list:
+                breakdown = stage_seconds.get(s.name)
+                stage_row.append(
+                    _fmt_seconds(breakdown[stage])
+                    if breakdown is not None and stage in breakdown
+                    else "-"
+                )
+            rows.append(stage_row)
     return format_table(headers, rows)
 
 

@@ -16,7 +16,38 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Span names rolled up into the coarse pipeline stages benchmarks report:
+#: structural analysis vs. CQ-engine time vs. the Yannakakis semijoin
+#: passes within it (semijoin time is a subset of engine time).
+DEFAULT_STAGES: Sequence[Tuple[str, Tuple[str, ...]]] = (
+    ("analysis", ("session.parse", "session.profile", "planner.profile",
+                  "planner.explain")),
+    ("engine", ("planner.evaluate_cq", "planner.satisfiable")),
+    ("semijoin", ("yannakakis.scan", "yannakakis.semijoin_up",
+                  "yannakakis.semijoin_down")),
+)
+
+
+def stage_breakdown(
+    fn: Callable[[], object],
+    stages: Sequence[Tuple[str, Tuple[str, ...]]] = DEFAULT_STAGES,
+) -> Dict[str, float]:
+    """Run ``fn()`` once under a fresh tracer and roll the recorded spans
+    up into ``{stage: seconds}`` — the per-stage columns of the benchmark
+    tables.  The instrumented code paths see the tracer through
+    :func:`repro.telemetry.tracer.current_tracer`, so this works for any
+    workload routed through the Session/planner/engines."""
+    from ..telemetry.tracer import Tracer, tracing
+
+    tracer = Tracer()
+    with tracing(tracer):
+        fn()
+    return {
+        stage: sum(tracer.total_seconds(name) for name in names)
+        for stage, names in stages
+    }
 
 
 def time_callable(fn: Callable[[], object], repeats: int = 3) -> float:

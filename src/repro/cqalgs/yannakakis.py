@@ -21,6 +21,7 @@ from ..core.mappings import Mapping
 from ..core.terms import Constant, Variable
 from ..exceptions import ClassMembershipError
 from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_root
+from ..telemetry.tracer import current_tracer
 
 
 def evaluate_acyclic(
@@ -57,21 +58,51 @@ def evaluate_with_join_tree(
     n = len(atoms)
     if n == 0:
         return frozenset()
-    relations: List[List[Mapping]] = [_scan(a, db) for a in atoms]
-    root = join_tree_root(links, n)
-    children = join_tree_children(links, n)
-    order = _topological(root, children)  # root first
+    tracer = current_tracer()
+    with tracer.span("yannakakis", atoms=n) as y_span:
+        with tracer.span("yannakakis.scan") as sp:
+            relations: List[List[Mapping]] = [_scan(a, db) for a in atoms]
+            if tracer.enabled:
+                sp.set(relation_sizes=[len(r) for r in relations])
+        root = join_tree_root(links, n)
+        children = join_tree_children(links, n)
+        order = _topological(root, children)  # root first
 
-    # Phase 1: bottom-up semi-joins (children filter parents).
-    for node in reversed(order):
-        for child in children[node]:
-            relations[node] = _semijoin(relations[node], relations[child])
-    # Phase 2: top-down semi-joins (parents filter children).
-    for node in order:
-        for child in children[node]:
-            relations[child] = _semijoin(relations[child], relations[node])
+        # Phase 1: bottom-up semi-joins (children filter parents).
+        with tracer.span("yannakakis.semijoin_up") as sp:
+            for node in reversed(order):
+                for child in children[node]:
+                    relations[node] = _semijoin(relations[node], relations[child])
+            if tracer.enabled:
+                sp.set(relation_sizes=[len(r) for r in relations])
+        # Phase 2: top-down semi-joins (parents filter children).
+        with tracer.span("yannakakis.semijoin_down") as sp:
+            for node in order:
+                for child in children[node]:
+                    relations[child] = _semijoin(relations[child], relations[node])
+            if tracer.enabled:
+                sp.set(relation_sizes=[len(r) for r in relations])
+        result = _join_phase(
+            query, db, atoms, links, relations, root, children, order, tracer
+        )
+        if tracer.enabled:
+            y_span.set(answers=len(result))
+        return result
 
-    # Phase 3: bottom-up join keeping (free ∪ parent-interface) variables.
+
+def _join_phase(
+    query: ConjunctiveQuery,
+    db: Database,
+    atoms: Sequence[Atom],
+    links: Sequence[Tuple[int, int]],
+    relations: List[List[Mapping]],
+    root: int,
+    children: Dict[int, List[int]],
+    order: List[int],
+    tracer,
+) -> FrozenSet[Mapping]:
+    """Phase 3: bottom-up join keeping (free ∪ parent-interface) variables."""
+    n = len(atoms)
     frees = frozenset(query.free_variables)
     atom_vars = [a.variables() for a in atoms]
     subtree_vars: List[Set[Variable]] = [set(v) for v in atom_vars]
@@ -81,18 +112,21 @@ def evaluate_with_join_tree(
     parent_of: Dict[int, int] = {c: p for c, p in links}
 
     partials: List[FrozenSet[Mapping]] = [frozenset()] * n
-    for node in reversed(order):
-        current: FrozenSet[Mapping] = frozenset(relations[node])
-        for child in children[node]:
-            current = _join(current, partials[child])
-        if node == root:
-            keep = frees
-        else:
-            interface = atom_vars[parent_of[node]]
-            keep = (frees & frozenset(subtree_vars[node])) | (
-                frozenset(subtree_vars[node]) & interface
-            )
-        partials[node] = frozenset(m.restrict(keep) for m in current)
+    with tracer.span("yannakakis.join") as sp:
+        for node in reversed(order):
+            current: FrozenSet[Mapping] = frozenset(relations[node])
+            for child in children[node]:
+                current = _join(current, partials[child])
+            if node == root:
+                keep = frees
+            else:
+                interface = atom_vars[parent_of[node]]
+                keep = (frees & frozenset(subtree_vars[node])) | (
+                    frozenset(subtree_vars[node]) & interface
+                )
+            partials[node] = frozenset(m.restrict(keep) for m in current)
+        if tracer.enabled:
+            sp.set(partial_sizes=[len(p) for p in partials])
     return partials[root]
 
 

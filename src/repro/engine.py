@@ -38,9 +38,10 @@ from .rdf.graph import RDFGraph
 from .rdf.parser import parse_query
 from .rdf.sparql import parse_sparql
 from .planner.planner import Planner
+from .telemetry.tracer import Tracer, current_tracer, tracing
 from .wdpt.eval_tractable import eval_tractable
 from .wdpt.evaluation import evaluate, evaluate_max
-from .wdpt.explain import WDPTProfile, explain
+from .wdpt.explain import WDPTProfile
 from .wdpt.max_eval import max_eval
 from .wdpt.partial_eval import partial_eval
 from .wdpt.wdpt import WDPT
@@ -62,6 +63,7 @@ class Result:
         self._session = session
         self.query = query
         self.answers = answers
+        self._profile: Optional[WDPTProfile] = None
 
     def __iter__(self):
         return iter(sorted(self.answers, key=repr))
@@ -83,8 +85,12 @@ class Result:
         return witness(self.query, self._session.database, answer)
 
     def profile(self) -> WDPTProfile:
-        """The EXPLAIN profile of the query (via the session's planner)."""
-        return explain(self.query, planner=self._session.planner)
+        """The EXPLAIN profile of the query — memoized on the result and
+        served from the planner's EXPLAIN cache, so repeated calls (and
+        repeated ``session.explain`` on the same shape) are cache hits."""
+        if self._profile is None:
+            self._profile = self._session.planner.explain_wdpt(self.query)
+        return self._profile
 
     def to_table(self, limit: Optional[int] = None) -> str:
         """Render answers as a fixed-width table (missing optionals = ``-``)."""
@@ -142,49 +148,106 @@ class Session:
     # ------------------------------------------------------------------
     def query(self, query: Query) -> Result:
         """Evaluate and return all answers."""
-        p = self.parse(query)
-        self.planner.profile_wdpt(p)  # warm the shared structural analysis
-        start = time.perf_counter()
-        answers = evaluate(p, self.database)
-        self.planner._record_engine("wdpt-topdown", time.perf_counter() - start)
+        tracer = current_tracer()
+        with tracer.span("session.query"):
+            with tracer.span("session.parse"):
+                p = self.parse(query)
+            with tracer.span("session.profile"):
+                self.planner.profile_wdpt(p)  # warm the shared analysis
+            start = time.perf_counter()
+            answers = evaluate(p, self.database)
+            self.planner.record_engine("wdpt-topdown", time.perf_counter() - start)
         return Result(self, p, answers)
 
     def query_maximal(self, query: Query) -> Result:
         """Evaluate under the maximal-mapping semantics ``p_m(D)``."""
-        p = self.parse(query)
-        self.planner.profile_wdpt(p)
-        start = time.perf_counter()
-        answers = evaluate_max(p, self.database)
-        self.planner._record_engine("wdpt-topdown-max", time.perf_counter() - start)
+        tracer = current_tracer()
+        with tracer.span("session.query_maximal"):
+            with tracer.span("session.parse"):
+                p = self.parse(query)
+            with tracer.span("session.profile"):
+                self.planner.profile_wdpt(p)
+            start = time.perf_counter()
+            answers = evaluate_max(p, self.database)
+            self.planner.record_engine(
+                "wdpt-topdown-max", time.perf_counter() - start
+            )
         return Result(self, p, answers)
 
     def ask(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
         """``EVAL``: is ``candidate`` an answer?  (Theorem 6 DP, node
         checks routed through the planner.)"""
-        return eval_tractable(
-            self.parse(query), self.database, candidate,
-            method=method, planner=self.planner,
-        )
+        with current_tracer().span("session.ask", method=method):
+            return eval_tractable(
+                self.parse(query), self.database, candidate,
+                method=method, planner=self.planner,
+            )
 
     def is_partial(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
         """``PARTIAL-EVAL``: does some answer extend ``candidate``?
         (Theorem 8, subtree CQ routed through the planner.)"""
-        return partial_eval(
-            self.parse(query), self.database, candidate,
-            method=method, planner=self.planner,
-        )
+        with current_tracer().span("session.is_partial", method=method):
+            return partial_eval(
+                self.parse(query), self.database, candidate,
+                method=method, planner=self.planner,
+            )
 
     def is_maximal(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
         """``MAX-EVAL``: is ``candidate`` a ⊑-maximal answer?  (Theorem 9.)"""
-        return max_eval(
-            self.parse(query), self.database, candidate,
-            method=method, planner=self.planner,
-        )
+        with current_tracer().span("session.is_maximal", method=method):
+            return max_eval(
+                self.parse(query), self.database, candidate,
+                method=method, planner=self.planner,
+            )
 
     def explain(self, query: Query) -> WDPTProfile:
-        """EXPLAIN profile without evaluating (shares the planner's
-        memoized analysis with the evaluation paths)."""
-        return explain(self.parse(query), planner=self.planner)
+        """EXPLAIN profile without evaluating — served from the planner's
+        EXPLAIN cache (repeated calls are hits, visible in :meth:`stats`)."""
+        return self.planner.explain_wdpt(self.parse(query))
+
+    def analyze(
+        self,
+        query: Query,
+        candidate: Optional[Mapping] = None,
+        maximal: bool = False,
+    ):
+        """EXPLAIN ANALYZE: evaluate under a fresh tracer and join the
+        static profile with the measured per-node execution trace.
+
+        * default — the top-down evaluator (``p(D)``), per-node candidate
+          and extension counts;
+        * ``candidate=h`` — the Theorem 6 DP for ``h ∈ p(D)``, whose
+          per-node CQ checks route through the planner (Yannakakis on
+          acyclic node labels), per-node interface-candidate and
+          satisfiability-check counts;
+        * ``maximal=True`` — the ``p_m(D)`` semantics.
+
+        Returns an :class:`repro.analyze.AnalyzeReport`; ``print(report)``
+        renders the tree-shaped text form.
+        """
+        from .analyze import build_report
+
+        p = self.parse(query)
+        profile = self.planner.explain_wdpt(p)
+        tracer = Tracer()
+        n_answers: Optional[int] = None
+        with tracing(tracer):
+            if candidate is not None:
+                start = time.perf_counter()
+                self.ask(p, candidate, method="auto")
+                self.planner.record_engine(
+                    "wdpt-dp", time.perf_counter() - start
+                )
+                mode = "ask"
+            elif maximal:
+                n_answers = len(self.query_maximal(p).answers)
+                mode = "query_maximal"
+            else:
+                n_answers = len(self.query(p).answers)
+                mode = "query"
+        return build_report(
+            p, profile, tracer, self.planner, n_answers=n_answers, mode=mode
+        )
 
     def stats(self) -> Dict[str, object]:
         """Planner instrumentation: cache hit rates, per-engine selection

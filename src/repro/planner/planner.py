@@ -6,9 +6,15 @@ One :class:`Planner` owns
   :class:`~repro.planner.profile.StructuralProfile` /
   :class:`~repro.planner.profile.TreeProfile` objects keyed by structural
   fingerprint (object identity and atom order are irrelevant);
-* a parse cache (query text → WDPT) for the session layer;
-* instrumentation: cache hits/misses/evictions, per-engine selection
-  counts, cumulative analysis and engine time.
+* a parse cache (query text → WDPT) for the session layer, and an
+  EXPLAIN cache (fingerprint → rendered profile) so repeated EXPLAINs
+  are hits;
+* instrumentation: cache hits/misses/evictions plus a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` holding the
+  per-engine selection counters, per-call engine-time histograms, and
+  cumulative analysis/engine time (formerly ad-hoc attributes); spans are
+  emitted through :func:`repro.telemetry.tracer.current_tracer` whenever
+  tracing is enabled.
 
 Routing follows the paper:
 
@@ -26,7 +32,15 @@ planner so free functions (``cqalgs.dispatch.evaluate``, ``wdpt.classes``,
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, FrozenSet, List, Mapping as TMapping, Optional
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping as TMapping,
+    Optional,
+    TYPE_CHECKING,
+)
 
 from ..core.atoms import Atom
 from ..core.cq import ConjunctiveQuery
@@ -40,6 +54,8 @@ from ..cqalgs.structured import (
 )
 from ..cqalgs.yannakakis import evaluate_with_join_tree
 from ..hypergraphs.treedecomp import TreeDecomposition
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.tracer import current_tracer
 from ..wdpt.wdpt import WDPT
 from .cache import PlanCache
 from .plan import (
@@ -49,6 +65,9 @@ from .plan import (
     QueryPlan,
 )
 from .profile import StructuralProfile, TreeProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..wdpt.explain import WDPTProfile
 
 #: Treewidth (heuristic upper bound) below which the TD engine is preferred.
 DEFAULT_TW_CUTOFF = 3
@@ -62,14 +81,38 @@ class Planner:
         profile_cache_size: int = 256,
         parse_cache_size: int = 256,
         tw_cutoff: int = DEFAULT_TW_CUTOFF,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.profiles = PlanCache(profile_cache_size)
         self.parses = PlanCache(parse_cache_size)
+        self.explains = PlanCache(profile_cache_size)
         self.tw_cutoff = tw_cutoff
-        self.engine_selections: Dict[str, int] = {}
-        self.analysis_seconds = 0.0
-        self.engine_seconds = 0.0
-        self.plans_built = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # The former ad-hoc counter attributes, now views over the registry
+    # (kept as properties so ``planner.engine_seconds``-style consumers
+    # keep working).
+    @property
+    def engine_selections(self) -> Dict[str, int]:
+        return {
+            engine: int(count)
+            for engine, count in self.metrics.counters_with_prefix(
+                "planner.engine.selected."
+            ).items()
+            if count  # instruments survive reset_counters() at zero
+        }
+
+    @property
+    def analysis_seconds(self) -> float:
+        return self.metrics.counter("planner.analysis_seconds").value
+
+    @property
+    def engine_seconds(self) -> float:
+        return self.metrics.counter("planner.engine_seconds").value
+
+    @property
+    def plans_built(self) -> int:
+        return int(self.metrics.counter("planner.plans_built").value)
 
     # ------------------------------------------------------------------
     # Profiles (memoized by structural fingerprint)
@@ -79,11 +122,12 @@ class Planner:
         key = query.structural_fingerprint()
         profile = self.profiles.get(key)
         if profile is None:
-            profile = StructuralProfile(
-                sorted(query.atoms),
-                free_variables=query.free_variables,
-                on_analysis=self._on_analysis,
-            )
+            with current_tracer().span("planner.profile", kind="cq"):
+                profile = StructuralProfile(
+                    sorted(query.atoms),
+                    free_variables=query.free_variables,
+                    on_analysis=self._on_analysis,
+                )
             self.profiles.put(key, profile)
         return profile
 
@@ -93,12 +137,26 @@ class Planner:
         key = p.structural_fingerprint()
         profile = self.profiles.get(key)
         if profile is None:
-            profile = TreeProfile(p, on_analysis=self._on_analysis)
+            with current_tracer().span("planner.profile", kind="wdpt"):
+                profile = TreeProfile(p, on_analysis=self._on_analysis)
             self.profiles.put(key, profile)
         return profile
 
+    def explain_wdpt(self, p: WDPT) -> "WDPTProfile":
+        """The memoized EXPLAIN profile of ``p`` (fingerprint-keyed, so
+        repeated EXPLAINs — ``Session.explain``, ``Result.profile`` — are
+        cache hits, visible in :meth:`stats`)."""
+        key = p.structural_fingerprint()
+        profile = self.explains.get(key)
+        if profile is None:
+            from ..wdpt.explain import WDPTProfile
+
+            with current_tracer().span("planner.explain"):
+                profile = self.explains.put(key, WDPTProfile(p, planner=self))
+        return profile
+
     def _on_analysis(self, seconds: float) -> None:
-        self.analysis_seconds += seconds
+        self.metrics.counter("planner.analysis_seconds").inc(seconds)
 
     # ------------------------------------------------------------------
     # Planning and execution
@@ -106,10 +164,11 @@ class Planner:
     def plan_cq(self, query: ConjunctiveQuery) -> QueryPlan:
         """The plan for ``query``: engine + justification + structures."""
         profile = self.profile_cq(query)
-        return self._plan_for_profile(query.structural_fingerprint(), profile)
+        return self.plan_for_profile(query.structural_fingerprint(), profile)
 
-    def _plan_for_profile(self, fingerprint: str, profile: StructuralProfile) -> QueryPlan:
-        self.plans_built += 1
+    def plan_for_profile(self, fingerprint: str, profile: StructuralProfile) -> QueryPlan:
+        """The routing decision for an already-profiled atom set."""
+        self.metrics.counter("planner.plans_built").inc()
         if profile.is_acyclic:
             return QueryPlan(
                 fingerprint,
@@ -137,21 +196,28 @@ class Planner:
         plan = self.plan_cq(query)
         start = time.perf_counter()
         try:
-            if plan.engine == ENGINE_YANNAKAKIS:
-                return evaluate_with_join_tree(
-                    query, db, plan.profile.sorted_atoms, plan.profile.join_tree
-                )
-            if plan.engine == ENGINE_TREEWIDTH:
-                return evaluate_bounded_treewidth(
-                    query, db, decomposition=plan.profile.tree_decomposition
-                )
-            return evaluate_naive(query, db)
+            with current_tracer().span("planner.evaluate_cq", engine=plan.engine):
+                if plan.engine == ENGINE_YANNAKAKIS:
+                    return evaluate_with_join_tree(
+                        query, db, plan.profile.sorted_atoms, plan.profile.join_tree
+                    )
+                if plan.engine == ENGINE_TREEWIDTH:
+                    return evaluate_bounded_treewidth(
+                        query, db, decomposition=plan.profile.tree_decomposition
+                    )
+                return evaluate_naive(query, db)
         finally:
-            self._record_engine(plan.engine, time.perf_counter() - start)
+            self.record_engine(plan.engine, time.perf_counter() - start)
 
-    def _record_engine(self, engine: str, seconds: float) -> None:
-        self.engine_seconds += seconds
-        self.engine_selections[engine] = self.engine_selections.get(engine, 0) + 1
+    def record_engine(self, engine: str, seconds: float) -> None:
+        """Record one engine run: selection counter, cumulative time, and
+        a per-call latency histogram (p50/p95/max in :meth:`stats`)."""
+        self.metrics.counter("planner.engine.selected.%s" % engine).inc()
+        self.metrics.counter("planner.engine_seconds").inc(seconds)
+        self.metrics.histogram("planner.engine_latency.%s" % engine).observe(seconds)
+
+    #: Backwards-compatible alias (pre-telemetry callers).
+    _record_engine = record_engine
 
     # ------------------------------------------------------------------
     # Substituted satisfiability (the Theorem 6/8/9 inner loop)
@@ -179,35 +245,37 @@ class Planner:
             q = ConjunctiveQuery((), atoms)
             start = time.perf_counter()
             try:
-                if method == "yannakakis":
-                    from ..cqalgs.yannakakis import evaluate_acyclic
+                with current_tracer().span("planner.satisfiable", engine=method):
+                    if method == "yannakakis":
+                        from ..cqalgs.yannakakis import evaluate_acyclic
 
-                    return bool(evaluate_acyclic(q, db))
-                if method == "treewidth":
-                    return bool(evaluate_bounded_treewidth(q, db))
-                if method == "hypertreewidth":
-                    return bool(evaluate_bounded_hypertreewidth(q, db))
+                        return bool(evaluate_acyclic(q, db))
+                    if method == "treewidth":
+                        return bool(evaluate_bounded_treewidth(q, db))
+                    if method == "hypertreewidth":
+                        return bool(evaluate_bounded_hypertreewidth(q, db))
             finally:
-                self._record_engine(method, time.perf_counter() - start)
+                self.record_engine(method, time.perf_counter() - start)
             raise ValueError("unknown method %r" % (method,))
-        plan = self._plan_for_profile("", profile)
+        plan = self.plan_for_profile("", profile)
         start = time.perf_counter()
         try:
-            if plan.engine == ENGINE_YANNAKAKIS:
-                q = ConjunctiveQuery((), atoms)
-                return bool(
-                    evaluate_with_join_tree(q, db, atoms, profile.join_tree)
-                )
-            if plan.engine == ENGINE_TREEWIDTH:
-                q = ConjunctiveQuery((), atoms)
-                td = _restrict_decomposition(
-                    profile.tree_decomposition,
-                    frozenset(v for a in atoms for v in a.variables()),
-                )
-                return bool(evaluate_bounded_treewidth(q, db, decomposition=td))
-            return satisfiable(atoms, db)
+            with current_tracer().span("planner.satisfiable", engine=plan.engine):
+                if plan.engine == ENGINE_YANNAKAKIS:
+                    q = ConjunctiveQuery((), atoms)
+                    return bool(
+                        evaluate_with_join_tree(q, db, atoms, profile.join_tree)
+                    )
+                if plan.engine == ENGINE_TREEWIDTH:
+                    q = ConjunctiveQuery((), atoms)
+                    td = _restrict_decomposition(
+                        profile.tree_decomposition,
+                        frozenset(v for a in atoms for v in a.variables()),
+                    )
+                    return bool(evaluate_bounded_treewidth(q, db, decomposition=td))
+                return satisfiable(atoms, db)
         finally:
-            self._record_engine(plan.engine, time.perf_counter() - start)
+            self.record_engine(plan.engine, time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Parse cache (session layer)
@@ -237,21 +305,26 @@ class Planner:
         return {
             "plan_cache": self.profiles.stats(),
             "parse_cache": self.parses.stats(),
+            "explain_cache": self.explains.stats(),
             "subtree_profiles": {"hits": subtree_hits, "misses": subtree_misses},
             "engine_selections": dict(self.engine_selections),
             "plans_built": self.plans_built,
             "analysis_seconds": self.analysis_seconds,
             "engine_seconds": self.engine_seconds,
+            "engine_latency": {
+                engine: self.metrics.histogram(
+                    "planner.engine_latency.%s" % engine
+                ).snapshot()
+                for engine in self.engine_selections
+            },
         }
 
     def reset_counters(self) -> None:
         """Zero all counters (cached analyses are kept)."""
         self.profiles.hits = self.profiles.misses = self.profiles.evictions = 0
         self.parses.hits = self.parses.misses = self.parses.evictions = 0
-        self.engine_selections.clear()
-        self.analysis_seconds = 0.0
-        self.engine_seconds = 0.0
-        self.plans_built = 0
+        self.explains.hits = self.explains.misses = self.explains.evictions = 0
+        self.metrics.reset()
 
     def __repr__(self) -> str:
         return "Planner(%d cached profiles, hit rate %.0f%%)" % (

@@ -1,0 +1,70 @@
+"""Execution tracing + metrics for the query path.
+
+* :mod:`repro.telemetry.tracer` — hierarchical spans, a null tracer as the
+  zero-cost disabled default, :func:`tracing` to turn recording on;
+* :mod:`repro.telemetry.metrics` — counters / gauges / histograms behind a
+  :class:`MetricsRegistry` (the planner's instrumentation store);
+* :mod:`repro.telemetry.export` — dict/JSON, Chrome ``chrome://tracing``
+  trace-event, and fixed-width text exporters.
+
+See ``docs/OBSERVABILITY.md`` for the full tour and
+:meth:`repro.engine.Session.analyze` for EXPLAIN ANALYZE built on top.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NodeStatsCollector,
+    get_registry,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    trace_span,
+    tracing,
+)
+from .export import (
+    aggregate_spans,
+    chrome_trace_json,
+    from_chrome_trace,
+    render_stage_breakdown,
+    render_trace,
+    to_chrome_trace,
+    trace_to_dict,
+    trace_to_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NodeStatsCollector",
+    "get_registry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "trace_span",
+    "tracing",
+    "aggregate_spans",
+    "chrome_trace_json",
+    "from_chrome_trace",
+    "render_stage_breakdown",
+    "render_trace",
+    "to_chrome_trace",
+    "trace_to_dict",
+    "trace_to_json",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

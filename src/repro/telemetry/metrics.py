@@ -1,0 +1,226 @@
+"""Metrics: named counters, gauges, and quantile histograms.
+
+A :class:`MetricsRegistry` is a thread-safe bag of instruments created on
+first use::
+
+    registry = MetricsRegistry()
+    registry.counter("planner.engine.yannakakis").inc()
+    registry.histogram("planner.engine_seconds").observe(0.002)
+    registry.snapshot()["histograms"]["planner.engine_seconds"]["p95"]
+
+Histograms keep exact ``count``/``sum``/``max`` and a bounded reservoir of
+recent observations for the p50/p95 quantile estimates, so long-running
+sessions do not grow without bound.  The planner owns one registry
+(migrated from its former ad-hoc counters); anything else may use the
+module-level default registry via :func:`get_registry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+#: Observations retained per histogram for quantile estimation.
+DEFAULT_RESERVOIR = 2048
+
+
+class Counter:
+    """A monotonically increasing value (floats allowed, e.g. seconds)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self.value = 0.0
+
+    def __repr__(self) -> str:
+        return "Counter(%r, %g)" % (self.name, self.value)
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = None
+
+    def __repr__(self) -> str:
+        return "Gauge(%r, %r)" % (self.name, self.value)
+
+
+class Histogram:
+    """Exact count/sum/max plus reservoir-backed p50/p95 quantiles."""
+
+    __slots__ = ("name", "count", "sum", "max", "_values", "_lock")
+
+    def __init__(self, name: str, reservoir: int = DEFAULT_RESERVOIR):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+        self._values: Deque[float] = deque(maxlen=reservoir)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value > self.max:
+                self.max = value
+            self._values.append(value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (0 ≤ q ≤ 1) of the retained observations,
+        by the nearest-rank method; ``None`` before any observation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return None
+        rank = min(len(values) - 1, max(0, int(round(q * (len(values) - 1)))))
+        return values[rank]
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.sum = 0.0
+            self.max = 0.0
+            self._values.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+        }
+
+    def __repr__(self) -> str:
+        return "Histogram(%r, count=%d, sum=%g)" % (self.name, self.count, self.sum)
+
+
+class MetricsRegistry:
+    """Thread-safe, create-on-first-use collection of instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str, reservoir: int = DEFAULT_RESERVOIR) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name, reservoir=reservoir)
+                )
+        return instrument
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """``{suffix: value}`` for every counter named ``prefix + suffix``."""
+        return {
+            name[len(prefix):]: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-friendly dump of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (instruments themselves are kept)."""
+        for c in self._counters.values():
+            c.reset()
+        for g in self._gauges.values():
+            g.reset()
+        for h in self._histograms.values():
+            h.reset()
+
+    def __repr__(self) -> str:
+        return "MetricsRegistry(%d counters, %d gauges, %d histograms)" % (
+            len(self._counters), len(self._gauges), len(self._histograms),
+        )
+
+
+class NodeStatsCollector:
+    """Per-key numeric accumulation — the WDPT evaluators use one per run
+    to build the per-tree-node rows of ``EXPLAIN ANALYZE`` (key = node id).
+
+    Allocated only when tracing is enabled, so the disabled-path cost at
+    every instrumentation site is a single ``is None`` check.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self) -> None:
+        self._rows: Dict[Any, Dict[str, float]] = {}
+
+    def add(self, key: Any, **increments: float) -> None:
+        row = self._rows.setdefault(key, {})
+        for name, amount in increments.items():
+            row[name] = row.get(name, 0) + amount
+
+    def rows(self) -> Dict[Any, Dict[str, float]]:
+        return {key: dict(row) for key, row in self._rows.items()}
+
+    def __repr__(self) -> str:
+        return "NodeStatsCollector(%d keys)" % len(self._rows)
+
+
+# ---------------------------------------------------------------------------
+# Module-level default registry
+# ---------------------------------------------------------------------------
+_default = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (the planner uses its own)."""
+    return _default

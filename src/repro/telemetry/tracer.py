@@ -1,0 +1,248 @@
+"""Hierarchical execution tracing.
+
+A :class:`Tracer` records a forest of nested, monotonic-clock
+:class:`Span` objects::
+
+    tracer = Tracer()
+    with tracer.span("session.query", query="q1"):
+        with tracer.span("planner.profile") as sp:
+            sp.set(cache="miss")
+
+Spans nest per *thread* (the active-span stack is thread-local) while the
+completed roots are collected on the tracer under a lock, so one tracer can
+observe a multi-threaded evaluation.
+
+Tracing is **off by default**: the module-level current tracer is a
+:class:`NullTracer` whose :meth:`~NullTracer.span` returns a shared no-op
+span — no allocation, no clock reads, no bookkeeping — so instrumentation
+left in hot paths is close to free (the overhead gate lives in
+``tests/test_telemetry.py``).  Hot loops that compute span *attributes*
+should additionally guard on ``tracer.enabled``.
+
+Install a real tracer for the duration of a block with :func:`tracing`::
+
+    with tracing() as tracer:
+        session.query(q)
+    print(render_trace(tracer))
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed, attributed section of work.  Also its own context
+    manager: entering starts the clock and links the span under the
+    tracer's current span; exiting stops the clock."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "_tracer")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None,
+                 tracer: "Optional[Tracer]" = None):
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.children: List[Span] = []
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is not None:
+            stack = tracer._stack()
+            if stack:
+                stack[-1].children.append(self)
+            else:
+                with tracer._lock:
+                    tracer.roots.append(self)
+            stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.end = time.perf_counter()
+        tracer = self._tracer
+        if tracer is not None:
+            stack = tracer._stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+        return False
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Iterator["Span"]:
+        """Every descendant (including self) named ``name``."""
+        for span in self.walk():
+            if span.name == name:
+                yield span
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return "Span(%r, %.6fs, %d children)" % (
+            self.name, self.duration, len(self.children),
+        )
+
+
+class Tracer:
+    """A recording tracer: nested spans, thread-safe root collection."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span, to be used as a context manager."""
+        return Span(name, attrs, tracer=self)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self.roots = []
+
+    def walk(self) -> Iterator[Span]:
+        """Every recorded span, pre-order across all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> Iterator[Span]:
+        """Every recorded span named ``name``."""
+        for span in self.walk():
+            if span.name == name:
+                yield span
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of all spans named ``name``."""
+        return sum(s.duration for s in self.find(name))
+
+    def __repr__(self) -> str:
+        return "Tracer(%d roots, %d spans)" % (
+            len(self.roots), sum(1 for _ in self.walk()),
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: the entire disabled-tracing fast path."""
+
+    __slots__ = ()
+    name = "null"
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    duration = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost disabled tracer (module-level default)."""
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def clear(self) -> None:
+        pass
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> Iterator[Span]:
+        return iter(())
+
+    def total_seconds(self, name: str) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+# ---------------------------------------------------------------------------
+# Module-level current tracer (the instrumentation sites' lookup point)
+# ---------------------------------------------------------------------------
+_current = NULL_TRACER
+
+
+def current_tracer():
+    """The tracer instrumentation sites record into (NullTracer when
+    tracing is disabled)."""
+    return _current
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` as current (``None`` → the null tracer);
+    returns the previously installed tracer."""
+    global _current
+    previous = _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def trace_span(name: str, **attrs: Any):
+    """``current_tracer().span(...)`` — the one-line instrumentation call."""
+    return _current.span(name, **attrs)
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None):
+    """Install a (fresh, by default) recording tracer for the block."""
+    installed = tracer if tracer is not None else Tracer()
+    previous = set_tracer(installed)
+    try:
+        yield installed
+    finally:
+        set_tracer(previous)

@@ -43,6 +43,7 @@ under local tractability, mirroring the LOGCFL bound of Theorem 7.
 
 from __future__ import annotations
 
+import time
 from itertools import product
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
@@ -51,6 +52,8 @@ from ..core.database import Database
 from ..core.mappings import Mapping
 from ..core.terms import Constant, Variable
 from ..cqalgs.naive import satisfiable
+from ..telemetry.metrics import NodeStatsCollector
+from ..telemetry.tracer import current_tracer
 from .subtrees import (
     maximal_subtree_within_free,
     minimal_subtree_containing,
@@ -80,26 +83,36 @@ def eval_tractable(
     assignment σ) — the configuration matching Theorem 7's LOGCFL bound
     when nodes are in ``TW(k)``/``HW(k)``.
     """
-    frees = frozenset(p.free_variables)
-    dom = h.domain()
-    if not dom <= frees:
-        return False
-    tree_vars = p.variables()
-    if not dom <= tree_vars:
-        return False
+    tracer = current_tracer()
+    with tracer.span("wdpt.eval_tractable", method=method) as sp:
+        frees = frozenset(p.free_variables)
+        dom = h.domain()
+        if not dom <= frees:
+            return False
+        tree_vars = p.variables()
+        if not dom <= tree_vars:
+            return False
 
-    mandatory = minimal_subtree_containing(p, dom)
-    if subtree_free_variables(p, mandatory) != dom:
-        # The minimal subtree drags in a free variable h is undefined on:
-        # every candidate ĥ would project to strictly more than h.
-        return False
-    allowed = maximal_subtree_within_free(p, dom)
-    if not allowed:  # root itself mentions a forbidden free variable
-        return False
-    assert mandatory <= allowed
+        mandatory = minimal_subtree_containing(p, dom)
+        if subtree_free_variables(p, mandatory) != dom:
+            # The minimal subtree drags in a free variable h is undefined on:
+            # every candidate ĥ would project to strictly more than h.
+            return False
+        allowed = maximal_subtree_within_free(p, dom)
+        if not allowed:  # root itself mentions a forbidden free variable
+            return False
+        assert mandatory <= allowed
 
-    dp = _InterfaceDP(p, db, h, mandatory, allowed, method=method, planner=planner)
-    return dp.node_in(ROOT, Mapping())
+        dp = _InterfaceDP(p, db, h, mandatory, allowed, method=method, planner=planner)
+        result = dp.node_in(ROOT, Mapping())
+        if dp.collector is not None:
+            sp.set(
+                node_stats=dp.collector.rows(),
+                result=result,
+                mandatory=sorted(mandatory),
+                allowed=sorted(allowed),
+            )
+        return result
 
 
 class _InterfaceDP:
@@ -121,6 +134,9 @@ class _InterfaceDP:
         self.mandatory = mandatory
         self.allowed = allowed
         self.method = method
+        self.collector = (
+            NodeStatsCollector() if current_tracer().enabled else None
+        )
         if method == "naive":
             self.planner = None
             self.tree_profile = None
@@ -141,6 +157,8 @@ class _InterfaceDP:
         key = (node, sigma)
         cached = self._blocked_memo.get(key)
         if cached is None:
+            if self.collector is not None:
+                self.collector.add(node, blocked_checks=1)
             cached = not self._satisfiable(node, sigma)
             self._blocked_memo[key] = cached
         return cached
@@ -148,11 +166,22 @@ class _InterfaceDP:
     def _satisfiable(self, node: int, pre: Mapping) -> bool:
         """Satisfiability of ``σ(λ(node))``: naive backtracking, or the
         planner routing on the node's memoized (unsubstituted) profile."""
-        if self.method == "naive":
-            return satisfiable(self.p.labels[node], self.db, pre)
-        return self.planner.satisfiable_substituted(
-            self.tree_profile.node_profile(node), pre.as_dict(), self.db, method=self.method
-        )
+        collector = self.collector
+        if collector is None:
+            if self.method == "naive":
+                return satisfiable(self.p.labels[node], self.db, pre)
+            return self.planner.satisfiable_substituted(
+                self.tree_profile.node_profile(node), pre.as_dict(), self.db, method=self.method
+            )
+        start = time.perf_counter()
+        try:
+            if self.method == "naive":
+                return satisfiable(self.p.labels[node], self.db, pre)
+            return self.planner.satisfiable_substituted(
+                self.tree_profile.node_profile(node), pre.as_dict(), self.db, method=self.method
+            )
+        finally:
+            collector.add(node, sat_checks=1, seconds=time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # IN(t, σ)
@@ -162,6 +191,8 @@ class _InterfaceDP:
         cached = self._in_memo.get(key)
         if cached is not None:
             return cached
+        if self.collector is not None:
+            self.collector.add(node, in_calls=1)
         result = self._compute_in(node, sigma)
         self._in_memo[key] = result
         return result
@@ -181,13 +212,19 @@ class _InterfaceDP:
             interface |= node_vars & p.node_variables(child)
         open_interface = sorted(interface - pinned.domain())
 
-        for tau in self._interface_candidates(node, open_interface, pinned):
-            g = pinned.union(tau)
-            if not self._satisfiable(node, g):
-                continue
-            if self._children_handled(node, children, g):
-                return True
-        return False
+        candidates_tried = 0
+        try:
+            for tau in self._interface_candidates(node, open_interface, pinned):
+                candidates_tried += 1
+                g = pinned.union(tau)
+                if not self._satisfiable(node, g):
+                    continue
+                if self._children_handled(node, children, g):
+                    return True
+            return False
+        finally:
+            if self.collector is not None:
+                self.collector.add(node, candidates=candidates_tried)
 
     def _interface_candidates(
         self, node: int, open_interface: Sequence[Variable], pinned: Mapping

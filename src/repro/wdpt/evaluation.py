@@ -22,11 +22,14 @@ enumeration; the polynomial algorithm for ``ℓ-C ∩ BI(c)`` lives in
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Set
+import time
+from typing import FrozenSet, List, Optional, Set
 
 from ..core.database import Database
 from ..core.mappings import Mapping, maximal_mappings
 from ..cqalgs.naive import homomorphisms as cq_homomorphisms
+from ..telemetry.metrics import NodeStatsCollector
+from ..telemetry.tracer import current_tracer
 from .tree import ROOT
 from .wdpt import WDPT
 
@@ -69,23 +72,53 @@ def maximal_homomorphisms(p: WDPT, db: Database) -> FrozenSet[Mapping]:
     all (the OPT branch simply fails).  A child that *is* extendable must
     be extended in every maximal homomorphism, which is exactly what the
     product encodes.  No a-posteriori maximality filtering is needed.
+
+    When tracing is enabled (:mod:`repro.telemetry`) a per-node stats
+    collector records candidate-mapping counts, maximal-extension counts,
+    and inclusive wall time per tree node; the aggregate is attached to the
+    ``wdpt.maximal_homomorphisms`` span as ``node_stats`` and joined with
+    the static profile by ``Session.analyze``.
     """
+    tracer = current_tracer()
+    collector = NodeStatsCollector() if tracer.enabled else None
     out: Set[Mapping] = set()
-    for h in cq_homomorphisms(p.labels[ROOT], db):
-        out.update(_branch_solutions(p, db, ROOT, h))
+    with tracer.span("wdpt.maximal_homomorphisms") as sp:
+        root_candidates = 0
+        for h in cq_homomorphisms(p.labels[ROOT], db):
+            root_candidates += 1
+            out.update(_branch_solutions(p, db, ROOT, h, collector))
+        if collector is not None:
+            collector.add(ROOT, candidates=root_candidates, extensions=len(out))
+            sp.set(node_stats=collector.rows(), maximal=len(out))
     return frozenset(out)
 
 
-def _branch_solutions(p: WDPT, db: Database, node: int, h: Mapping) -> List[Mapping]:
+def _branch_solutions(
+    p: WDPT,
+    db: Database,
+    node: int,
+    h: Mapping,
+    collector: Optional[NodeStatsCollector] = None,
+) -> List[Mapping]:
     """All maximal homomorphisms of the subtree under ``node`` that extend
     the node homomorphism ``h`` (``h`` is total on ``vars(node)``)."""
     results: List[Mapping] = [h]
     node_vars = p.node_variables(node)
     for child in p.tree.children(node):
         sigma = h.restrict(node_vars & p.node_variables(child))
+        start = time.perf_counter() if collector is not None else 0.0
+        candidates = 0
         child_solutions: List[Mapping] = []
         for g in cq_homomorphisms(p.labels[child], db, pre_assignment=sigma):
-            child_solutions.extend(_branch_solutions(p, db, child, g))
+            candidates += 1
+            child_solutions.extend(_branch_solutions(p, db, child, g, collector))
+        if collector is not None:
+            collector.add(
+                child,
+                candidates=candidates,
+                extensions=len(child_solutions),
+                seconds=time.perf_counter() - start,
+            )
         if not child_solutions:
             continue  # OPT branch fails: the answers keep h unextended
         results = [r.union(m) for r in results for m in child_solutions]
@@ -105,13 +138,19 @@ def evaluate(p: WDPT, db: Database) -> FrozenSet[Mapping]:
     >>> evaluate(p, db) == frozenset([Mapping({"?x": 1})])
     True
     """
-    maximal = maximal_homomorphisms(p, db)
-    return frozenset(h.restrict(p.free_variables) for h in maximal)
+    tracer = current_tracer()
+    with tracer.span("wdpt.evaluate", nodes=len(p.tree)) as sp:
+        maximal = maximal_homomorphisms(p, db)
+        answers = frozenset(h.restrict(p.free_variables) for h in maximal)
+        if tracer.enabled:
+            sp.set(answers=len(answers))
+        return answers
 
 
 def evaluate_max(p: WDPT, db: Database) -> FrozenSet[Mapping]:
     """``p_m(D)``: the ⊑-maximal answers (Section 3.4)."""
-    return maximal_mappings(evaluate(p, db))
+    with current_tracer().span("wdpt.evaluate_max"):
+        return maximal_mappings(evaluate(p, db))
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ from typing import Optional, TYPE_CHECKING
 from ..core.database import Database
 from ..core.mappings import Mapping
 from ..cqalgs.naive import satisfiable
+from ..telemetry.tracer import current_tracer
 from .partial_eval import partial_eval
 from .subtrees import minimal_subtree_containing
 from .wdpt import WDPT
@@ -41,15 +42,25 @@ def max_eval(
     planner: "Optional[Planner]" = None,
 ) -> bool:
     """``MAX-EVAL``: is ``h ∈ p_m(D)``?"""
-    if not partial_eval(p, db, h, method=method, planner=planner):
-        return False
-    dom = h.domain()
-    for y in p.free_variables:
-        if y in dom:
-            continue
-        if _extension_exists(p, db, h, y, method, planner=planner):
+    tracer = current_tracer()
+    with tracer.span("wdpt.max_eval", method=method) as sp:
+        if not partial_eval(p, db, h, method=method, planner=planner):
+            if tracer.enabled:
+                sp.set(result=False, extension_checks=0)
             return False
-    return True
+        dom = h.domain()
+        extension_checks = 0
+        for y in p.free_variables:
+            if y in dom:
+                continue
+            extension_checks += 1
+            if _extension_exists(p, db, h, y, method, planner=planner):
+                if tracer.enabled:
+                    sp.set(result=False, extension_checks=extension_checks)
+                return False
+        if tracer.enabled:
+            sp.set(result=True, extension_checks=extension_checks)
+        return True
 
 
 def _extension_exists(

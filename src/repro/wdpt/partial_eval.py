@@ -29,6 +29,7 @@ from typing import FrozenSet, Optional, TYPE_CHECKING
 from ..core.database import Database
 from ..core.mappings import Mapping
 from ..cqalgs.naive import satisfiable
+from ..telemetry.tracer import current_tracer
 from .subtrees import minimal_subtree_containing
 from .wdpt import WDPT
 
@@ -53,18 +54,24 @@ def partial_eval(
         return False
     if not dom <= p.variables():
         return False
+    tracer = current_tracer()
     subtree = minimal_subtree_containing(p, dom)
-    if method == "naive":
-        atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
-        return satisfiable(atoms, db)
-    # Non-emptiness of the substituted subtree CQ, routed on the memoized
-    # profile of its unsubstituted shape.
-    if planner is None:
-        from ..planner.planner import get_default_planner
+    with tracer.span("wdpt.partial_eval", method=method) as sp:
+        if tracer.enabled:
+            sp.set(subtree=sorted(subtree), substituted=len(dom))
+        if method == "naive":
+            atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
+            return satisfiable(atoms, db)
+        # Non-emptiness of the substituted subtree CQ, routed on the
+        # memoized profile of its unsubstituted shape.
+        if planner is None:
+            from ..planner.planner import get_default_planner
 
-        planner = get_default_planner()
-    sub_profile = planner.profile_wdpt(p).subtree_profile(subtree)
-    return planner.satisfiable_substituted(sub_profile, h.as_dict(), db, method=method)
+            planner = get_default_planner()
+        sub_profile = planner.profile_wdpt(p).subtree_profile(subtree)
+        return planner.satisfiable_substituted(
+            sub_profile, h.as_dict(), db, method=method
+        )
 
 
 def partial_answers(p: WDPT, db: Database) -> FrozenSet[Mapping]:
