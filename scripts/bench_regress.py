@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Run the named benchmarks, extend the trajectory, fail on regressions.
+
+Usage::
+
+    python scripts/bench_regress.py [--out BENCH_eval.json]
+                                    [--threshold PCT] [--repeats N]
+                                    [--names fig1.query thm6.dp ...]
+                                    [--inject NAME=FACTOR] [--no-append]
+
+Runs the benchmarks in :data:`repro.benchharness.regress.BENCHMARKS`,
+appends one trajectory point to ``--out``, and compares it against the
+previous point: any benchmark more than ``--threshold`` percent slower
+exits 1.  ``--inject NAME=FACTOR`` multiplies one benchmark's measured
+seconds before the comparison — CI uses it to prove the gate actually
+fails on a slowdown.  ``--no-append`` compares without rewriting the file.
+"""
+
+import argparse
+import os
+import sys
+
+# Runnable straight from a checkout, before any `pip install -e .`.
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.benchharness.regress import (  # noqa: E402
+    BENCHMARKS,
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_THRESHOLD_PCT,
+    append_point,
+    build_point,
+    compare_points,
+    inject_regression,
+    load_trajectory,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="bench_regress.py",
+        description="Benchmark trajectory tracking with a regression gate.",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_eval.json",
+        help="trajectory file to extend (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+        help="fail when a benchmark slows by more than this percent "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        help="noise floor: skip comparisons under this timing "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N timing repeats (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--names", nargs="*", default=None, metavar="NAME",
+        help="benchmarks to run (default: all of %s)"
+             % ", ".join(sorted(BENCHMARKS)),
+    )
+    parser.add_argument(
+        "--inject", default=None, metavar="NAME=FACTOR",
+        help="multiply one benchmark's seconds before comparing "
+             "(synthetic-regression self-test)",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="compare against the trajectory without appending the point",
+    )
+    args = parser.parse_args(argv)
+
+    point = build_point(names=args.names, repeats=args.repeats)
+    if args.inject:
+        name, _, factor = args.inject.partition("=")
+        if not factor:
+            parser.error("--inject expects NAME=FACTOR, got %r" % args.inject)
+        inject_regression(point, name, float(factor))
+
+    trajectory = load_trajectory(args.out)
+    previous = trajectory["points"][-1] if trajectory["points"] else None
+
+    for name, bench in sorted(point["benchmarks"].items()):
+        print("%-20s %.6fs" % (name, bench["seconds"]))
+
+    regressions = []
+    if previous is not None:
+        regressions = compare_points(
+            previous, point,
+            threshold_pct=args.threshold, min_seconds=args.min_seconds,
+        )
+
+    if not args.no_append:
+        doc = append_point(args.out, point)
+        print("trajectory: %s (%d points)" % (args.out, len(doc["points"])))
+    if previous is None:
+        print("no previous point: baseline recorded, nothing to compare")
+        return 0
+    if regressions:
+        for regression in regressions:
+            print("REGRESSION %r" % regression, file=sys.stderr)
+        print(
+            "%d benchmark(s) regressed beyond %.1f%%"
+            % (len(regressions), args.threshold),
+            file=sys.stderr,
+        )
+        return 1
+    print("no regressions beyond %.1f%%" % args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

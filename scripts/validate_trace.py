@@ -1,15 +1,24 @@
 #!/usr/bin/env python
-"""Validate a Chrome trace-event JSON file produced by the repro tracer.
+"""Validate observability artifacts produced by the repro telemetry.
 
 Usage::
 
     python scripts/validate_trace.py trace.json
+    python scripts/validate_trace.py --format obslog query_log.jsonl
 
-Exits non-zero (listing the problems) when the file is missing, is not
-valid JSON, contains no events, or contains malformed events — the CI
-trace-smoke job uses this to fail fast when the instrumentation regresses.
+Two formats:
+
+* ``chrome`` — a Chrome trace-event JSON file from the tracer;
+* ``obslog`` — a JSON-lines structured query log from
+  :class:`repro.telemetry.obslog.QueryLog`.
+
+``--format auto`` (the default) picks ``obslog`` for ``.jsonl`` files and
+``chrome`` otherwise.  Exits non-zero (listing the problems) when the file
+is missing, malformed, or empty — the CI trace-smoke job uses this to fail
+fast when the instrumentation regresses.
 """
 
+import argparse
 import json
 import os
 import sys
@@ -20,31 +29,63 @@ if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.telemetry.export import validate_chrome_trace  # noqa: E402
+from repro.telemetry.obslog import validate_obslog  # noqa: E402
 
 
-def main(argv):
-    if len(argv) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    path = argv[1]
+def validate_chrome_file(path):
+    """(problems, summary) for a Chrome trace-event JSON file."""
     try:
         with open(path) as handle:
             payload = json.load(handle)
     except OSError as exc:
-        print("error: cannot read %s: %s" % (path, exc), file=sys.stderr)
-        return 1
+        return ["cannot read: %s" % exc], None
     except ValueError as exc:
-        print("error: %s is not valid JSON: %s" % (path, exc), file=sys.stderr)
-        return 1
+        return ["not valid JSON: %s" % exc], None
     problems = validate_chrome_trace(payload)
     if problems:
-        for problem in problems:
-            print("error: %s: %s" % (path, problem), file=sys.stderr)
-        return 1
+        return problems, None
     events = payload["traceEvents"] if isinstance(payload, dict) else payload
-    print("%s: OK (%d trace events)" % (path, len(events)))
+    return [], "%d trace events" % len(events)
+
+
+def validate_obslog_file(path):
+    """(problems, summary) for a JSON-lines query log."""
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        return ["cannot read: %s" % exc], None
+    problems = validate_obslog(lines)
+    if problems:
+        return problems, None
+    count = sum(1 for line in lines if line.strip())
+    return [], "%d query events" % count
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="validate_trace.py",
+        description="Validate a Chrome trace or a JSON-lines query log.",
+    )
+    parser.add_argument("path", help="file to validate")
+    parser.add_argument(
+        "--format", choices=("auto", "chrome", "obslog"), default="auto",
+        help="file format (auto: .jsonl → obslog, else chrome)",
+    )
+    args = parser.parse_args(argv)
+
+    fmt = args.format
+    if fmt == "auto":
+        fmt = "obslog" if args.path.endswith(".jsonl") else "chrome"
+    validate = validate_obslog_file if fmt == "obslog" else validate_chrome_file
+    problems, summary = validate(args.path)
+    if problems:
+        for problem in problems:
+            print("error: %s: %s" % (args.path, problem), file=sys.stderr)
+        return 1
+    print("%s: OK (%s)" % (args.path, summary))
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main())

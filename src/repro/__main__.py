@@ -4,7 +4,10 @@ Usage::
 
     python -m repro profile  "SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?x age ?a } }"
     python -m repro run      QUERY  TRIPLES.tsv  [--analyze] [--trace-out trace.json]
+                             [--log-queries LOG.jsonl] [--slow-ms MS]
     python -m repro analyze  QUERY  [TRIPLES.tsv]  [--trace-out trace.json]
+    python -m repro metrics  [QUERY]  [TRIPLES.tsv]
+    python -m repro serve-metrics  [TRIPLES.tsv]  [--port P] [--self-check]
     python -m repro demo
 
 * ``profile`` parses the query (surface SPARQL first, the paper's
@@ -12,10 +15,17 @@ Usage::
   interface, and which of the paper's algorithms apply.
 * ``run`` additionally evaluates over a tab/whitespace-separated triples
   file (one ``subject predicate object`` per line; ``#`` comments);
-  ``--analyze`` appends the EXPLAIN ANALYZE report and ``--trace-out``
-  writes the Chrome ``chrome://tracing`` trace of the execution.
+  ``--analyze`` appends the EXPLAIN ANALYZE report, ``--trace-out``
+  writes the Chrome ``chrome://tracing`` trace of the execution,
+  ``--log-queries`` appends structured JSON-lines query events, and
+  ``--slow-ms`` additionally captures the full EXPLAIN ANALYZE profile of
+  queries slower than the threshold into the query log.
 * ``analyze`` runs EXPLAIN ANALYZE directly (over the paper's Example 2
   database when no triples file is given).
+* ``metrics`` evaluates a query (the paper's query (1) by default) and
+  prints the planner's metrics in Prometheus text exposition format.
+* ``serve-metrics`` exposes ``/metrics`` + ``/healthz`` over HTTP
+  (``--self-check`` fetches its own endpoint once and exits, for CI).
 * ``demo`` replays the paper's running example.
 """
 
@@ -43,7 +53,11 @@ def _parse_any(text: str) -> WDPT:
 
 def _load_triples(path: str) -> RDFGraph:
     graph = RDFGraph()
-    with open(path) as handle:
+    try:
+        handle = open(path)
+    except OSError as exc:
+        raise ReproError("cannot read triples file %s: %s" % (path, exc)) from exc
+    with handle:
         for lineno, line in enumerate(handle, 1):
             line = line.strip()
             if not line or line.startswith("#"):
@@ -66,17 +80,39 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_obslog(args: argparse.Namespace):
+    """A :class:`QueryLog` from ``--log-queries``/``--slow-ms`` (or None)."""
+    log_path = getattr(args, "log_queries", None)
+    slow_ms = getattr(args, "slow_ms", None)
+    if log_path is None and slow_ms is None:
+        return None
+    from .telemetry.obslog import QueryLog
+
+    threshold = slow_ms / 1000.0 if slow_ms is not None else None
+    try:
+        return QueryLog(sink=log_path, slow_threshold=threshold)
+    except OSError as exc:
+        raise ReproError(
+            "cannot open query log %s: %s" % (log_path, exc)
+        ) from exc
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from .engine import Session
 
     p = _parse_any(args.query)
-    session = Session(_load_triples(args.triples))
-    if args.analyze or args.trace_out:
-        report = session.analyze(p)
-        answers = sorted(session.query(p), key=repr)
-    else:
-        report = None
-        answers = sorted(session.query(p), key=repr)
+    obslog = _make_obslog(args)
+    session = Session(_load_triples(args.triples), obslog=obslog)
+    try:
+        if args.analyze or args.trace_out:
+            report = session.analyze(p)
+            answers = sorted(session.query(p), key=repr)
+        else:
+            report = None
+            answers = sorted(session.query(p), key=repr)
+    finally:
+        if obslog is not None:
+            obslog.close()
     print("%d answer(s) over %d facts:" % (len(answers), session.size))
     for answer in answers:
         print("   ", answer)
@@ -85,6 +121,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(report.as_text())
     if report is not None and args.trace_out:
         _write_trace(report, args.trace_out)
+    if obslog is not None and args.log_queries:
+        print("wrote query log to %s" % args.log_queries)
     return 0
 
 
@@ -108,8 +146,67 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def _write_trace(report, path: str) -> None:
     from .telemetry.export import write_chrome_trace
 
-    events = write_chrome_trace(report.tracer, path)
+    try:
+        events = write_chrome_trace(report.tracer, path)
+    except OSError as exc:
+        raise ReproError("cannot write trace to %s: %s" % (path, exc)) from exc
     print("wrote %d trace event(s) to %s" % (events, path))
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from .engine import Session
+
+    session, p = _metrics_session(args)
+    session.query(p)
+    print(session.planner.metrics.to_prometheus(), end="")
+    return 0
+
+
+def _metrics_session(args: argparse.Namespace):
+    """A Session plus warm-up query for the metrics subcommands."""
+    from .engine import Session
+
+    if args.triples is not None:
+        session = Session(_load_triples(args.triples))
+    else:
+        from .workloads.families import example2_graph
+
+        session = Session(example2_graph())
+    if getattr(args, "query", None):
+        p = _parse_any(args.query)
+    else:
+        from .workloads.families import FIGURE1_QUERY_TEXT
+
+        p = parse_query(FIGURE1_QUERY_TEXT)
+    return session, p
+
+
+def cmd_serve_metrics(args: argparse.Namespace) -> int:
+    import time
+
+    from .telemetry.promhttp import MetricsServer
+
+    session, p = _metrics_session(args)
+    session.query(p)  # warm the registry so the exposition is non-empty
+    server = MetricsServer(
+        session.planner.metrics, host=args.host, port=args.port
+    ).start()
+    print("serving %s/metrics and %s/healthz" % (server.url, server.url))
+    try:
+        if args.self_check:
+            import urllib.request
+
+            with urllib.request.urlopen(server.url + "/healthz") as response:
+                print("healthz:", response.read().decode())
+            with urllib.request.urlopen(server.url + "/metrics") as response:
+                print(response.read().decode(), end="")
+            return 0
+        while True:  # pragma: no cover - interactive serving loop
+            time.sleep(1)
+    except KeyboardInterrupt:  # pragma: no cover
+        return 0
+    finally:
+        server.stop()
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -149,6 +246,15 @@ def main(argv: Optional[list] = None) -> int:
         "--trace-out", metavar="TRACE.json", default=None,
         help="write the Chrome trace-event JSON of the execution",
     )
+    p_run.add_argument(
+        "--log-queries", metavar="LOG.jsonl", default=None,
+        help="append structured query events as JSON lines",
+    )
+    p_run.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="capture the EXPLAIN ANALYZE profile of queries slower than "
+             "this into the query log (implies query logging)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_analyze = sub.add_parser(
@@ -165,6 +271,43 @@ def main(argv: Optional[list] = None) -> int:
         help="write the Chrome trace-event JSON of the execution",
     )
     p_analyze.set_defaults(func=cmd_analyze)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a query and print the Prometheus text exposition",
+    )
+    p_metrics.add_argument(
+        "query", nargs="?", default=None,
+        help="query to evaluate (default: the paper's query (1))",
+    )
+    p_metrics.add_argument(
+        "triples", nargs="?", default=None,
+        help="whitespace-separated 's p o' lines (default: paper's Example 2)",
+    )
+    p_metrics.set_defaults(func=cmd_metrics)
+
+    p_serve = sub.add_parser(
+        "serve-metrics",
+        help="expose /metrics and /healthz over HTTP",
+    )
+    p_serve.add_argument(
+        "triples", nargs="?", default=None,
+        help="whitespace-separated 's p o' lines (default: paper's Example 2)",
+    )
+    p_serve.add_argument(
+        "--query", default=None,
+        help="warm-up query to evaluate (default: the paper's query (1))",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default: 0 = pick a free one, printed)",
+    )
+    p_serve.add_argument(
+        "--self-check", action="store_true",
+        help="fetch the endpoint once, print the response, and exit",
+    )
+    p_serve.set_defaults(func=cmd_serve_metrics)
 
     p_demo = sub.add_parser("demo", help="replay the paper's running example")
     p_demo.set_defaults(func=cmd_demo)

@@ -1,0 +1,259 @@
+"""Benchmark regression tracking: named workloads → trajectory points.
+
+``scripts/bench_regress.py`` runs the named benchmarks below, appends one
+**trajectory point** (per-benchmark best-of-N seconds + per-stage
+breakdown, plus planner cache rates and per-engine latency quantiles) to a
+JSON trajectory file (``BENCH_eval.json`` by convention), and compares the
+new point against the previous one — failing when any benchmark slowed
+down by more than a configurable percentage.  CI keeps the trajectory as a
+workflow artifact, so perf history is queryable without a dashboard.
+
+Workload naming mirrors the paper: ``fig1.query`` is the running example
+(query (1) over the Example 2 database), ``thm6.dp`` the Theorem 6
+interface DP, ``thm8.partial_eval`` / ``thm9.max_eval`` the decision
+procedures, and ``cq.yannakakis`` a pure acyclic-CQ evaluation through the
+planner's router.
+
+Every benchmark factory receives the shared :class:`Planner` of the run,
+so the planner section of the point reflects realistic mixed-workload
+cache behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.cq import ConjunctiveQuery
+from ..planner.planner import Planner
+from .runner import stage_breakdown, time_callable
+
+#: Trajectory file schema version.
+TRAJECTORY_SCHEMA = 1
+
+#: Default regression threshold: fail when a benchmark slows by more.
+DEFAULT_THRESHOLD_PCT = 25.0
+
+#: Noise floor: timings below this are too jittery to compare.
+DEFAULT_MIN_SECONDS = 1e-4
+
+#: Latency-quantile keys copied from histogram snapshots into the point.
+_LATENCY_KEYS = ("count", "p50", "p95", "p99", "max")
+
+
+# ---------------------------------------------------------------------------
+# Named workloads
+# ---------------------------------------------------------------------------
+def _bench_fig1_query(planner: Planner) -> Callable[[], object]:
+    from ..engine import Session
+    from ..workloads.families import FIGURE1_QUERY_TEXT, example2_graph
+
+    session = Session(example2_graph(), planner=planner)
+    return lambda: session.query(FIGURE1_QUERY_TEXT)
+
+
+def _company_dp_pieces():
+    from ..core.atoms import atom
+    from ..wdpt.evaluation import evaluate
+    from ..wdpt.wdpt import wdpt_from_nested
+    from ..workloads.datasets import company_directory
+
+    query = wdpt_from_nested(
+        (
+            [atom("works_in", "?e", "?d")],
+            [
+                ([atom("phone", "?e", "?p")], []),
+                ([atom("reports_to", "?e", "?m")],
+                 [([atom("office", "?m", "?o")], [])]),
+            ],
+        ),
+        free_variables=["?e", "?d", "?p", "?m", "?o"],
+    )
+    db = company_directory(n_departments=4, employees_per_department=8, seed=1)
+    h = max(evaluate(query, db), key=lambda m: (len(m), repr(m)))
+    return query, db, h
+
+
+def _bench_thm6_dp(planner: Planner) -> Callable[[], object]:
+    from ..wdpt.eval_tractable import eval_tractable
+
+    query, db, h = _company_dp_pieces()
+    return lambda: eval_tractable(query, db, h, method="auto", planner=planner)
+
+
+def _bench_thm8_partial_eval(planner: Planner) -> Callable[[], object]:
+    from ..wdpt.partial_eval import partial_eval
+
+    query, db, h = _company_dp_pieces()
+    partial = h.restrict(sorted(h.domain(), key=repr)[:2])
+    return lambda: partial_eval(query, db, partial, method="auto", planner=planner)
+
+
+def _bench_thm9_max_eval(planner: Planner) -> Callable[[], object]:
+    from ..wdpt.max_eval import max_eval
+
+    query, db, h = _company_dp_pieces()
+    return lambda: max_eval(query, db, h, method="auto", planner=planner)
+
+
+def _bench_cq_yannakakis(planner: Planner) -> Callable[[], object]:
+    from ..core.atoms import atom
+    from ..workloads.datasets import company_directory
+
+    q = ConjunctiveQuery(
+        ("?e", "?d", "?m"),
+        [
+            atom("works_in", "?e", "?d"),
+            atom("reports_to", "?e", "?m"),
+            atom("office", "?m", "?o"),
+        ],
+    )
+    db = company_directory(n_departments=6, employees_per_department=10, seed=2)
+    return lambda: planner.evaluate_cq(q, db)
+
+
+#: name → factory(planner) → zero-arg timed workload.
+BENCHMARKS: Dict[str, Callable[[Planner], Callable[[], object]]] = {
+    "fig1.query": _bench_fig1_query,
+    "thm6.dp": _bench_thm6_dp,
+    "thm8.partial_eval": _bench_thm8_partial_eval,
+    "thm9.max_eval": _bench_thm9_max_eval,
+    "cq.yannakakis": _bench_cq_yannakakis,
+}
+
+
+# ---------------------------------------------------------------------------
+# Trajectory points
+# ---------------------------------------------------------------------------
+def build_point(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Run the named benchmarks (all by default) and return one point."""
+    selected = list(names) if names else sorted(BENCHMARKS)
+    unknown = [n for n in selected if n not in BENCHMARKS]
+    if unknown:
+        raise KeyError(
+            "unknown benchmark(s) %s; available: %s"
+            % (", ".join(unknown), ", ".join(sorted(BENCHMARKS)))
+        )
+    planner = Planner()
+    benchmarks: Dict[str, Any] = {}
+    for name in selected:
+        workload = BENCHMARKS[name](planner)
+        workload()  # warm caches: measure steady-state, not first-parse
+        benchmarks[name] = {
+            "seconds": time_callable(workload, repeats=repeats),
+            "stages": stage_breakdown(workload),
+        }
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "meta": {
+            "created": time.time(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "repeats": repeats,
+        },
+        "benchmarks": benchmarks,
+        "planner": _planner_summary(planner),
+    }
+
+
+def _planner_summary(planner: Planner) -> Dict[str, Any]:
+    stats = planner.stats()
+    return {
+        "plan_cache_hit_rate": stats["plan_cache"]["hit_rate"],
+        "parse_cache_hit_rate": stats["parse_cache"]["hit_rate"],
+        "engine_selections": dict(stats["engine_selections"]),
+        "engine_latency": {
+            engine: {key: snap.get(key) for key in _LATENCY_KEYS}
+            for engine, snap in stats["engine_latency"].items()
+        },
+    }
+
+
+def inject_regression(point: Dict[str, Any], name: str, factor: float) -> None:
+    """Scale one benchmark's timing — the CI self-test that the comparison
+    actually fails uses this to fake a slowdown."""
+    bench = point["benchmarks"].get(name)
+    if bench is None:
+        raise KeyError(
+            "cannot inject into unknown benchmark %r (have: %s)"
+            % (name, ", ".join(sorted(point["benchmarks"])))
+        )
+    bench["seconds"] *= factor
+    bench["injected_factor"] = factor
+
+
+# ---------------------------------------------------------------------------
+# Trajectory file
+# ---------------------------------------------------------------------------
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """The trajectory document at ``path`` (a fresh one when missing)."""
+    if not os.path.exists(path):
+        return {"schema": TRAJECTORY_SCHEMA, "points": []}
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "points" not in doc:
+        raise ValueError("%s is not a benchmark trajectory file" % path)
+    return doc
+
+
+def append_point(path: str, point: Dict[str, Any]) -> Dict[str, Any]:
+    """Append ``point`` to the trajectory at ``path`` and rewrite it."""
+    doc = load_trajectory(path)
+    doc["points"].append(point)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+class Regression:
+    """One benchmark that slowed down beyond the threshold."""
+
+    def __init__(self, name: str, previous: float, current: float):
+        self.name = name
+        self.previous = previous
+        self.current = current
+
+    @property
+    def change_pct(self) -> float:
+        return 100.0 * (self.current - self.previous) / self.previous
+
+    def __repr__(self) -> str:
+        return "%s: %.6fs -> %.6fs (%+.1f%%)" % (
+            self.name, self.previous, self.current, self.change_pct,
+        )
+
+
+def compare_points(
+    previous: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> List[Regression]:
+    """Benchmarks in ``current`` that regressed against ``previous``.
+
+    Timings under ``min_seconds`` on either side are skipped (too close to
+    timer jitter to call a >N% change a regression).
+    """
+    regressions: List[Regression] = []
+    for name in sorted(current.get("benchmarks", {})):
+        curr = current["benchmarks"][name]
+        prev = previous.get("benchmarks", {}).get(name)
+        if prev is None:
+            continue
+        prev_s = float(prev["seconds"])
+        curr_s = float(curr["seconds"])
+        if prev_s < min_seconds or curr_s < min_seconds:
+            continue
+        if 100.0 * (curr_s - prev_s) / prev_s > threshold_pct:
+            regressions.append(Regression(name, prev_s, curr_s))
+    return regressions

@@ -139,6 +139,26 @@ def format_planner_stats(stats: Mapping[str, object], title: str = "planner") ->
     rows.append(["plans built", stats.get("plans_built", 0)])
     rows.append(["analysis time", _fmt_seconds(float(stats.get("analysis_seconds", 0.0)))])
     rows.append(["engine time", _fmt_seconds(float(stats.get("engine_seconds", 0.0)))])
+    latency = stats.get("engine_latency")
+    if isinstance(latency, Mapping):
+        for engine in sorted(latency):
+            snap = latency[engine]
+            quantile_keys = [k for k in snap if k.startswith("p")]
+            quantile_keys.sort(key=lambda k: float(k[1:]))
+            rows.append(
+                [
+                    "latency[%s]" % engine,
+                    "n=%d, %s, max %s"
+                    % (
+                        snap.get("count", 0),
+                        ", ".join(
+                            "%s %s" % (k, _fmt_seconds(snap[k]))
+                            for k in quantile_keys
+                        ),
+                        _fmt_seconds(snap.get("max")),
+                    ),
+                ]
+            )
     return format_table(["counter", "value"], rows, title=title)
 
 

@@ -21,6 +21,7 @@ from ..core.mappings import Mapping
 from ..core.terms import Constant, Variable
 from ..exceptions import ClassMembershipError
 from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_root
+from ..telemetry.resources import account_rows
 from ..telemetry.tracer import current_tracer
 
 
@@ -62,6 +63,7 @@ def evaluate_with_join_tree(
     with tracer.span("yannakakis", atoms=n) as y_span:
         with tracer.span("yannakakis.scan") as sp:
             relations: List[List[Mapping]] = [_scan(a, db) for a in atoms]
+            account_rows(max(len(r) for r in relations))
             if tracer.enabled:
                 sp.set(relation_sizes=[len(r) for r in relations])
         root = join_tree_root(links, n)
@@ -124,6 +126,7 @@ def _join_phase(
                 keep = (frees & frozenset(subtree_vars[node])) | (
                     frozenset(subtree_vars[node]) & interface
                 )
+            account_rows(len(current))
             partials[node] = frozenset(m.restrict(keep) for m in current)
         if tracer.enabled:
             sp.set(partial_sizes=[len(p) for p in partials])

@@ -38,6 +38,8 @@ from .rdf.graph import RDFGraph
 from .rdf.parser import parse_query
 from .rdf.sparql import parse_sparql
 from .planner.planner import Planner
+from .telemetry.obslog import QueryLog, QueryObservation
+from .telemetry.resources import ResourceBudget
 from .telemetry.tracer import Tracer, current_tracer, tracing
 from .wdpt.eval_tractable import eval_tractable
 from .wdpt.evaluation import evaluate, evaluate_max
@@ -64,6 +66,9 @@ class Result:
         self.query = query
         self.answers = answers
         self._profile: Optional[WDPTProfile] = None
+        #: :class:`~repro.telemetry.resources.ResourceUsage` when the
+        #: session tracks resources; ``None`` otherwise.
+        self.resources = None
 
     def __iter__(self):
         return iter(sorted(self.answers, key=repr))
@@ -123,7 +128,14 @@ class Session:
     1
     """
 
-    def __init__(self, data: DataSource, planner: Optional[Planner] = None):
+    def __init__(
+        self,
+        data: DataSource,
+        planner: Optional[Planner] = None,
+        obslog: Optional["QueryLog"] = None,
+        budgets: Optional["ResourceBudget"] = None,
+        track_resources: bool = False,
+    ):
         if isinstance(data, Database):
             self.database = data
         elif isinstance(data, RDFGraph):
@@ -131,6 +143,13 @@ class Session:
         else:
             self.database = Database(data)
         self.planner = planner if planner is not None else Planner()
+        #: Structured query-event log (``repro.telemetry.obslog.QueryLog``);
+        #: ``None`` disables observation entirely (zero per-query cost).
+        self.obslog = obslog
+        #: Per-query resource budgets (``repro.telemetry.resources``).
+        self.budgets = budgets
+        #: Account resources even without budgets (``Result.resources``).
+        self.track_resources = bool(track_resources or budgets is not None)
 
     # ------------------------------------------------------------------
     # Parsing
@@ -146,14 +165,33 @@ class Session:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
+    def _observe(self, op: str, query: Query) -> Optional[QueryObservation]:
+        """A per-call observation when obslog/budgets/resource tracking is
+        configured; ``None`` (the zero-overhead path) otherwise."""
+        if self.obslog is None and not self.track_resources:
+            return None
+        return QueryObservation(self, op, query)
+
     def query(self, query: Query) -> Result:
         """Evaluate and return all answers."""
+        obs = self._observe("query", query)
+        if obs is None:
+            return self._query_impl(query, None)
+        with obs:
+            result = self._query_impl(query, obs)
+            obs.finish(result.query, len(result.answers))
+        result.resources = obs.usage
+        return result
+
+    def _query_impl(self, query: Query, obs: Optional[QueryObservation]) -> Result:
         tracer = current_tracer()
         with tracer.span("session.query"):
             with tracer.span("session.parse"):
                 p = self.parse(query)
             with tracer.span("session.profile"):
                 self.planner.profile_wdpt(p)  # warm the shared analysis
+            if obs is not None:
+                obs.parsed(p)
             start = time.perf_counter()
             answers = evaluate(p, self.database)
             self.planner.record_engine("wdpt-topdown", time.perf_counter() - start)
@@ -161,12 +199,26 @@ class Session:
 
     def query_maximal(self, query: Query) -> Result:
         """Evaluate under the maximal-mapping semantics ``p_m(D)``."""
+        obs = self._observe("query_maximal", query)
+        if obs is None:
+            return self._query_maximal_impl(query, None)
+        with obs:
+            result = self._query_maximal_impl(query, obs)
+            obs.finish(result.query, len(result.answers))
+        result.resources = obs.usage
+        return result
+
+    def _query_maximal_impl(
+        self, query: Query, obs: Optional[QueryObservation]
+    ) -> Result:
         tracer = current_tracer()
         with tracer.span("session.query_maximal"):
             with tracer.span("session.parse"):
                 p = self.parse(query)
             with tracer.span("session.profile"):
                 self.planner.profile_wdpt(p)
+            if obs is not None:
+                obs.parsed(p)
             start = time.perf_counter()
             answers = evaluate_max(p, self.database)
             self.planner.record_engine(
@@ -177,9 +229,27 @@ class Session:
     def ask(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
         """``EVAL``: is ``candidate`` an answer?  (Theorem 6 DP, node
         checks routed through the planner.)"""
+        obs = self._observe("ask", query)
+        if obs is None:
+            return self._ask_impl(query, candidate, method, None)
+        with obs:
+            decision = self._ask_impl(query, candidate, method, obs)
+            obs.finish(obs.query, int(decision))
+        return decision
+
+    def _ask_impl(
+        self,
+        query: Query,
+        candidate: Mapping,
+        method: str,
+        obs: Optional[QueryObservation],
+    ) -> bool:
         with current_tracer().span("session.ask", method=method):
+            p = self.parse(query)
+            if obs is not None:
+                obs.parsed(p)
             return eval_tractable(
-                self.parse(query), self.database, candidate,
+                p, self.database, candidate,
                 method=method, planner=self.planner,
             )
 
@@ -253,6 +323,12 @@ class Session:
         """Planner instrumentation: cache hit rates, per-engine selection
         counts, analysis vs. engine time."""
         return self.planner.stats()
+
+    def reset_stats(self) -> None:
+        """Zero the instrumentation counters while keeping the warmed
+        planner caches (parsed queries, structural profiles, EXPLAINs), so
+        steady-state measurement windows start from a warm cache."""
+        self.planner.reset_counters()
 
     # ------------------------------------------------------------------
     # Data management

@@ -53,3 +53,20 @@ class ParseError(ReproError):
 class BudgetExceededError(ReproError):
     """A bounded search (approximation / membership witness search) exceeded
     its configured work budget before reaching a definitive answer."""
+
+
+class ResourceBudgetExceeded(ReproError):
+    """A query ran past a hard resource budget (wall time, memory, or
+    intermediate-relation cardinality) configured on the session — see
+    :class:`repro.telemetry.resources.ResourceBudget`.  The partially
+    computed result is discarded; the exception carries the offending
+    dimension, the limit, and the observed value."""
+
+    def __init__(self, dimension: str, limit: float, observed: float):
+        self.dimension = dimension
+        self.limit = limit
+        self.observed = observed
+        super().__init__(
+            "hard %s budget exceeded: observed %g > limit %g"
+            % (dimension, observed, limit)
+        )

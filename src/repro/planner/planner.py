@@ -96,8 +96,8 @@ class Planner:
     def engine_selections(self) -> Dict[str, int]:
         return {
             engine: int(count)
-            for engine, count in self.metrics.counters_with_prefix(
-                "planner.engine.selected."
+            for engine, count in self.metrics.labeled_values(
+                "planner.engine.selected", "engine"
             ).items()
             if count  # instruments survive reset_counters() at zero
         }
@@ -211,10 +211,15 @@ class Planner:
 
     def record_engine(self, engine: str, seconds: float) -> None:
         """Record one engine run: selection counter, cumulative time, and
-        a per-call latency histogram (p50/p95/max in :meth:`stats`)."""
-        self.metrics.counter("planner.engine.selected.%s" % engine).inc()
+        a per-call latency histogram (p50/p95/p99/max in :meth:`stats`).
+
+        Both instruments are labeled families (``{"engine": engine}``), so
+        the Prometheus exposition renders them as one metric with an
+        ``engine`` label rather than one metric per engine."""
+        labels = {"engine": engine}
+        self.metrics.counter("planner.engine.selected", labels).inc()
         self.metrics.counter("planner.engine_seconds").inc(seconds)
-        self.metrics.histogram("planner.engine_latency.%s" % engine).observe(seconds)
+        self.metrics.histogram("planner.engine_latency", labels=labels).observe(seconds)
 
     #: Backwards-compatible alias (pre-telemetry callers).
     _record_engine = record_engine
@@ -312,10 +317,11 @@ class Planner:
             "analysis_seconds": self.analysis_seconds,
             "engine_seconds": self.engine_seconds,
             "engine_latency": {
-                engine: self.metrics.histogram(
-                    "planner.engine_latency.%s" % engine
-                ).snapshot()
-                for engine in self.engine_selections
+                engine: histogram.snapshot()
+                for engine, histogram in self.metrics.labeled_histograms(
+                    "planner.engine_latency", "engine"
+                ).items()
+                if engine in self.engine_selections
             },
         }
 

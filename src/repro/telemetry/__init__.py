@@ -5,7 +5,13 @@
 * :mod:`repro.telemetry.metrics` — counters / gauges / histograms behind a
   :class:`MetricsRegistry` (the planner's instrumentation store);
 * :mod:`repro.telemetry.export` — dict/JSON, Chrome ``chrome://tracing``
-  trace-event, and fixed-width text exporters.
+  trace-event, and fixed-width text exporters;
+* :mod:`repro.telemetry.obslog` — the structured JSON-lines query log with
+  stable query IDs and slow-query EXPLAIN ANALYZE capture;
+* :mod:`repro.telemetry.resources` — per-query resource accounting and
+  soft/hard budgets;
+* :mod:`repro.telemetry.promhttp` — a stdlib ``/metrics`` + ``/healthz``
+  endpoint serving the Prometheus text exposition.
 
 See ``docs/OBSERVABILITY.md`` for the full tour and
 :meth:`repro.engine.Session.analyze` for EXPLAIN ANALYZE built on top.
@@ -13,11 +19,29 @@ See ``docs/OBSERVABILITY.md`` for the full tour and
 
 from .metrics import (
     Counter,
+    DEFAULT_QUANTILES,
     Gauge,
     Histogram,
     MetricsRegistry,
     NodeStatsCollector,
     get_registry,
+    quantile_key,
+)
+from .obslog import (
+    OBSLOG_SCHEMA,
+    QueryLog,
+    QueryObservation,
+    validate_obslog,
+)
+from .promhttp import PROMETHEUS_CONTENT_TYPE, MetricsServer
+from .resources import (
+    ResourceBudget,
+    ResourceBudgetExceeded,
+    ResourceMonitor,
+    ResourceUsage,
+    account_rows,
+    account_subquery,
+    current_monitor,
 )
 from .tracer import (
     NULL_TRACER,
@@ -44,11 +68,26 @@ from .export import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_QUANTILES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NodeStatsCollector",
     "get_registry",
+    "quantile_key",
+    "OBSLOG_SCHEMA",
+    "QueryLog",
+    "QueryObservation",
+    "validate_obslog",
+    "PROMETHEUS_CONTENT_TYPE",
+    "MetricsServer",
+    "ResourceBudget",
+    "ResourceBudgetExceeded",
+    "ResourceMonitor",
+    "ResourceUsage",
+    "account_rows",
+    "account_subquery",
+    "current_monitor",
     "NULL_TRACER",
     "NullTracer",
     "Span",

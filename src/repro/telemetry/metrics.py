@@ -4,34 +4,67 @@ A :class:`MetricsRegistry` is a thread-safe bag of instruments created on
 first use::
 
     registry = MetricsRegistry()
-    registry.counter("planner.engine.yannakakis").inc()
+    registry.counter("planner.engine.selected", {"engine": "yannakakis"}).inc()
     registry.histogram("planner.engine_seconds").observe(0.002)
     registry.snapshot()["histograms"]["planner.engine_seconds"]["p95"]
 
+Instruments optionally carry **labels** (a small ``{name: value}`` dict):
+the registry keys instruments by ``(name, labels)``, so one metric family
+(``planner.engine.selected``) fans out into one series per label
+combination — exactly the Prometheus data model, which
+:meth:`MetricsRegistry.to_prometheus` renders in the text exposition
+format (``# TYPE`` headers, escaped label values, summary quantiles).
+
 Histograms keep exact ``count``/``sum``/``max`` and a bounded reservoir of
-recent observations for the p50/p95 quantile estimates, so long-running
-sessions do not grow without bound.  The planner owns one registry
-(migrated from its former ad-hoc counters); anything else may use the
+recent observations for the quantile estimates (p50/p95/p99 by default,
+configurable per instrument), so long-running sessions do not grow without
+bound.  The planner owns one registry; anything else may use the
 module-level default registry via :func:`get_registry`.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Deque, Dict, Mapping, Optional, Sequence, Tuple
 
 #: Observations retained per histogram for quantile estimation.
 DEFAULT_RESERVOIR = 2048
+
+#: Quantiles every histogram reports unless configured otherwise.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+#: Normalised label form used as part of the registry key.
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Optional[Mapping[str, str]]) -> LabelsKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _display_name(name: str, labels: LabelsKey) -> str:
+    """The snapshot key: ``name`` or ``name{k="v",…}`` (Prometheus style)."""
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join('%s="%s"' % kv for kv in labels))
+
+
+def quantile_key(q: float) -> str:
+    """``0.5 → "p50"``, ``0.95 → "p95"``, ``0.999 → "p99.9"``."""
+    return "p%g" % (q * 100)
 
 
 class Counter:
     """A monotonically increasing value (floats allowed, e.g. seconds)."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "labels", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None):
         self.name = name
+        self.labels: LabelsKey = _labels_key(labels)
         self.value = 0.0
         self._lock = threading.Lock()
 
@@ -44,16 +77,17 @@ class Counter:
             self.value = 0.0
 
     def __repr__(self) -> str:
-        return "Counter(%r, %g)" % (self.name, self.value)
+        return "Counter(%r, %g)" % (_display_name(self.name, self.labels), self.value)
 
 
 class Gauge:
     """A last-value-wins instrument."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: Optional[Mapping[str, str]] = None):
         self.name = name
+        self.labels: LabelsKey = _labels_key(labels)
         self.value: Optional[float] = None
 
     def set(self, value: float) -> None:
@@ -63,19 +97,32 @@ class Gauge:
         self.value = None
 
     def __repr__(self) -> str:
-        return "Gauge(%r, %r)" % (self.name, self.value)
+        return "Gauge(%r, %r)" % (_display_name(self.name, self.labels), self.value)
 
 
 class Histogram:
-    """Exact count/sum/max plus reservoir-backed p50/p95 quantiles."""
+    """Exact count/sum/max plus reservoir-backed quantiles.
 
-    __slots__ = ("name", "count", "sum", "max", "_values", "_lock")
+    ``quantiles`` configures which quantiles :meth:`snapshot` (and the
+    Prometheus exposition) report — p50/p95/p99 by default.
+    """
 
-    def __init__(self, name: str, reservoir: int = DEFAULT_RESERVOIR):
+    __slots__ = ("name", "labels", "count", "sum", "max", "quantiles",
+                 "_values", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        reservoir: int = DEFAULT_RESERVOIR,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        labels: Optional[Mapping[str, str]] = None,
+    ):
         self.name = name
+        self.labels: LabelsKey = _labels_key(labels)
         self.count = 0
         self.sum = 0.0
         self.max = 0.0
+        self.quantiles: Tuple[float, ...] = tuple(quantiles)
         self._values: Deque[float] = deque(maxlen=reservoir)
         self._lock = threading.Lock()
 
@@ -112,68 +159,175 @@ class Histogram:
             self._values.clear()
 
     def snapshot(self) -> Dict[str, Any]:
-        return {
+        snap: Dict[str, Any] = {
             "count": self.count,
             "sum": self.sum,
             "max": self.max,
             "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
         }
+        for q in self.quantiles:
+            snap[quantile_key(q)] = self.quantile(q)
+        return snap
 
     def __repr__(self) -> str:
-        return "Histogram(%r, count=%d, sum=%g)" % (self.name, self.count, self.sum)
+        return "Histogram(%r, count=%d, sum=%g)" % (
+            _display_name(self.name, self.labels), self.count, self.sum,
+        )
 
 
 class MetricsRegistry:
-    """Thread-safe, create-on-first-use collection of instruments."""
+    """Thread-safe, create-on-first-use collection of instruments,
+    keyed by ``(name, labels)``."""
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[Tuple[str, LabelsKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelsKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelsKey], Histogram] = {}
         self._lock = threading.Lock()
 
-    def counter(self, name: str) -> Counter:
-        instrument = self._counters.get(name)
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = (name, _labels_key(labels))
+        instrument = self._counters.get(key)
         if instrument is None:
             with self._lock:
-                instrument = self._counters.setdefault(name, Counter(name))
+                instrument = self._counters.setdefault(key, Counter(name, labels))
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
-        instrument = self._gauges.get(name)
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        key = (name, _labels_key(labels))
+        instrument = self._gauges.get(key)
         if instrument is None:
             with self._lock:
-                instrument = self._gauges.setdefault(name, Gauge(name))
+                instrument = self._gauges.setdefault(key, Gauge(name, labels))
         return instrument
 
-    def histogram(self, name: str, reservoir: int = DEFAULT_RESERVOIR) -> Histogram:
-        instrument = self._histograms.get(name)
+    def histogram(
+        self,
+        name: str,
+        reservoir: int = DEFAULT_RESERVOIR,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        key = (name, _labels_key(labels))
+        instrument = self._histograms.get(key)
         if instrument is None:
             with self._lock:
                 instrument = self._histograms.setdefault(
-                    name, Histogram(name, reservoir=reservoir)
+                    key,
+                    Histogram(name, reservoir=reservoir, quantiles=quantiles,
+                              labels=labels),
                 )
         return instrument
 
     def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
-        """``{suffix: value}`` for every counter named ``prefix + suffix``."""
+        """``{suffix: value}`` for every unlabeled counter named
+        ``prefix + suffix`` (labeled families use :meth:`labeled_values`)."""
         return {
             name[len(prefix):]: c.value
-            for name, c in sorted(self._counters.items())
-            if name.startswith(prefix)
+            for (name, labels), c in sorted(self._counters.items())
+            if labels == () and name.startswith(prefix)
         }
 
+    def labeled_values(self, name: str, label: str) -> Dict[str, float]:
+        """``{label value: counter value}`` for the counter family ``name``
+        (one entry per distinct value of ``label``)."""
+        out: Dict[str, float] = {}
+        for (n, labels), c in sorted(self._counters.items()):
+            if n != name:
+                continue
+            for k, v in labels:
+                if k == label:
+                    out[v] = out.get(v, 0.0) + c.value
+        return out
+
+    def labeled_histograms(self, name: str, label: str) -> Dict[str, Histogram]:
+        """``{label value: histogram}`` for the histogram family ``name``."""
+        out: Dict[str, Histogram] = {}
+        for (n, labels), h in sorted(self._histograms.items()):
+            if n != name:
+                continue
+            for k, v in labels:
+                if k == label:
+                    out[v] = h
+        return out
+
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """A JSON-friendly dump of every instrument."""
+        """A JSON-friendly dump of every instrument (labeled instruments
+        appear under ``name{k="v"}`` keys)."""
         return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "counters": {
+                _display_name(n, ls): c.value
+                for (n, ls), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _display_name(n, ls): g.value
+                for (n, ls), g in sorted(self._gauges.items())
+            },
             "histograms": {
-                n: h.snapshot() for n, h in sorted(self._histograms.items())
+                _display_name(n, ls): h.snapshot()
+                for (n, ls), h in sorted(self._histograms.items())
             },
         }
+
+    # ------------------------------------------------------------------
+    # Prometheus text exposition (format version 0.0.4)
+    # ------------------------------------------------------------------
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """The registry in the Prometheus text exposition format.
+
+        * counters → ``# TYPE … counter``;
+        * gauges → ``# TYPE … gauge`` (unset gauges are omitted);
+        * histograms → ``# TYPE … summary`` with one ``quantile``-labeled
+          sample per configured quantile plus ``_sum``/``_count`` (and a
+          ``_max`` gauge, which plain summaries lack).
+
+        Metric names are sanitised to ``[a-zA-Z0-9_:]`` and prefixed with
+        ``namespace_``; label values are escaped per the spec.
+        """
+        lines: list = []
+        for name, family in _families(self._counters):
+            _type_line(lines, _prom_name(namespace, name), "counter")
+            for labels, c in family:
+                lines.append(
+                    "%s%s %s"
+                    % (_prom_name(namespace, name), _prom_labels(labels),
+                       _prom_value(c.value))
+                )
+        for name, family in _families(self._gauges):
+            samples = [(labels, g) for labels, g in family if g.value is not None]
+            if not samples:
+                continue
+            _type_line(lines, _prom_name(namespace, name), "gauge")
+            for labels, g in samples:
+                lines.append(
+                    "%s%s %s"
+                    % (_prom_name(namespace, name), _prom_labels(labels),
+                       _prom_value(g.value))
+                )
+        for name, family in _families(self._histograms):
+            metric = _prom_name(namespace, name)
+            _type_line(lines, metric, "summary")
+            for labels, h in family:
+                for q in h.quantiles:
+                    value = h.quantile(q)
+                    if value is None:
+                        continue
+                    q_labels = labels + (("quantile", "%g" % q),)
+                    lines.append(
+                        "%s%s %s" % (metric, _prom_labels(q_labels), _prom_value(value))
+                    )
+                lines.append(
+                    "%s_sum%s %s" % (metric, _prom_labels(labels), _prom_value(h.sum))
+                )
+                lines.append("%s_count%s %d" % (metric, _prom_labels(labels), h.count))
+            _type_line(lines, metric + "_max", "gauge")
+            for labels, h in family:
+                lines.append(
+                    "%s_max%s %s" % (metric, _prom_labels(labels), _prom_value(h.max))
+                )
+        return "\n".join(lines) + "\n" if lines else ""
 
     def reset(self) -> None:
         """Zero every instrument (instruments themselves are kept)."""
@@ -188,6 +342,49 @@ class MetricsRegistry:
         return "MetricsRegistry(%d counters, %d gauges, %d histograms)" % (
             len(self._counters), len(self._gauges), len(self._histograms),
         )
+
+
+def _families(store: Dict[Tuple[str, LabelsKey], Any]):
+    """``(name, [(labels, instrument), …])`` per metric family, sorted."""
+    grouped: Dict[str, list] = {}
+    for (name, labels), instrument in sorted(store.items()):
+        grouped.setdefault(name, []).append((labels, instrument))
+    return sorted(grouped.items())
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    metric = _PROM_INVALID.sub("_", name)
+    if namespace:
+        metric = "%s_%s" % (_PROM_INVALID.sub("_", namespace), metric)
+    if metric and metric[0].isdigit():
+        metric = "_" + metric
+    return metric
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_labels(labels: LabelsKey) -> str:
+    if not labels:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (_PROM_INVALID.sub("_", k), _prom_escape(v)) for k, v in labels
+    )
+
+
+def _prom_value(value: float) -> str:
+    return repr(float(value))
+
+
+def _type_line(lines, metric: str, kind: str) -> None:
+    """Emit the ``# TYPE`` header once per metric family."""
+    header = "# TYPE %s %s" % (metric, kind)
+    if header not in lines:
+        lines.append(header)
 
 
 class NodeStatsCollector:

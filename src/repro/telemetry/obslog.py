@@ -1,0 +1,390 @@
+"""Structured query-event log (JSON lines) with slow-query capture.
+
+The operator-facing view of the query path: a :class:`QueryLog` receives
+one JSON-serialisable record per lifecycle event —
+
+* ``query.start`` — operation and query text preview;
+* ``query.parse`` — the **stable query ID** (a prefix of the WDPT's
+  structural fingerprint, so the same query shape gets the same ID across
+  sessions and textual variants) plus parse/profile cache hits;
+* ``query.plan`` — engine chosen, theorem justification, and the class
+  memberships the routing was derived from (local treewidth, interface
+  width, global treewidth, projection-freeness);
+* ``query.complete`` — row count, wall/CPU seconds, resource usage;
+* ``query.budget`` — a soft resource budget was exceeded (warning);
+* ``query.error`` — the exception type and message;
+* ``query.slow`` — emitted *in addition to* ``query.complete`` when the
+  query ran longer than ``slow_threshold`` seconds; carries the full
+  EXPLAIN ANALYZE profile (per-node static routing joined with the
+  measured per-node trace) so the slow query can be diagnosed without
+  re-running it.
+
+Records go to a sink (file path, file object, or callable) as JSON lines
+and into a bounded in-memory ring (:meth:`QueryLog.recent`) for
+programmatic access and tests.  :func:`validate_obslog` schema-checks a
+log (shared with ``scripts/validate_trace.py``).
+
+:class:`QueryObservation` is the session-side orchestrator: it installs a
+recording tracer when slow-query capture needs one, runs the query under a
+:class:`~repro.telemetry.resources.ResourceMonitor`, and emits the events
+above.  ``Session.query``/``query_maximal``/``ask`` construct one per call
+when observability is configured — and skip all of it (one ``is None``
+check) when it is not.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from .resources import ResourceMonitor
+from .tracer import NULL_TRACER, Tracer, current_tracer, set_tracer
+
+#: Schema version stamped on every record.
+OBSLOG_SCHEMA = 1
+
+#: Keys every obslog record must carry.
+REQUIRED_KEYS = ("event", "ts", "seq", "schema")
+
+#: Events that must reference a query (and therefore carry ``query_id``).
+_QUERY_ID_EVENTS = ("query.parse", "query.plan", "query.complete", "query.slow")
+
+#: ``Session`` operation → engine identifier recorded in the log.
+OP_ENGINES = {
+    "query": "wdpt-topdown",
+    "query_maximal": "wdpt-topdown-max",
+    "ask": "wdpt-dp",
+}
+
+Sink = Union[None, str, io.IOBase, Callable[[Dict[str, Any]], None]]
+
+
+class QueryLog:
+    """A structured JSON-lines query log.
+
+    Parameters
+    ----------
+    sink:
+        Where records go: a file path (opened for append), a file-like
+        object with ``write``, a callable receiving the record dict, or
+        ``None`` (ring buffer only).
+    slow_threshold:
+        Wall-clock seconds above which a ``query.slow`` record with the
+        full EXPLAIN ANALYZE profile is emitted; ``None`` disables
+        slow-query capture (and the tracer it requires).
+    ring_size:
+        How many recent records :meth:`recent` retains.
+    """
+
+    def __init__(
+        self,
+        sink: Sink = None,
+        slow_threshold: Optional[float] = None,
+        ring_size: int = 256,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.slow_threshold = slow_threshold
+        self._clock = clock
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._ring: List[Dict[str, Any]] = []
+        self._ring_size = ring_size
+        self._owns_handle = False
+        self._write: Optional[Callable[[str], None]] = None
+        self._call: Optional[Callable[[Dict[str, Any]], None]] = None
+        if sink is None:
+            pass
+        elif callable(sink) and not hasattr(sink, "write"):
+            self._call = sink
+        elif hasattr(sink, "write"):
+            self._write = sink.write  # type: ignore[union-attr]
+        else:
+            handle = open(sink, "a")  # type: ignore[arg-type]
+            self._owns_handle = True
+            self._handle = handle
+            self._write = handle.write
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the complete record."""
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, Any] = {
+                "event": event,
+                "ts": self._clock(),
+                "seq": self._seq,
+                "schema": OBSLOG_SCHEMA,
+            }
+            record.update(fields)
+            self._ring.append(record)
+            if len(self._ring) > self._ring_size:
+                del self._ring[: len(self._ring) - self._ring_size]
+            if self._write is not None:
+                self._write(json.dumps(record, default=repr) + "\n")
+            if self._call is not None:
+                self._call(record)
+        return record
+
+    def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent ``n`` records (all retained ones by default)."""
+        with self._lock:
+            records = list(self._ring)
+        return records if n is None else records[-n:]
+
+    def events(self, name: str) -> List[Dict[str, Any]]:
+        """The retained records of one event type."""
+        return [r for r in self.recent() if r["event"] == name]
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+            self._write = None
+            self._owns_handle = False
+
+    def __repr__(self) -> str:
+        return "QueryLog(%d records, slow_threshold=%r)" % (
+            self._seq, self.slow_threshold,
+        )
+
+
+def validate_obslog(lines: Iterable[str]) -> List[str]:
+    """Schema errors for a JSON-lines query log (empty list = valid).
+
+    Shared by ``scripts/validate_trace.py --format obslog``: an empty log
+    is an error (no events usually means broken wiring), every line must
+    be a JSON object carrying the required keys with the right types, and
+    query-scoped events must name their stable ``query_id``.
+    """
+    errors: List[str] = []
+    count = 0
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        count += 1
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append("line %d: not valid JSON: %s" % (lineno, exc))
+            continue
+        if not isinstance(record, dict):
+            errors.append("line %d: not a JSON object" % lineno)
+            continue
+        for key in REQUIRED_KEYS:
+            if key not in record:
+                errors.append("line %d: missing key %r" % (lineno, key))
+        event = record.get("event")
+        if not isinstance(event, str) or not event:
+            errors.append("line %d: 'event' must be a non-empty string" % lineno)
+            continue
+        if "ts" in record and not isinstance(record["ts"], (int, float)):
+            errors.append("line %d: 'ts' must be numeric" % lineno)
+        if "seq" in record and not isinstance(record["seq"], int):
+            errors.append("line %d: 'seq' must be an integer" % lineno)
+        if event in _QUERY_ID_EVENTS:
+            qid = record.get("query_id")
+            if not isinstance(qid, str) or not qid:
+                errors.append(
+                    "line %d: %s event must carry a non-empty 'query_id'"
+                    % (lineno, event)
+                )
+        if event == "query.slow":
+            profile = record.get("profile")
+            if not isinstance(profile, dict) or "nodes" not in profile:
+                errors.append(
+                    "line %d: query.slow must carry a 'profile' with 'nodes'"
+                    % lineno
+                )
+    if count == 0:
+        errors.append("log is empty: no events were recorded")
+    return errors
+
+
+class QueryObservation:
+    """Observe one ``Session`` operation: events, resources, slow capture.
+
+    Used as a context manager by the session entry points::
+
+        obs = QueryObservation(session, "query", raw_query)
+        with obs:
+            ... parse; obs.parsed(p); evaluate ...
+            obs.finish(p, n_rows)
+        result.resources = obs.usage
+    """
+
+    def __init__(self, session, op: str, raw_query: Any):
+        self.session = session
+        self.op = op
+        self.log: Optional[QueryLog] = session.obslog
+        self.raw_query = raw_query
+        self.query = None
+        self.query_id: Optional[str] = None
+        self.n_rows: Optional[int] = None
+        self.monitor: Optional[ResourceMonitor] = None
+        self.usage = None
+        self._tracer: Optional[Tracer] = None
+        self._previous_tracer = None
+        self._start = 0.0
+        self._finished = False
+        self._cache_baseline: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _slow_capture(self) -> bool:
+        return self.log is not None and self.log.slow_threshold is not None
+
+    def __enter__(self) -> "QueryObservation":
+        # Slow-query capture needs a recorded trace to build the EXPLAIN
+        # ANALYZE profile from; install a fresh tracer only if none is on.
+        if self._slow_capture() and current_tracer() is NULL_TRACER:
+            self._tracer = Tracer()
+            self._previous_tracer = set_tracer(self._tracer)
+        budget = self.session.budgets
+        if budget is not None or self.session.track_resources:
+            self.monitor = ResourceMonitor(budget)
+            self.monitor.__enter__()
+        planner = self.session.planner
+        self._cache_baseline = {
+            "parse_hits": planner.parses.hits,
+            "parse_misses": planner.parses.misses,
+            "profile_hits": planner.profiles.hits,
+            "profile_misses": planner.profiles.misses,
+        }
+        if self.log is not None:
+            preview = (
+                self.raw_query
+                if isinstance(self.raw_query, str)
+                else repr(self.raw_query)
+            )
+            self.log.emit("query.start", op=self.op, query=preview[:200])
+        self._start = time.perf_counter()
+        return self
+
+    def parsed(self, p) -> None:
+        """Called by the session once the WDPT (and its profile) exist."""
+        self.query = p
+        self.query_id = p.structural_fingerprint()[:16]
+        if self.log is None:
+            return
+        planner = self.session.planner
+        baseline = self._cache_baseline
+        self.log.emit(
+            "query.parse",
+            op=self.op,
+            query_id=self.query_id,
+            # Per-call deltas: did *this* query hit the parse/profile caches?
+            parse_cache={
+                "hits": planner.parses.hits - baseline["parse_hits"],
+                "misses": planner.parses.misses - baseline["parse_misses"],
+            },
+            profile_cache={
+                "hits": planner.profiles.hits - baseline["profile_hits"],
+                "misses": planner.profiles.misses - baseline["profile_misses"],
+            },
+        )
+        profile = planner.explain_wdpt(p)
+        self.log.emit(
+            "query.plan",
+            op=self.op,
+            query_id=self.query_id,
+            engine=OP_ENGINES.get(self.op, self.op),
+            theorem=profile.eval_route(),
+            classes={
+                "local_treewidth": profile.local_treewidth,
+                "interface_width": profile.interface_width,
+                "global_treewidth": profile.global_treewidth,
+                "global_hypertreewidth": profile.global_hypertreewidth,
+                "projection_free": profile.projection_free,
+            },
+        )
+
+    def finish(self, p, n_rows: int) -> None:
+        """Called by the session with the parsed query and the row count."""
+        if self.query is None:
+            self.parsed(p)
+        self.n_rows = n_rows
+        self._finished = True
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._start
+        if self.monitor is not None:
+            # May raise ResourceBudgetExceeded (post-hoc hard limits); run
+            # it first so the usage is finalised for the log records, and
+            # re-enter the normal flow with the budget error as `exc`.
+            self.usage = self.monitor.usage
+            try:
+                self.monitor.__exit__(exc_type, exc, tb)
+            except Exception as budget_exc:  # noqa: BLE001 - re-raised below
+                exc_type, exc = type(budget_exc), budget_exc
+        try:
+            self._emit_exit_events(wall, exc_type, exc)
+        finally:
+            if self._tracer is not None:
+                set_tracer(self._previous_tracer)
+        if exc is not None and tb is None:
+            raise exc  # a post-hoc hard-budget violation from the monitor
+        return False
+
+    # ------------------------------------------------------------------
+    def _emit_exit_events(self, wall: float, exc_type, exc) -> None:
+        log = self.log
+        if log is None:
+            return
+        usage = self.usage
+        if usage is not None and usage.soft_violations:
+            log.emit(
+                "query.budget",
+                op=self.op,
+                query_id=self.query_id,
+                violations=list(usage.soft_violations),
+            )
+        if exc_type is not None:
+            log.emit(
+                "query.error",
+                op=self.op,
+                query_id=self.query_id,
+                error=exc_type.__name__,
+                message=str(exc),
+                wall_seconds=wall,
+            )
+            return
+        record: Dict[str, Any] = {
+            "op": self.op,
+            "query_id": self.query_id,
+            "rows": self.n_rows,
+            "wall_seconds": wall,
+        }
+        if usage is not None:
+            record["cpu_seconds"] = usage.cpu_seconds
+            record["resources"] = usage.as_dict()
+        log.emit("query.complete", **record)
+        threshold = log.slow_threshold
+        if threshold is not None and wall >= threshold and self.query is not None:
+            log.emit("query.slow", **self._slow_record(wall))
+
+    def _slow_record(self, wall: float) -> Dict[str, Any]:
+        """The ``query.slow`` payload: plan + per-node EXPLAIN ANALYZE."""
+        from ..analyze import build_report
+
+        planner = self.session.planner
+        profile = planner.explain_wdpt(self.query)
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        report = build_report(
+            self.query, profile, tracer, planner,
+            n_answers=self.n_rows, mode=self.op,
+        )
+        return {
+            "op": self.op,
+            "query_id": self.query_id,
+            "threshold_seconds": self.log.slow_threshold,
+            "wall_seconds": wall,
+            "engine": OP_ENGINES.get(self.op, self.op),
+            "theorem": profile.eval_route(),
+            "profile": {
+                "fingerprint": profile.fingerprint,
+                "eval_route": profile.eval_route(),
+                "nodes": report.rows,
+                "stages": report.stages,
+            },
+        }

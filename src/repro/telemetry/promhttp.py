@@ -1,0 +1,154 @@
+"""A stdlib-only ``/metrics`` + ``/healthz`` HTTP endpoint.
+
+:class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer` and
+serves the Prometheus text exposition of one or more
+:class:`~repro.telemetry.metrics.MetricsRegistry` objects (or arbitrary
+callables returning exposition text) —
+
+* ``GET /metrics`` — concatenated ``MetricsRegistry.to_prometheus()``
+  output, ``Content-Type: text/plain; version=0.0.4``;
+* ``GET /healthz`` — a JSON liveness document (status, uptime, request
+  count);
+* anything else — 404.
+
+The server binds on construction-time host/port (port ``0`` picks a free
+one, exposed via :attr:`MetricsServer.port` / :attr:`MetricsServer.url`)
+and serves from a daemon thread, so it can sit next to a long-lived
+:class:`~repro.engine.Session` without blocking it.  ``repro
+serve-metrics`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, List, Sequence, Union
+
+from .metrics import MetricsRegistry
+
+#: The Prometheus text exposition content type.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+Source = Union[MetricsRegistry, Callable[[], str]]
+
+
+class MetricsServer:
+    """Serve Prometheus metrics and a health check from a daemon thread.
+
+    ::
+
+        server = MetricsServer([session.planner.metrics])
+        server.start()
+        ... curl http://127.0.0.1:<server.port>/metrics ...
+        server.stop()
+
+    Also usable as a context manager (starts on enter, stops on exit).
+    """
+
+    def __init__(
+        self,
+        sources: Union[Source, Sequence[Source]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        namespace: str = "repro",
+    ):
+        if isinstance(sources, MetricsRegistry) or callable(sources):
+            sources = [sources]
+        self.sources: List[Source] = list(sources)
+        self.namespace = namespace
+        self.host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer = None  # type: ignore[assignment]
+        self._thread: threading.Thread = None  # type: ignore[assignment]
+        self._started_at = 0.0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    def exposition(self) -> str:
+        """The concatenated Prometheus text for every source."""
+        chunks = []
+        for source in self.sources:
+            if isinstance(source, MetricsRegistry):
+                chunks.append(source.to_prometheus(namespace=self.namespace))
+            else:
+                chunks.append(source())
+        return "".join(chunk for chunk in chunks if chunk)
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self._started_at,
+            "requests_served": self.requests_served,
+            "sources": len(self.sources),
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+                server.requests_served += 1
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = server.exposition().encode("utf-8")
+                    self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+                elif self.path.split("?", 1)[0] == "/healthz":
+                    body = json.dumps(server.health()).encode("utf-8")
+                    self._reply(200, "application/json", body)
+                else:
+                    self._reply(404, "text/plain; charset=utf-8",
+                                b"not found: try /metrics or /healthz\n")
+
+            def _reply(self, status: int, content_type: str, body: bytes):
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args):  # silence per-request stderr
+                pass
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+        self._httpd = None  # type: ignore[assignment]
+        self._thread = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def __repr__(self) -> str:
+        state = "serving on %s" % self.url if self._httpd else "stopped"
+        return "MetricsServer(%s, %d sources)" % (state, len(self.sources))

@@ -53,6 +53,7 @@ from ..core.mappings import Mapping
 from ..core.terms import Constant, Variable
 from ..cqalgs.naive import satisfiable
 from ..telemetry.metrics import NodeStatsCollector
+from ..telemetry.resources import account_rows, account_subquery
 from ..telemetry.tracer import current_tracer
 from .subtrees import (
     maximal_subtree_within_free,
@@ -166,6 +167,7 @@ class _InterfaceDP:
     def _satisfiable(self, node: int, pre: Mapping) -> bool:
         """Satisfiability of ``σ(λ(node))``: naive backtracking, or the
         planner routing on the node's memoized (unsubstituted) profile."""
+        account_subquery()
         collector = self.collector
         if collector is None:
             if self.method == "naive":
@@ -240,11 +242,14 @@ class _InterfaceDP:
             yield Mapping()
             return
         per_variable: List[List[Constant]] = []
+        n_candidates = 1
         for v in open_interface:
             values = self._candidate_values(node, v)
             if not values:
                 return
             per_variable.append(values)
+            n_candidates *= len(values)
+        account_rows(n_candidates)
         for combo in product(*per_variable):
             yield Mapping(dict(zip(open_interface, combo)))
 

@@ -29,6 +29,7 @@ from ..core.database import Database
 from ..core.mappings import Mapping, maximal_mappings
 from ..cqalgs.naive import homomorphisms as cq_homomorphisms
 from ..telemetry.metrics import NodeStatsCollector
+from ..telemetry.resources import account_rows
 from ..telemetry.tracer import current_tracer
 from .tree import ROOT
 from .wdpt import WDPT
@@ -87,6 +88,7 @@ def maximal_homomorphisms(p: WDPT, db: Database) -> FrozenSet[Mapping]:
         for h in cq_homomorphisms(p.labels[ROOT], db):
             root_candidates += 1
             out.update(_branch_solutions(p, db, ROOT, h, collector))
+        account_rows(len(out))
         if collector is not None:
             collector.add(ROOT, candidates=root_candidates, extensions=len(out))
             sp.set(node_stats=collector.rows(), maximal=len(out))
@@ -122,6 +124,7 @@ def _branch_solutions(
         if not child_solutions:
             continue  # OPT branch fails: the answers keep h unextended
         results = [r.union(m) for r in results for m in child_solutions]
+        account_rows(len(results))
     return results
 
 

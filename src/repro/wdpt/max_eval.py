@@ -25,6 +25,7 @@ from typing import Optional, TYPE_CHECKING
 from ..core.database import Database
 from ..core.mappings import Mapping
 from ..cqalgs.naive import satisfiable
+from ..telemetry.resources import account_subquery
 from ..telemetry.tracer import current_tracer
 from .partial_eval import partial_eval
 from .subtrees import minimal_subtree_containing
@@ -74,6 +75,7 @@ def _extension_exists(
     """Is some ``h ∪ {y ↦ v}`` a partial answer?  Equivalently: is the
     minimal subtree for ``dom(h) ∪ {y}``, with ``h`` substituted and ``y``
     left open, satisfiable?"""
+    account_subquery()
     subtree = minimal_subtree_containing(p, set(h.domain()) | {y})
     if method == "naive":
         atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]

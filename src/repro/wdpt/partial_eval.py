@@ -29,6 +29,7 @@ from typing import FrozenSet, Optional, TYPE_CHECKING
 from ..core.database import Database
 from ..core.mappings import Mapping
 from ..cqalgs.naive import satisfiable
+from ..telemetry.resources import account_subquery
 from ..telemetry.tracer import current_tracer
 from .subtrees import minimal_subtree_containing
 from .wdpt import WDPT
@@ -59,6 +60,7 @@ def partial_eval(
     with tracer.span("wdpt.partial_eval", method=method) as sp:
         if tracer.enabled:
             sp.set(subtree=sorted(subtree), substituted=len(dom))
+        account_subquery()
         if method == "naive":
             atoms = [a.substitute(h.as_dict()) for a in p.atoms_of(subtree)]
             return satisfiable(atoms, db)

@@ -1,0 +1,148 @@
+"""Tests for the benchmark-trajectory regression gate."""
+
+import json
+import sys
+
+import pytest
+
+from repro.benchharness.regress import (
+    BENCHMARKS,
+    TRAJECTORY_SCHEMA,
+    Regression,
+    append_point,
+    build_point,
+    compare_points,
+    inject_regression,
+    load_trajectory,
+)
+
+
+def _fake_point(**seconds):
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "meta": {"created": 0.0},
+        "benchmarks": {
+            name: {"seconds": s, "stages": {}} for name, s in seconds.items()
+        },
+        "planner": {},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Point construction (one real run, small repeats)
+# ---------------------------------------------------------------------------
+def test_build_point_runs_named_benchmarks():
+    point = build_point(names=["fig1.query", "thm6.dp"], repeats=1)
+    assert point["schema"] == TRAJECTORY_SCHEMA
+    assert set(point["benchmarks"]) == {"fig1.query", "thm6.dp"}
+    for bench in point["benchmarks"].values():
+        assert bench["seconds"] > 0
+        assert set(bench["stages"]) == {"analysis", "engine", "semijoin"}
+    planner = point["planner"]
+    assert 0.0 <= planner["plan_cache_hit_rate"] <= 1.0
+    assert planner["engine_selections"], "the shared planner saw the runs"
+    for snap in planner["engine_latency"].values():
+        assert set(snap) == {"count", "p50", "p95", "p99", "max"}
+
+
+def test_build_point_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        build_point(names=["no.such.bench"])
+    assert "fig1.query" in BENCHMARKS  # the registry itself is intact
+
+
+# ---------------------------------------------------------------------------
+# Trajectory file
+# ---------------------------------------------------------------------------
+def test_trajectory_roundtrip(tmp_path):
+    path = str(tmp_path / "BENCH_eval.json")
+    assert load_trajectory(path) == {"schema": TRAJECTORY_SCHEMA, "points": []}
+    append_point(path, _fake_point(a=0.1))
+    doc = append_point(path, _fake_point(a=0.11))
+    assert len(doc["points"]) == 2
+    reloaded = load_trajectory(path)
+    assert reloaded["points"][1]["benchmarks"]["a"]["seconds"] == 0.11
+    with open(path) as handle:  # valid, pretty-printed JSON on disk
+        assert json.load(handle) == reloaded
+
+
+def test_load_trajectory_rejects_other_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError):
+        load_trajectory(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+def test_compare_flags_only_regressions_beyond_threshold():
+    prev = _fake_point(a=0.100, b=0.100, c=0.100)
+    curr = _fake_point(a=0.120, b=0.130, c=0.090)
+    regressions = compare_points(prev, curr, threshold_pct=25.0)
+    assert [r.name for r in regressions] == ["b"]
+    assert regressions[0].change_pct == pytest.approx(30.0)
+    assert "b" in repr(regressions[0])
+
+
+def test_compare_respects_noise_floor():
+    prev = _fake_point(fast=0.00001)
+    curr = _fake_point(fast=0.00009)  # 9x, but below the floor
+    assert compare_points(prev, curr, min_seconds=1e-4) == []
+    assert len(compare_points(prev, curr, min_seconds=1e-6)) == 1
+
+
+def test_compare_ignores_new_and_removed_benchmarks():
+    prev = _fake_point(old=0.1)
+    curr = _fake_point(new=9.9)
+    assert compare_points(prev, curr) == []
+
+
+def test_inject_regression_scales_and_marks():
+    point = _fake_point(a=0.1)
+    inject_regression(point, "a", 10.0)
+    assert point["benchmarks"]["a"]["seconds"] == pytest.approx(1.0)
+    assert point["benchmarks"]["a"]["injected_factor"] == 10.0
+    with pytest.raises(KeyError):
+        inject_regression(point, "missing", 2.0)
+
+
+def test_regression_repr_and_pct():
+    r = Regression("x", 0.1, 0.2)
+    assert r.change_pct == pytest.approx(100.0)
+
+
+# ---------------------------------------------------------------------------
+# The script end-to-end (driven in-process)
+# ---------------------------------------------------------------------------
+def _run_script(argv):
+    import importlib.util
+    import os
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_regress",
+        os.path.join(
+            os.path.dirname(__file__), os.pardir, "scripts", "bench_regress.py"
+        ),
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main(argv)
+
+
+def test_script_baseline_then_injected_regression(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_eval.json")
+    common = ["--out", out, "--repeats", "1", "--names", "fig1.query"]
+    assert _run_script(common) == 0
+    assert "baseline recorded" in capsys.readouterr().out
+    # A generous threshold passes...
+    assert _run_script(common + ["--threshold", "10000"]) == 0
+    capsys.readouterr()
+    # ...an injected 100x slowdown must fail without corrupting the file.
+    points_before = len(load_trajectory(out)["points"])
+    code = _run_script(
+        common + ["--inject", "fig1.query=100", "--no-append"]
+    )
+    assert code == 1
+    assert "REGRESSION" in capsys.readouterr().err
+    assert len(load_trajectory(out)["points"]) == points_before

@@ -45,8 +45,74 @@ class TestRun:
         assert "error:" in capsys.readouterr().err
 
     def test_missing_file(self, capsys):
-        with pytest.raises(FileNotFoundError):
-            main(["run", "{ ?x knows ?y }", "/nonexistent/file.tsv"])
+        assert main(["run", "{ ?x knows ?y }", "/nonexistent/file.tsv"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "/nonexistent/file.tsv" in err
+
+    def test_unparseable_query(self, capsys):
+        assert main(["run", "(((", "/nonexistent/file.tsv"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_out_unwritable(self, capsys, triples_file):
+        code = main(
+            ["run", "{ ?x knows ?y }", triples_file,
+             "--trace-out", "/nonexistent/dir/trace.json"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot write trace" in err
+
+    def test_query_log_and_slow_capture(self, capsys, triples_file, tmp_path):
+        import json
+
+        log_path = tmp_path / "queries.jsonl"
+        code = main(
+            ["run", "{ ?x knows ?y }", triples_file,
+             "--log-queries", str(log_path), "--slow-ms", "0"]
+        )
+        assert code == 0
+        assert "wrote query log" in capsys.readouterr().out
+        events = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        names = [e["event"] for e in events]
+        assert "query.plan" in names and "query.slow" in names
+        (slow,) = [e for e in events if e["event"] == "query.slow"]
+        assert slow["profile"]["nodes"]
+
+    def test_query_log_unwritable(self, capsys, triples_file):
+        code = main(
+            ["run", "{ ?x knows ?y }", triples_file,
+             "--log-queries", "/nonexistent/dir/q.jsonl"]
+        )
+        assert code == 1
+        assert "cannot open query log" in capsys.readouterr().err
+
+
+class TestAnalyzeErrors:
+    def test_missing_triples_file(self, capsys):
+        assert main(["analyze", "{ ?x knows ?y }", "/nonexistent/f.tsv"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unparseable_query(self, capsys):
+        assert main(["analyze", "((("]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMetrics:
+    def test_metrics_prints_exposition(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_planner_engine_selected counter" in out
+        assert 'engine="wdpt-topdown"' in out
+        assert 'quantile="0.99"' in out
+
+    def test_serve_metrics_self_check(self, capsys):
+        assert main(["serve-metrics", "--self-check"]) == 0
+        out = capsys.readouterr().out
+        assert "serving http://127.0.0.1:" in out
+        assert '"status": "ok"' in out
+        assert "repro_planner_engine_selected" in out
 
 
 class TestDemo:

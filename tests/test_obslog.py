@@ -1,0 +1,192 @@
+"""Tests for the structured query log: lifecycle events, stable query IDs,
+slow-query EXPLAIN ANALYZE capture, and the obslog schema validator."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine import Session
+from repro.telemetry.obslog import (
+    OBSLOG_SCHEMA,
+    QueryLog,
+    validate_obslog,
+)
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, current_tracer
+from repro.workloads.families import FIGURE1_QUERY_TEXT, example2_graph
+
+EXAMPLE2_QUERY = "SELECT ?x ?y ?z ?z2 WHERE " + FIGURE1_QUERY_TEXT
+
+
+def _session(**kwargs):
+    return Session(example2_graph(), **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# QueryLog mechanics
+# ---------------------------------------------------------------------------
+def test_emit_assigns_sequence_and_schema():
+    log = QueryLog()
+    first = log.emit("query.start", op="query")
+    second = log.emit("query.complete", query_id="abc", rows=1)
+    assert first["seq"] == 1 and second["seq"] == 2
+    assert first["schema"] == OBSLOG_SCHEMA
+    assert [r["event"] for r in log.recent()] == ["query.start", "query.complete"]
+    assert log.events("query.complete") == [second]
+
+
+def test_ring_buffer_is_bounded():
+    log = QueryLog(ring_size=3)
+    for i in range(10):
+        log.emit("e%d" % i)
+    assert [r["event"] for r in log.recent()] == ["e7", "e8", "e9"]
+    assert log.recent(1)[0]["event"] == "e9"
+
+
+def test_sink_variants(tmp_path):
+    # File-like sink: JSON lines.
+    buffer = io.StringIO()
+    log = QueryLog(sink=buffer)
+    log.emit("query.start", op="query")
+    record = json.loads(buffer.getvalue())
+    assert record["event"] == "query.start" and record["op"] == "query"
+    # Callable sink: record dicts.
+    seen = []
+    QueryLog(sink=seen.append).emit("x")
+    assert seen[0]["event"] == "x"
+    # Path sink: appended lines, closed handle.
+    path = tmp_path / "log.jsonl"
+    file_log = QueryLog(sink=str(path))
+    file_log.emit("a")
+    file_log.emit("b")
+    file_log.close()
+    lines = path.read_text().strip().splitlines()
+    assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Session lifecycle events
+# ---------------------------------------------------------------------------
+def test_query_lifecycle_events_and_stable_id():
+    log = QueryLog()
+    session = _session(obslog=log)
+    result = session.query(EXAMPLE2_QUERY)
+    events = [r["event"] for r in log.recent()]
+    assert events == ["query.start", "query.parse", "query.plan", "query.complete"]
+    parse = log.events("query.parse")[0]
+    plan = log.events("query.plan")[0]
+    complete = log.events("query.complete")[0]
+    # Stable ID: a prefix of the structural fingerprint, shared by all events.
+    qid = parse["query_id"]
+    assert qid == result.query.structural_fingerprint()[:16]
+    assert plan["query_id"] == qid and complete["query_id"] == qid
+    assert plan["engine"] == "wdpt-topdown"
+    assert "Theorem" in plan["theorem"]
+    assert set(plan["classes"]) == {
+        "local_treewidth", "interface_width", "global_treewidth",
+        "global_hypertreewidth", "projection_free",
+    }
+    assert complete["rows"] == len(result)
+    assert complete["wall_seconds"] > 0
+
+
+def test_repeated_query_reports_per_call_cache_hits():
+    log = QueryLog()
+    session = _session(obslog=log)
+    session.query(EXAMPLE2_QUERY)
+    session.query(EXAMPLE2_QUERY)
+    first, second = log.events("query.parse")
+    assert first["parse_cache"] == {"hits": 0, "misses": 1}
+    assert second["parse_cache"] == {"hits": 1, "misses": 0}
+
+
+def test_ask_and_query_maximal_are_logged():
+    log = QueryLog()
+    session = _session(obslog=log)
+    answer = max(session.query(EXAMPLE2_QUERY).answers, key=len)
+    session.ask(EXAMPLE2_QUERY, answer)
+    session.query_maximal(EXAMPLE2_QUERY)
+    plans = log.events("query.plan")
+    assert [p["engine"] for p in plans] == [
+        "wdpt-topdown", "wdpt-dp", "wdpt-topdown-max",
+    ]
+    asks = [r for r in log.events("query.complete") if r["op"] == "ask"]
+    assert asks and asks[0]["rows"] == 1  # decision True
+
+
+def test_error_event_on_unparseable_query():
+    from repro.exceptions import ParseError
+
+    log = QueryLog()
+    session = _session(obslog=log)
+    with pytest.raises(ParseError):
+        session.query("(((")
+    events = [r["event"] for r in log.recent()]
+    assert events == ["query.start", "query.error"]
+    assert log.events("query.error")[0]["error"] == "ParseError"
+
+
+# ---------------------------------------------------------------------------
+# Slow-query capture
+# ---------------------------------------------------------------------------
+def test_slow_query_carries_explain_analyze_profile():
+    log = QueryLog(slow_threshold=0.0)  # everything is "slow"
+    session = _session(obslog=log)
+    session.query(EXAMPLE2_QUERY)
+    (slow,) = log.events("query.slow")
+    assert slow["query_id"] == log.events("query.parse")[0]["query_id"]
+    assert slow["engine"] == "wdpt-topdown"
+    assert "Theorem" in slow["theorem"]
+    profile = slow["profile"]
+    assert profile["nodes"], "per-node EXPLAIN ANALYZE rows must be present"
+    for row in profile["nodes"]:
+        assert "node" in row and "engine" in row
+    assert isinstance(profile["stages"], dict)
+    # The installed tracer is removed again after the query.
+    assert isinstance(current_tracer(), NullTracer)
+
+
+def test_fast_queries_produce_no_slow_event():
+    log = QueryLog(slow_threshold=3600.0)
+    session = _session(obslog=log)
+    session.query(EXAMPLE2_QUERY)
+    assert log.events("query.slow") == []
+    assert current_tracer() is NULL_TRACER
+
+
+# ---------------------------------------------------------------------------
+# validate_obslog
+# ---------------------------------------------------------------------------
+def test_validate_obslog_accepts_real_log(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = QueryLog(sink=str(path), slow_threshold=0.0)
+    session = _session(obslog=log)
+    session.query(EXAMPLE2_QUERY)
+    log.close()
+    assert validate_obslog(path.read_text().splitlines()) == []
+
+
+def test_validate_obslog_rejects_malformed_lines():
+    errors = validate_obslog(["not json"])
+    assert any("not valid JSON" in e for e in errors)
+    errors = validate_obslog(['{"ts": 1, "seq": 1, "schema": 1}'])
+    assert any("'event'" in e for e in errors)
+    errors = validate_obslog(
+        ['{"event": "query.plan", "ts": 1, "seq": 1, "schema": 1}']
+    )
+    assert any("query_id" in e for e in errors)
+    errors = validate_obslog(
+        ['{"event": "query.slow", "ts": 1, "seq": 1, "schema": 1, '
+         '"query_id": "x"}']
+    )
+    assert any("profile" in e for e in errors)
+    assert validate_obslog([]) == ["log is empty: no events were recorded"]
+
+
+def test_validate_obslog_type_checks():
+    errors = validate_obslog(
+        ['{"event": "x", "ts": "late", "seq": 1.5, "schema": 1}', "[1, 2]"]
+    )
+    assert any("'ts' must be numeric" in e for e in errors)
+    assert any("'seq' must be an integer" in e for e in errors)
+    assert any("not a JSON object" in e for e in errors)

@@ -1,0 +1,165 @@
+"""Tests for the Prometheus text exposition and the /metrics endpoint."""
+
+import json
+import re
+import urllib.request
+
+from repro.engine import Session
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.promhttp import PROMETHEUS_CONTENT_TYPE, MetricsServer
+from repro.workloads.families import FIGURE1_QUERY_TEXT, example2_graph
+
+EXAMPLE2_QUERY = "SELECT ?x ?y ?z ?z2 WHERE " + FIGURE1_QUERY_TEXT
+
+#: One exposition line: name{labels} value — or a # TYPE/HELP comment.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9eE+.naif-]+$"
+)
+
+
+def _assert_valid_exposition(text):
+    """Structural checks over the text format 0.0.4: every line is a
+    comment or a sample, every sample's family has a preceding # TYPE,
+    and each family's samples are contiguous."""
+    current_types = {}
+    families_seen = []
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "summary", "histogram")
+            assert name not in current_types, "duplicate TYPE for %s" % name
+            current_types[name] = kind
+            families_seen.append(name)
+            continue
+        if line.startswith("#"):
+            continue
+        assert _SAMPLE.match(line), "malformed sample line: %r" % line
+        sample_name = line.split("{")[0].split(" ")[0]
+        base = re.sub(r"_(sum|count|bucket)$", "", sample_name)
+        # A _max suffix is its own gauge family; _sum/_count belong to the
+        # summary family they extend.
+        owner = sample_name if sample_name in current_types else base
+        assert owner in current_types, (
+            "sample %s has no preceding # TYPE" % sample_name
+        )
+        # Contiguity: the sample must belong to the most recent family.
+        assert families_seen and owner == families_seen[-1], (
+            "sample %s interleaved after family %s"
+            % (sample_name, families_seen[-1])
+        )
+
+
+# ---------------------------------------------------------------------------
+# to_prometheus
+# ---------------------------------------------------------------------------
+def test_counter_gauge_and_summary_families():
+    registry = MetricsRegistry()
+    registry.counter("requests.total").inc(3)
+    registry.gauge("pool.size").set(7)
+    hist = registry.histogram("latency")
+    for v in (0.1, 0.2, 0.3):
+        hist.observe(v)
+    text = registry.to_prometheus(namespace="repro")
+    _assert_valid_exposition(text)
+    assert "# TYPE repro_requests_total counter" in text
+    assert "repro_requests_total 3.0" in text
+    assert "# TYPE repro_pool_size gauge" in text
+    assert "repro_pool_size 7.0" in text
+    assert "# TYPE repro_latency summary" in text
+    assert 'repro_latency{quantile="0.5"} 0.2' in text
+    assert "repro_latency_sum" in text and "repro_latency_count 3" in text
+    assert "# TYPE repro_latency_max gauge" in text
+
+
+def test_labeled_families_are_grouped_contiguously():
+    registry = MetricsRegistry()
+    registry.counter("engine.selected", {"engine": "yannakakis"}).inc(2)
+    registry.counter("other.counter").inc()
+    registry.counter("engine.selected", {"engine": "naive"}).inc(1)
+    text = registry.to_prometheus()
+    _assert_valid_exposition(text)
+    assert 'repro_engine_selected{engine="yannakakis"} 2.0' in text
+    assert 'repro_engine_selected{engine="naive"} 1.0' in text
+    assert text.count("# TYPE repro_engine_selected counter") == 1
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("weird", {"path": 'a\\b"c\nd'}).inc()
+    text = registry.to_prometheus()
+    assert 'path="a\\\\b\\"c\\nd"' in text
+
+
+def test_metric_names_are_sanitized():
+    registry = MetricsRegistry()
+    registry.counter("planner.engine-time@total").inc()
+    text = registry.to_prometheus()
+    _assert_valid_exposition(text)
+    assert "repro_planner_engine_time_total" in text
+
+
+def test_planner_registry_exposition_is_valid():
+    session = Session(example2_graph())
+    session.query(EXAMPLE2_QUERY)
+    answer = max(session.query(EXAMPLE2_QUERY).answers, key=len)
+    session.ask(EXAMPLE2_QUERY, answer)
+    text = session.planner.metrics.to_prometheus()
+    _assert_valid_exposition(text)
+    assert 'repro_planner_engine_selected{engine="wdpt-topdown"}' in text
+    assert "repro_planner_engine_latency" in text
+    assert 'quantile="0.99"' in text  # configurable quantiles incl. p99
+
+
+# ---------------------------------------------------------------------------
+# MetricsServer
+# ---------------------------------------------------------------------------
+def test_metrics_endpoint_serves_valid_text():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc(5)
+    with MetricsServer(registry) as server:
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            body = response.read().decode("utf-8")
+    _assert_valid_exposition(body)
+    assert "repro_hits 5.0" in body
+
+
+def test_healthz_and_404():
+    with MetricsServer(MetricsRegistry()) as server:
+        with urllib.request.urlopen(server.url + "/healthz") as response:
+            health = json.loads(response.read().decode("utf-8"))
+        assert health["status"] == "ok"
+        assert health["sources"] == 1
+        try:
+            urllib.request.urlopen(server.url + "/nope")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        else:  # pragma: no cover
+            raise AssertionError("expected a 404")
+
+
+def test_server_accepts_callable_sources_and_live_updates():
+    registry = MetricsRegistry()
+    counter = registry.counter("live")
+    extra = lambda: "# TYPE extra_gauge gauge\nextra_gauge 1.0\n"  # noqa: E731
+    with MetricsServer([registry, extra]) as server:
+        counter.inc()
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            body = response.read().decode("utf-8")
+        assert "repro_live 1.0" in body
+        assert "extra_gauge 1.0" in body
+        counter.inc()
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            assert "repro_live 2.0" in response.read().decode("utf-8")
+
+
+def test_server_stop_frees_the_port():
+    server = MetricsServer(MetricsRegistry()).start()
+    port = server.port
+    assert port > 0
+    server.stop()
+    # A second server can bind the same port immediately.
+    rebound = MetricsServer(MetricsRegistry(), port=port).start()
+    assert rebound.port == port
+    rebound.stop()

@@ -405,3 +405,91 @@ def _timed(fn):
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Quantile configuration and labeled metric families
+# ---------------------------------------------------------------------------
+def test_quantile_key_rendering():
+    from repro.telemetry.metrics import quantile_key
+
+    assert quantile_key(0.5) == "p50"
+    assert quantile_key(0.95) == "p95"
+    assert quantile_key(0.99) == "p99"
+    assert quantile_key(0.999) == "p99.9"
+
+
+def test_histogram_default_quantiles_include_p99():
+    h = Histogram("t")
+    for value in range(1, 101):
+        h.observe(float(value))
+    snap = h.snapshot()
+    assert set(k for k in snap if k.startswith("p")) == {"p50", "p95", "p99"}
+    assert snap["p99"] >= snap["p95"] >= snap["p50"]
+
+
+def test_histogram_custom_quantiles():
+    h = Histogram("t", quantiles=(0.25, 0.75))
+    for value in range(1, 101):
+        h.observe(float(value))
+    snap = h.snapshot()
+    assert "p25" in snap and "p75" in snap and "p95" not in snap
+
+
+def test_registry_labeled_instruments_are_distinct():
+    registry = MetricsRegistry()
+    a = registry.counter("sel", {"engine": "a"})
+    b = registry.counter("sel", {"engine": "b"})
+    assert a is not b
+    a.inc(2)
+    b.inc(3)
+    assert registry.labeled_values("sel", "engine") == {"a": 2.0, "b": 3.0}
+    ha = registry.histogram("lat", labels={"engine": "a"})
+    ha.observe(0.5)
+    assert registry.labeled_histograms("lat", "engine")["a"] is ha
+    snapshot = registry.snapshot()
+    assert 'sel{engine="a"}' in snapshot["counters"]
+    # Same (name, labels) key returns the same instrument.
+    assert registry.counter("sel", {"engine": "a"}) is a
+
+
+def test_engine_latency_stats_report_p99():
+    session = Session(example2_graph())
+    for _ in range(4):
+        session.query(EXAMPLE2_QUERY)
+    latency = session.stats()["engine_latency"]["wdpt-topdown"]
+    assert latency["count"] == 4
+    assert latency["p99"] is not None and latency["p99"] >= latency["p50"]
+
+
+def test_format_planner_stats_renders_latency_rows():
+    from repro.benchharness.reporting import format_planner_stats
+
+    session = Session(example2_graph())
+    session.query(EXAMPLE2_QUERY)
+    table = format_planner_stats(session.stats())
+    assert "latency[wdpt-topdown]" in table
+    assert "p99" in table
+
+
+# ---------------------------------------------------------------------------
+# Session.reset_stats
+# ---------------------------------------------------------------------------
+def test_session_reset_stats_keeps_warm_caches():
+    session = Session(example2_graph())
+    session.query(EXAMPLE2_QUERY)
+    session.query(EXAMPLE2_QUERY)
+    stats = session.stats()
+    assert stats["engine_selections"]
+    assert stats["parse_cache"]["hits"] >= 1
+    cached_parses = len(session.planner.parses)
+    session.reset_stats()
+    stats = session.stats()
+    assert stats["engine_selections"] == {}
+    assert stats["parse_cache"]["hits"] == 0
+    assert stats["engine_seconds"] == 0.0
+    # The caches themselves survive: the next query is a parse hit.
+    assert len(session.planner.parses) == cached_parses
+    session.query(EXAMPLE2_QUERY)
+    assert session.stats()["parse_cache"]["hits"] == 1
+    assert session.stats()["parse_cache"]["misses"] == 0
