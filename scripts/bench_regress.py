@@ -7,6 +7,7 @@ Usage::
                                     [--threshold PCT] [--repeats N]
                                     [--names fig1.query thm6.dp ...]
                                     [--inject NAME=FACTOR] [--no-append]
+                                    [--jobs J]
 
 Runs the benchmarks in :data:`repro.benchharness.regress.BENCHMARKS`,
 appends one trajectory point to ``--out``, and compares it against the
@@ -14,6 +15,11 @@ previous point: any benchmark more than ``--threshold`` percent slower
 exits 1.  ``--inject NAME=FACTOR`` multiplies one benchmark's measured
 seconds before the comparison — CI uses it to prove the gate actually
 fails on a slowdown.  ``--no-append`` compares without rewriting the file.
+``--jobs J`` (J > 1) additionally sweeps batched parallel evaluation at
+1..J workers and records the speedup under the point's ``parallel`` key
+(informational — the speedup is hardware-dependent, so it is never gated
+here; ``benchmarks/bench_parallel_scaling.py`` asserts it on multi-core
+hosts).
 """
 
 import argparse
@@ -34,6 +40,7 @@ from repro.benchharness.regress import (  # noqa: E402
     compare_points,
     inject_regression,
     load_trajectory,
+    measure_parallel_scaling,
 )
 
 
@@ -74,9 +81,25 @@ def main(argv=None):
         "--no-append", action="store_true",
         help="compare against the trajectory without appending the point",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="also sweep batched evaluation at 1..J workers and record "
+             "the speedup (default: 1 = skip)",
+    )
     args = parser.parse_args(argv)
 
     point = build_point(names=args.names, repeats=args.repeats)
+    if args.jobs > 1:
+        jobs_list = sorted({1, *[j for j in (2, args.jobs) if j <= args.jobs]})
+        point["parallel"] = measure_parallel_scaling(
+            jobs_list=jobs_list, repeats=args.repeats
+        )
+        for jobs in sorted(point["parallel"]["seconds"]):
+            print(
+                "parallel jobs=%-3d %.4fs  %.2fx"
+                % (jobs, point["parallel"]["seconds"][jobs],
+                   point["parallel"]["speedup"][jobs])
+            )
     if args.inject:
         name, _, factor = args.inject.partition("=")
         if not factor:

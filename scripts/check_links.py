@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Check that relative markdown links resolve to real files.
+
+Usage::
+
+    python scripts/check_links.py [FILE.md ...]
+
+With no arguments, checks every ``*.md`` at the repository root plus
+``docs/*.md``.  For each file, every inline link and image
+(``[text](target)`` / ``![alt](target)``) and every reference definition
+(``[label]: target``) is extracted; targets are checked to exist on disk,
+resolved relative to the file containing the link.  External schemes
+(``http(s)``, ``mailto``) and pure intra-page anchors (``#section``) are
+skipped — this is an offline checker, CI must not depend on the network.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each broken
+link is printed as ``file:line: broken link -> target``).
+"""
+
+import glob
+import os
+import re
+import sys
+
+#: Inline links/images: [text](target "optional title")
+_INLINE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: Reference definitions: [label]: target
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$")
+#: Schemes that are not filesystem paths.
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_links(path):
+    """Yield ``(line_number, target)`` for every link in ``path``,
+    skipping fenced code blocks (their brackets are code, not links)."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            if _FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _INLINE.finditer(line):
+                yield number, match.group(1)
+            match = _REFERENCE.match(line)
+            if match:
+                yield number, match.group(1)
+
+
+def is_checkable(target):
+    """Relative filesystem targets only: no schemes, no pure anchors."""
+    return bool(target) and not _EXTERNAL.match(target) and not target.startswith("#")
+
+
+def check_file(path):
+    """Broken links in ``path`` as ``(line, target)`` pairs."""
+    base = os.path.dirname(os.path.abspath(path))
+    broken = []
+    for number, target in iter_links(path):
+        if not is_checkable(target):
+            continue
+        resolved = os.path.normpath(
+            os.path.join(base, target.split("#", 1)[0])
+        )
+        if not os.path.exists(resolved):
+            broken.append((number, target))
+    return broken
+
+
+def default_files():
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
+    files = sorted(glob.glob(os.path.join(root, "*.md")))
+    files += sorted(glob.glob(os.path.join(root, "docs", "*.md")))
+    return files
+
+
+def main(argv=None):
+    files = list(argv) if argv else default_files()
+    missing = [f for f in files if not os.path.exists(f)]
+    if missing:
+        for f in missing:
+            print("no such file: %s" % f, file=sys.stderr)
+        return 1
+    failures = 0
+    checked = 0
+    for path in files:
+        broken = check_file(path)
+        checked += 1
+        for number, target in broken:
+            failures += 1
+            print(
+                "%s:%d: broken link -> %s" % (path, number, target),
+                file=sys.stderr,
+            )
+    if failures:
+        print("%d broken link(s) in %d file(s)" % (failures, checked), file=sys.stderr)
+        return 1
+    print("checked %d file(s): all relative links resolve" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,10 +4,11 @@ Usage::
 
     python -m repro profile  "SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?x age ?a } }"
     python -m repro run      QUERY  TRIPLES.tsv  [--analyze] [--trace-out trace.json]
-                             [--log-queries LOG.jsonl] [--slow-ms MS]
+                             [--log-queries LOG.jsonl] [--slow-ms MS] [--jobs N]
     python -m repro analyze  QUERY  [TRIPLES.tsv]  [--trace-out trace.json]
     python -m repro metrics  [QUERY]  [TRIPLES.tsv]
     python -m repro serve-metrics  [TRIPLES.tsv]  [--port P] [--self-check]
+    python -m repro bench    [--names N1,N2] [--repeats R] [--jobs J] [--out FILE]
     python -m repro demo
 
 * ``profile`` parses the query (surface SPARQL first, the paper's
@@ -26,7 +27,15 @@ Usage::
   prints the planner's metrics in Prometheus text exposition format.
 * ``serve-metrics`` exposes ``/metrics`` + ``/healthz`` over HTTP
   (``--self-check`` fetches its own endpoint once and exits, for CI).
+* ``bench`` runs the named regression benchmarks
+  (``repro.benchharness.regress``) and, with ``--jobs N > 1``, the
+  parallel batch-scaling sweep; ``--out`` appends the point to a
+  trajectory file (``BENCH_eval.json`` by convention).
 * ``demo`` replays the paper's running example.
+
+``run --jobs N`` evaluates with ``N`` pool workers: independent subtrees
+of the query fan out (:mod:`repro.parallel`); answers are identical to
+the sequential run.
 """
 
 from __future__ import annotations
@@ -102,7 +111,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     p = _parse_any(args.query)
     obslog = _make_obslog(args)
-    session = Session(_load_triples(args.triples), obslog=obslog)
+    session = Session(
+        _load_triples(args.triples), obslog=obslog, jobs=args.jobs
+    )
     try:
         if args.analyze or args.trace_out:
             report = session.analyze(p)
@@ -111,6 +122,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             report = None
             answers = sorted(session.query(p), key=repr)
     finally:
+        session.close()
         if obslog is not None:
             obslog.close()
     print("%d answer(s) over %d facts:" % (len(answers), session.size))
@@ -209,6 +221,49 @@ def cmd_serve_metrics(args: argparse.Namespace) -> int:
         server.stop()
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .benchharness.regress import (
+        append_point,
+        build_point,
+        measure_parallel_scaling,
+    )
+    from .benchharness.reporting import format_table
+
+    names = args.names.split(",") if args.names else None
+    point = build_point(names=names, repeats=args.repeats)
+    rows = [
+        [name, "%.6f" % bench["seconds"]]
+        for name, bench in sorted(point["benchmarks"].items())
+    ]
+    print(format_table(["benchmark", "best-of-%d s" % args.repeats], rows))
+    if args.jobs > 1:
+        jobs_list = sorted({1, *[j for j in (2, args.jobs) if j <= args.jobs]})
+        scaling = measure_parallel_scaling(
+            jobs_list=jobs_list, repeats=args.repeats
+        )
+        point["parallel"] = scaling
+        print()
+        print(
+            format_table(
+                ["jobs", "seconds", "speedup"],
+                [
+                    [str(j), "%.4f" % scaling["seconds"][j],
+                     "%.2fx" % scaling["speedup"][j]]
+                    for j in sorted(scaling["seconds"])
+                ],
+            )
+        )
+        print(
+            "executor=%s, effective CPUs=%d, answers_equal=%s"
+            % (scaling["executor"], scaling["effective_cpus"],
+               scaling["answers_equal"])
+        )
+    if args.out:
+        append_point(args.out, point)
+        print("appended point to %s" % args.out)
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     from .workloads.families import FIGURE1_QUERY_TEXT, example2_graph
 
@@ -254,6 +309,11 @@ def main(argv: Optional[list] = None) -> int:
         "--slow-ms", type=float, default=None, metavar="MS",
         help="capture the EXPLAIN ANALYZE profile of queries slower than "
              "this into the query log (implies query logging)",
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="evaluate with N pool workers (independent subtrees fan out; "
+             "answers are identical to the sequential run)",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -308,6 +368,30 @@ def main(argv: Optional[list] = None) -> int:
         help="fetch the endpoint once, print the response, and exit",
     )
     p_serve.set_defaults(func=cmd_serve_metrics)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the regression benchmarks (and, with --jobs, the "
+             "parallel scaling sweep)",
+    )
+    p_bench.add_argument(
+        "--names", default=None,
+        help="comma-separated benchmark names (default: all)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N repetitions per benchmark (default: 3)",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="also sweep batch evaluation at 1..J workers and report "
+             "speedup (default: 1 = skip)",
+    )
+    p_bench.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="append the measured point to this trajectory JSON file",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_demo = sub.add_parser("demo", help="replay the paper's running example")
     p_demo.set_defaults(func=cmd_demo)

@@ -126,6 +126,81 @@ BENCHMARKS: Dict[str, Callable[[Planner], Callable[[], object]]] = {
 
 
 # ---------------------------------------------------------------------------
+# Parallel batch scaling (repro.parallel)
+# ---------------------------------------------------------------------------
+def measure_parallel_scaling(
+    jobs_list: Sequence[int] = (1, 2, 4),
+    n_queries: int = 24,
+    employees: int = 64,
+    repeats: int = 2,
+    executor: str = "process",
+) -> Dict[str, Any]:
+    """Batch the table-1 eval workload at each job count and report the
+    speedup over ``jobs=1``.
+
+    The workload is ``n_queries`` copies of the bounded-interface company
+    query over ``company_directory(4, employees)`` — the same query/data
+    family as ``benchmarks/bench_table1_eval.py`` — run through
+    ``Session.run_batch`` with the given executor (``"process"`` by
+    default: thread pools cannot beat the GIL on this pure-Python compute).
+    Worker spawn cost is paid in an untimed warm-up batch per job count;
+    every batch's answers are checked against the ``jobs=1`` baseline.
+
+    Returns ``{"seconds": {jobs: s}, "speedup": {jobs: x}, ...}`` — the
+    payload ``benchmarks/bench_parallel_scaling.py`` and ``python -m repro
+    bench --jobs`` record into the trajectory.  Speedup expectations must
+    be gated on ``effective_cpus``: a 1-CPU container cannot beat 1× no
+    matter how many workers it spawns.
+    """
+    from ..core.atoms import atom
+    from ..engine import Session
+    from ..parallel.pool import effective_cpu_count
+    from ..wdpt.wdpt import wdpt_from_nested
+    from ..workloads.datasets import company_directory
+
+    query = wdpt_from_nested(
+        (
+            [atom("works_in", "?e", "?d")],
+            [
+                ([atom("phone", "?e", "?p")], []),
+                ([atom("reports_to", "?e", "?m")],
+                 [([atom("office", "?m", "?o")], [])]),
+            ],
+        ),
+        free_variables=["?e", "?d", "?p", "?m", "?o"],
+    )
+    db = company_directory(
+        n_departments=4, employees_per_department=employees, seed=1
+    )
+    queries = [query] * n_queries
+    seconds: Dict[int, float] = {}
+    baseline_answers: Optional[List[Any]] = None
+    answers_equal = True
+    for jobs in jobs_list:
+        jobs = int(jobs)
+        kind = executor if jobs > 1 else "thread"
+        with Session(db, jobs=jobs, executor=kind) as session:
+            run = lambda: session.run_batch(queries, jobs=jobs, executor=kind)
+            batch = run()  # warm-up: spawn workers, warm plan caches
+            if baseline_answers is None:
+                baseline_answers = batch.answers()
+            elif batch.answers() != baseline_answers:
+                answers_equal = False
+            seconds[jobs] = time_callable(run, repeats=repeats)
+    base = seconds[min(seconds)]
+    return {
+        "workload": "table1.eval",
+        "executor": executor,
+        "n_queries": n_queries,
+        "employees": employees,
+        "effective_cpus": effective_cpu_count(),
+        "seconds": seconds,
+        "speedup": {jobs: base / s for jobs, s in seconds.items()},
+        "answers_equal": answers_equal,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Trajectory points
 # ---------------------------------------------------------------------------
 def build_point(

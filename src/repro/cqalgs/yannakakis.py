@@ -8,6 +8,12 @@ interface to the parent).  Runs in time polynomial in ``|D| + |output|`` —
 the concrete engine behind the paper's use of ``HW(1) = AC`` (Theorem 3
 with ``k = 1``), and the backend of the bounded-width engines, which reduce
 to an acyclic instance first.
+
+With a worker pool installed (:mod:`repro.parallel`) the independent
+pieces overlap: the per-atom scans, and the semi-join passes taken
+level-by-level over the join tree — within one level every pass reads
+relations fixed by the previous level and writes a distinct slot, so the
+parallel schedule computes exactly the sequential relations.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from ..core.mappings import Mapping
 from ..core.terms import Constant, Variable
 from ..exceptions import ClassMembershipError
 from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_root
+from ..parallel.pool import current_pool
 from ..telemetry.resources import account_rows
 from ..telemetry.tracer import current_tracer
 
@@ -60,28 +67,45 @@ def evaluate_with_join_tree(
     if n == 0:
         return frozenset()
     tracer = current_tracer()
+    pool = current_pool()
     with tracer.span("yannakakis", atoms=n) as y_span:
         with tracer.span("yannakakis.scan") as sp:
-            relations: List[List[Mapping]] = [_scan(a, db) for a in atoms]
+            if pool is not None and n >= 2:
+                relations: List[List[Mapping]] = pool.map_tasks(
+                    lambda a: _scan(a, db), list(atoms)
+                )
+            else:
+                relations = [_scan(a, db) for a in atoms]
             account_rows(max(len(r) for r in relations))
             if tracer.enabled:
                 sp.set(relation_sizes=[len(r) for r in relations])
         root = join_tree_root(links, n)
         children = join_tree_children(links, n)
         order = _topological(root, children)  # root first
+        levels = _levels(root, children, order) if pool is not None else None
 
         # Phase 1: bottom-up semi-joins (children filter parents).
         with tracer.span("yannakakis.semijoin_up") as sp:
-            for node in reversed(order):
-                for child in children[node]:
-                    relations[node] = _semijoin(relations[node], relations[child])
+            if levels is not None:
+                _semijoin_up_parallel(pool, relations, children, levels)
+            else:
+                for node in reversed(order):
+                    for child in children[node]:
+                        relations[node] = _semijoin(
+                            relations[node], relations[child]
+                        )
             if tracer.enabled:
                 sp.set(relation_sizes=[len(r) for r in relations])
         # Phase 2: top-down semi-joins (parents filter children).
         with tracer.span("yannakakis.semijoin_down") as sp:
-            for node in order:
-                for child in children[node]:
-                    relations[child] = _semijoin(relations[child], relations[node])
+            if levels is not None:
+                _semijoin_down_parallel(pool, relations, links, children, levels)
+            else:
+                for node in order:
+                    for child in children[node]:
+                        relations[child] = _semijoin(
+                            relations[child], relations[node]
+                        )
             if tracer.enabled:
                 sp.set(relation_sizes=[len(r) for r in relations])
         result = _join_phase(
@@ -184,3 +208,69 @@ def _topological(root: int, children: Dict[int, List[int]]) -> List[int]:
         order.append(node)
         stack.extend(children[node])
     return order
+
+
+# ---------------------------------------------------------------------------
+# Level-parallel semi-join sweeps (repro.parallel)
+# ---------------------------------------------------------------------------
+def _levels(
+    root: int, children: Dict[int, List[int]], order: List[int]
+) -> List[List[int]]:
+    """Join-tree nodes grouped by depth, root level first."""
+    depth = {root: 0}
+    for node in order:  # preorder: parents before children
+        for child in children[node]:
+            depth[child] = depth[node] + 1
+    levels: List[List[int]] = [[] for _ in range(max(depth.values()) + 1)]
+    for node in order:
+        levels[depth[node]].append(node)
+    return levels
+
+
+def _semijoin_up_parallel(
+    pool,
+    relations: List[List[Mapping]],
+    children: Dict[int, List[int]],
+    levels: List[List[int]],
+) -> None:
+    """Phase 1, deepest level first.  A node's pass folds semi-joins with
+    its (already-final, one level deeper) children, so nodes within a
+    level are independent — each level is one fan-out."""
+
+    def filter_by_children(node: int) -> List[Mapping]:
+        rel = relations[node]
+        for child in children[node]:
+            rel = _semijoin(rel, relations[child])
+        return rel
+
+    for level in reversed(levels):
+        if len(level) >= 2:
+            for node, rel in zip(level, pool.map_tasks(filter_by_children, level)):
+                relations[node] = rel
+        else:
+            for node in level:
+                relations[node] = filter_by_children(node)
+
+
+def _semijoin_down_parallel(
+    pool,
+    relations: List[List[Mapping]],
+    links: Sequence[Tuple[int, int]],
+    children: Dict[int, List[int]],
+    levels: List[List[int]],
+) -> None:
+    """Phase 2, root level first.  Each node of a level is filtered by its
+    (already-filtered, one level up) parent — again one fan-out per
+    level."""
+    parent_of: Dict[int, int] = {c: p for c, p in links}
+
+    def filter_by_parent(node: int) -> List[Mapping]:
+        return _semijoin(relations[node], relations[parent_of[node]])
+
+    for level in levels[1:]:
+        if len(level) >= 2:
+            for node, rel in zip(level, pool.map_tasks(filter_by_parent, level)):
+                relations[node] = rel
+        else:
+            for node in level:
+                relations[node] = filter_by_parent(node)

@@ -21,6 +21,13 @@ algorithms of Sections 3 through the planner's engine router.
 :meth:`Session.stats` reports the accumulated counters (cache hit rates,
 per-engine selections, analysis vs. engine time).
 
+Parallelism (:mod:`repro.parallel`) is opt-in via ``jobs=``: a session
+constructed with ``jobs=4`` dispatches independent subtrees and semijoin
+passes of each query to a worker pool, and :meth:`Session.run_batch` /
+:meth:`Session.map` fan whole query lists out — over threads by default,
+or separate processes with ``executor="process"`` for CPU parallelism.
+Results are bit-identical to sequential evaluation either way.
+
 The Session accepts :class:`~repro.core.database.Database`,
 :class:`~repro.rdf.graph.RDFGraph`, or an iterable of ground atoms.
 """
@@ -34,6 +41,7 @@ from .core.atoms import Atom
 from .core.database import Database
 from .core.mappings import Mapping
 from .exceptions import ParseError
+from .parallel.pool import EXECUTORS, WorkerPool, use_pool
 from .rdf.graph import RDFGraph
 from .rdf.parser import parse_query
 from .rdf.sparql import parse_sparql
@@ -122,9 +130,35 @@ class Session:
     """A database plus a query planner (parse cache, memoized structural
     analyses, plan-aware routing, instrumentation).
 
+    Keyword arguments beyond ``data``:
+
+    * ``planner=`` — share an existing :class:`Planner` (warmed caches)
+      instead of the private default;
+    * ``obslog=`` — a :class:`~repro.telemetry.obslog.QueryLog` receiving
+      one structured JSON record per query lifecycle event (``None``
+      disables observation at zero per-query cost);
+    * ``budgets=`` — a :class:`~repro.telemetry.resources.ResourceBudget`
+      applied to every query (soft limits are logged, hard limits raise
+      :class:`~repro.exceptions.ResourceBudgetExceeded`);
+    * ``track_resources=`` — account wall/CPU/peak-rows per query even
+      without budgets (``Result.resources``);
+    * ``jobs=`` — worker count for parallel evaluation (:mod:`repro.parallel`);
+      ``None``/``1`` keeps everything sequential;
+    * ``executor=`` — the :meth:`run_batch` backend, ``"thread"``
+      (default; shared session, no pickling) or ``"process"`` (CPU
+      parallelism; per-worker sessions).  Intra-query fan-out always uses
+      threads.
+
     >>> from repro.core.atoms import atom
     >>> s = Session([atom("E", 1, 2)])
     >>> s.size
+    1
+
+    A session with workers is also a context manager — leaving the block
+    shuts its pools down:
+
+    >>> with Session([atom("E", 1, 2)], jobs=2) as s:
+    ...     s.size
     1
     """
 
@@ -135,7 +169,14 @@ class Session:
         obslog: Optional["QueryLog"] = None,
         budgets: Optional["ResourceBudget"] = None,
         track_resources: bool = False,
+        jobs: Optional[int] = None,
+        executor: str = "thread",
     ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                "unknown executor %r (expected one of %s)"
+                % (executor, ", ".join(EXECUTORS))
+            )
         if isinstance(data, Database):
             self.database = data
         elif isinstance(data, RDFGraph):
@@ -150,6 +191,98 @@ class Session:
         self.budgets = budgets
         #: Account resources even without budgets (``Result.resources``).
         self.track_resources = bool(track_resources or budgets is not None)
+        #: Default worker count for parallel evaluation (``None`` = serial).
+        self.jobs = jobs
+        #: Default :meth:`run_batch` executor kind.
+        self.executor = executor
+        self._pools: Dict[object, WorkerPool] = {}
+
+    # ------------------------------------------------------------------
+    # Worker pools (repro.parallel)
+    # ------------------------------------------------------------------
+    def _pool_for(self, jobs: int, kind: str) -> WorkerPool:
+        """The session's cached pool for ``(jobs, kind)``; created on
+        first use (process pools carry an initializer building the
+        per-worker session from this database)."""
+        key = (jobs, kind)
+        pool = self._pools.get(key)
+        if pool is None:
+            if kind == "process":
+                from .parallel.batch import _init_process_worker
+
+                pool = WorkerPool(
+                    jobs,
+                    "process",
+                    initializer=_init_process_worker,
+                    initargs=(self.database, self.budgets, self.track_resources),
+                )
+            else:
+                pool = WorkerPool(jobs, "thread")
+            self._pools[key] = pool
+        return pool
+
+    def _intra_pool(self) -> Optional[WorkerPool]:
+        """The thread pool intra-query dispatch sites fan out to, or
+        ``None`` when the session is serial (``jobs`` unset or 1)."""
+        if self.jobs is None or self.jobs <= 1:
+            return None
+        return self._pool_for(self.jobs, "thread")
+
+    def close(self) -> None:
+        """Shut down every worker pool this session created (idempotent;
+        a closed session still answers queries, sequentially)."""
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Batch evaluation (repro.parallel.batch)
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        queries,
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+        op: str = "query",
+    ):
+        """Evaluate many independent queries, ``jobs`` at a time.
+
+        Returns a :class:`~repro.parallel.batch.BatchResult` whose
+        ``results[i]`` matches ``queries[i]`` — identical to the
+        sequential loop regardless of executor or scheduling.  ``op`` may
+        be ``"query"``, ``"query_maximal"``, or ``"ask"`` (then
+        ``queries`` holds ``(query, candidate)`` pairs).
+
+        >>> from repro.workloads.families import example2_graph
+        >>> s = Session(example2_graph())
+        >>> q = ("SELECT ?x ?z WHERE { ?x recorded_by ?y "
+        ...      "OPTIONAL { ?x NME_rating ?z } }")
+        >>> batch = s.run_batch([q, q], jobs=2)
+        >>> [len(r) for r in batch]
+        [2, 2]
+        >>> batch.answers() == [s.query(q).answers, s.query(q).answers]
+        True
+        """
+        from .parallel.batch import run_batch
+
+        return run_batch(self, queries, jobs=jobs, executor=executor, op=op)
+
+    def map(
+        self,
+        queries,
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
+    ):
+        """``[self.query(q) for q in queries]``, fanned over the pool —
+        the list-of-:class:`Result` convenience over :meth:`run_batch`."""
+        return list(self.run_batch(queries, jobs=jobs, executor=executor))
 
     # ------------------------------------------------------------------
     # Parsing
@@ -189,11 +322,12 @@ class Session:
             with tracer.span("session.parse"):
                 p = self.parse(query)
             with tracer.span("session.profile"):
-                self.planner.profile_wdpt(p)  # warm the shared analysis
+                profile = self.planner.profile_wdpt(p)  # warm the shared analysis
             if obs is not None:
                 obs.parsed(p)
             start = time.perf_counter()
-            answers = evaluate(p, self.database)
+            with use_pool(self._intra_pool()):
+                answers = evaluate(p, self.database, profile)
             self.planner.record_engine("wdpt-topdown", time.perf_counter() - start)
         return Result(self, p, answers)
 
@@ -216,11 +350,12 @@ class Session:
             with tracer.span("session.parse"):
                 p = self.parse(query)
             with tracer.span("session.profile"):
-                self.planner.profile_wdpt(p)
+                profile = self.planner.profile_wdpt(p)
             if obs is not None:
                 obs.parsed(p)
             start = time.perf_counter()
-            answers = evaluate_max(p, self.database)
+            with use_pool(self._intra_pool()):
+                answers = evaluate_max(p, self.database, profile)
             self.planner.record_engine(
                 "wdpt-topdown-max", time.perf_counter() - start
             )
@@ -248,10 +383,11 @@ class Session:
             p = self.parse(query)
             if obs is not None:
                 obs.parsed(p)
-            return eval_tractable(
-                p, self.database, candidate,
-                method=method, planner=self.planner,
-            )
+            with use_pool(self._intra_pool()):
+                return eval_tractable(
+                    p, self.database, candidate,
+                    method=method, planner=self.planner,
+                )
 
     def is_partial(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
         """``PARTIAL-EVAL``: does some answer extend ``candidate``?

@@ -1,0 +1,253 @@
+"""Batched query evaluation: fan a list of queries over a worker pool.
+
+The batch layer runs *independent* queries concurrently — the
+embarrassingly-parallel outer loop of every benchmark sweep and of any
+application evaluating a workload against one database.  Entry points are
+:meth:`repro.engine.Session.run_batch` / :meth:`~repro.engine.Session.map`;
+the function here does the work.
+
+Two executors (:data:`repro.parallel.pool.EXECUTORS`):
+
+* ``"thread"`` — workers share the session: one warmed
+  :class:`~repro.planner.cache.PlanCache`, one (thread-safe) metrics
+  registry, one obslog.  CPython's GIL serialises pure-Python compute, so
+  this overlaps latency rather than adding CPU throughput — but it is
+  cheap, needs no pickling, and exercises exactly the locking the
+  process path relies on.
+* ``"process"`` — workers are separate interpreters, each owning a
+  private :class:`~repro.engine.Session` built once per worker from the
+  pickled database (so its plan cache warms across the tasks it serves).
+  Tasks ship back ``(index, value, usage, worker_id, metrics dump)``
+  envelopes; the parent folds the per-task
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.dump` payloads into the
+  session's registry **in task order**, making the merged metrics
+  deterministic regardless of which worker ran which task.
+
+Either way the contract is: ``run_batch(...).answers()`` equals the
+sequential ``[session.query(q).answers for q in queries]`` exactly, and
+per-query resource budgets (:mod:`repro.telemetry.resources`) are
+enforced in whichever worker runs the query — a hard violation propagates
+out of :func:`run_batch` just as it would out of ``session.query``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from ..telemetry.metrics import MetricsRegistry
+from .pool import (
+    EXECUTORS,
+    current_worker_id,
+    mark_process_worker,
+    process_worker_id,
+)
+
+__all__ = ["BATCH_OPS", "BatchResult", "run_batch"]
+
+#: Session operations a batch can fan out.
+BATCH_OPS = ("query", "query_maximal", "ask")
+
+
+class BatchResult:
+    """The ordered outcome of one :func:`run_batch` call.
+
+    ``results[i]`` corresponds to ``queries[i]`` — a
+    :class:`~repro.engine.Result` for ``op="query"``/``"query_maximal"``,
+    a ``bool`` for ``op="ask"`` — independent of executor, job count, and
+    scheduling.  Sequence-like: iterable, indexable, sized.
+    """
+
+    __slots__ = ("op", "jobs", "executor", "results", "wall_seconds", "worker_ids")
+
+    def __init__(
+        self,
+        op: str,
+        jobs: int,
+        executor: str,
+        results: List[Any],
+        wall_seconds: float,
+        worker_ids: List[Optional[str]],
+    ):
+        self.op = op
+        self.jobs = jobs
+        self.executor = executor
+        self.results = results
+        self.wall_seconds = wall_seconds
+        #: Per-task id of the worker that ran it (``None`` = ran inline).
+        self.worker_ids = worker_ids
+
+    def answers(self) -> List[Any]:
+        """Per-query answer payloads: frozensets of mappings for the query
+        operations, booleans for ``ask`` — the values the sequential loop
+        would have produced, for direct equality checks."""
+        if self.op == "ask":
+            return list(self.results)
+        return [result.answers for result in self.results]
+
+    def workers_used(self) -> List[str]:
+        """The distinct worker ids that served this batch, sorted."""
+        return sorted({w for w in self.worker_ids if w is not None})
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.results[index]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.results)
+
+    def __repr__(self) -> str:
+        return "BatchResult(op=%r, %d results, jobs=%d, executor=%r, %.4fs)" % (
+            self.op, len(self.results), self.jobs, self.executor,
+            self.wall_seconds,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-pool worker side (module-level: must pickle by reference)
+# ---------------------------------------------------------------------------
+_worker_session = None
+
+
+def _init_process_worker(database, budgets, track_resources) -> None:
+    """Build this worker process's private session, once.  Its plan cache
+    then warms across every task the worker serves."""
+    global _worker_session
+    from ..engine import Session
+
+    mark_process_worker()
+    _worker_session = Session(
+        database, budgets=budgets, track_resources=track_resources
+    )
+
+
+def _run_process_task(task: Tuple[int, str, Any, Any]):
+    """Run one ``(index, op, query, candidate)`` task on the worker's
+    session and return a picklable envelope.  A fresh metrics registry is
+    swapped in per task, so the dump shipped back is exactly this task's
+    contribution — the parent merges the dumps in task order."""
+    index, op, query, candidate = task
+    session = _worker_session
+    registry = MetricsRegistry()
+    session.planner.metrics = registry
+    usage = None
+    if op == "ask":
+        value = session.ask(query, candidate)
+    elif op == "query_maximal":
+        result = session.query_maximal(query)
+        value, usage = result.answers, result.resources
+    else:
+        result = session.query(query)
+        value, usage = result.answers, result.resources
+    return (index, value, usage, process_worker_id(), registry.dump())
+
+
+# ---------------------------------------------------------------------------
+# The batch driver (parent side)
+# ---------------------------------------------------------------------------
+def run_batch(
+    session,
+    queries: Sequence[Any],
+    jobs: Optional[int] = None,
+    executor: Optional[str] = None,
+    op: str = "query",
+) -> BatchResult:
+    """Evaluate ``queries`` against ``session``'s database, ``jobs`` at a
+    time, preserving input order and sequential semantics exactly.
+
+    ``op`` selects the session operation: ``"query"`` (default),
+    ``"query_maximal"``, or ``"ask"`` — for ``ask``, ``queries`` is a
+    sequence of ``(query, candidate)`` pairs.  ``jobs``/``executor``
+    default to the session's configuration.  ``jobs=1`` runs the plain
+    sequential loop (the parity baseline the tests compare against).
+    """
+    if op not in BATCH_OPS:
+        raise ValueError(
+            "unknown batch op %r (expected one of %s)" % (op, ", ".join(BATCH_OPS))
+        )
+    jobs = (session.jobs or 1) if jobs is None else max(1, int(jobs))
+    kind = session.executor if executor is None else executor
+    if kind not in EXECUTORS:
+        raise ValueError(
+            "unknown executor %r (expected one of %s)"
+            % (kind, ", ".join(EXECUTORS))
+        )
+    tasks: List[Tuple[int, str, Any, Any]] = []
+    for index, item in enumerate(queries):
+        if op == "ask":
+            query, candidate = item
+        else:
+            query, candidate = item, None
+        tasks.append((index, op, query, candidate))
+
+    log = session.obslog
+    if log is not None:
+        log.emit(
+            "batch.start", op=op, queries=len(tasks), jobs=jobs, executor=kind
+        )
+    start = time.perf_counter()
+    if kind == "process" and jobs > 1 and len(tasks) >= 2:
+        results, worker_ids = _run_process_batch(session, tasks, jobs)
+    else:
+        results, worker_ids = _run_thread_batch(session, tasks, jobs, kind)
+    wall = time.perf_counter() - start
+    batch = BatchResult(op, jobs, kind, results, wall, worker_ids)
+    if log is not None:
+        log.emit(
+            "batch.complete",
+            op=op,
+            queries=len(tasks),
+            jobs=jobs,
+            executor=kind,
+            wall_seconds=wall,
+            workers=batch.workers_used(),
+        )
+    return batch
+
+
+def _run_thread_batch(session, tasks, jobs: int, kind: str):
+    """Thread (or inline, ``jobs=1``) execution on the shared session."""
+
+    def run(task):
+        _, op, query, candidate = task
+        if op == "ask":
+            value = session.ask(query, candidate)
+        elif op == "query_maximal":
+            value = session.query_maximal(query)
+        else:
+            value = session.query(query)
+        return (value, current_worker_id())
+
+    pool = session._pool_for(jobs, "thread")
+    outcomes = pool.map_tasks(run, tasks)
+    results = [value for value, _ in outcomes]
+    worker_ids = [worker for _, worker in outcomes]
+    return results, worker_ids
+
+
+def _run_process_batch(session, tasks, jobs: int):
+    """Process execution: per-worker sessions, envelope merge in the
+    parent.  Results are rebuilt against the *parent* session (queries
+    parsed through its cache), so downstream ``Result`` conveniences —
+    witnesses, EXPLAIN profiles — keep working."""
+    from ..engine import Result
+
+    pool = session._pool_for(jobs, "process")
+    chunksize = max(1, len(tasks) // (jobs * 4))
+    envelopes = pool.map_tasks(_run_process_task, tasks, chunksize=chunksize)
+    results: List[Any] = []
+    worker_ids: List[Optional[str]] = []
+    for (index, op, query, _), envelope in zip(tasks, envelopes):
+        env_index, value, usage, worker_id, dump = envelope
+        assert env_index == index
+        session.planner.metrics.merge_dump(dump)
+        worker_ids.append(worker_id)
+        if op == "ask":
+            results.append(value)
+        else:
+            result = Result(session, session.parse(query), value)
+            result.resources = usage
+            results.append(result)
+    return results, worker_ids

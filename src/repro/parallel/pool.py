@@ -1,0 +1,224 @@
+"""Worker pools: the execution substrate of :mod:`repro.parallel`.
+
+A :class:`WorkerPool` wraps a :mod:`concurrent.futures` executor —
+``ThreadPoolExecutor`` by default, ``ProcessPoolExecutor`` on request —
+behind an API shaped for the query path:
+
+* :meth:`WorkerPool.map_tasks` runs a function over items **in order**,
+  propagating the submitting thread's active
+  :class:`~repro.telemetry.resources.ResourceMonitor` into the worker for
+  the duration of each task, so resource budgets are accounted (and hard
+  limits enforced) across workers;
+* every worker carries a stable **worker id** (``t1``/``t2``… for
+  threads, ``p<pid>`` for processes) exposed through
+  :func:`current_worker_id` — the query log stamps it on events emitted
+  from inside a worker;
+* tasks submitted *from* a worker run **inline** (sequentially, on the
+  worker itself).  This makes nested parallelism — a batch worker whose
+  query fans its own subtrees out — deadlock-free by construction: only
+  the outermost dispatch uses the pool.
+
+The pool the evaluators should dispatch to is installed dynamically with
+:func:`use_pool` (a thread-local, mirroring
+``repro.telemetry.tracer.current_tracer``)::
+
+    with WorkerPool(jobs=4) as pool, use_pool(pool):
+        evaluate(p, db)          # independent subtrees fan out
+
+With no installed pool every dispatch site falls through to its ordinary
+sequential loop — the disabled path is one thread-local read.
+
+Threads vs processes: CPython's GIL serialises pure-Python compute, so
+**thread** pools overlap latency (and exercise the concurrency paths
+deterministically) while **process** pools deliver CPU parallelism at the
+cost of pickling task envelopes; :mod:`repro.parallel.batch` supports
+both, intra-query parallelism is thread-only.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+from ..telemetry import resources as _resources
+
+__all__ = [
+    "WorkerPool",
+    "current_pool",
+    "current_worker_id",
+    "effective_cpu_count",
+    "use_pool",
+]
+
+#: Executor kinds accepted by :class:`WorkerPool` and the Session API.
+EXECUTORS = ("thread", "process")
+
+
+def effective_cpu_count() -> int:
+    """The CPUs actually available to this process (cgroup/affinity aware
+    where the platform supports it) — the default worker count."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Thread-local dispatch context
+# ---------------------------------------------------------------------------
+_local = threading.local()
+
+
+def current_pool() -> "Optional[WorkerPool]":
+    """The pool parallel-safe dispatch sites fan out to (``None`` when
+    parallelism is disabled *or* when called from inside a worker — nested
+    dispatch runs inline)."""
+    return getattr(_local, "pool", None)
+
+
+def current_worker_id() -> Optional[str]:
+    """The id of the pool worker running this thread, or ``None`` outside
+    a worker.  The query log attaches it to events as ``worker``."""
+    return getattr(_local, "worker_id", None)
+
+
+@contextmanager
+def use_pool(pool: "Optional[WorkerPool]") -> Iterator["Optional[WorkerPool]"]:
+    """Install ``pool`` as this thread's dispatch target for the block."""
+    previous = getattr(_local, "pool", None)
+    _local.pool = pool
+    try:
+        yield pool
+    finally:
+        _local.pool = previous
+
+
+class WorkerPool:
+    """A bounded pool of thread or process workers.
+
+    >>> with WorkerPool(jobs=2) as pool:
+    ...     pool.map_tasks(lambda x: x * x, [1, 2, 3])
+    [1, 4, 9]
+
+    ``jobs=1`` (or fewer items than 2) short-circuits to an inline loop —
+    a ``WorkerPool`` is always safe to use unconditionally.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        executor: str = "thread",
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: tuple = (),
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                "unknown executor %r (expected one of %s)"
+                % (executor, ", ".join(EXECUTORS))
+            )
+        self.jobs = effective_cpu_count() if jobs is None else max(1, int(jobs))
+        self.kind = executor
+        self._executor = None
+        self._initializer = initializer
+        self._initargs = initargs
+        self._worker_seq = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle (created lazily: a jobs=1 pool never spawns)
+    # ------------------------------------------------------------------
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.kind == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                )
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="repro-worker"
+                )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; waits for running tasks)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def map_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunksize: int = 1,
+    ) -> List[Any]:
+        """``[fn(item) for item in items]``, fanned out over the workers.
+
+        Results come back **in input order** (determinism is the batch
+        layer's contract).  The first task exception propagates to the
+        caller.  Runs inline when the pool is serial, when there is
+        nothing to overlap, or when the calling thread is itself a pool
+        worker (nested dispatch).
+        """
+        items = list(items)
+        if self.jobs <= 1 or len(items) < 2 or getattr(_local, "in_worker", False):
+            return [fn(item) for item in items]
+        if self.kind == "process":
+            executor = self._ensure_executor()
+            return list(executor.map(fn, items, chunksize=chunksize))
+        executor = self._ensure_executor()
+        monitor = _resources.current_monitor()
+        run = self._thread_envelope(fn, monitor)
+        return list(executor.map(run, items))
+
+    def _thread_envelope(
+        self, fn: Callable[[Any], Any], monitor
+    ) -> Callable[[Any], Any]:
+        """Wrap ``fn`` for execution on a worker thread: mark the thread
+        as a worker (nested dispatch → inline), stamp its worker id, and
+        install the submitter's resource monitor so budget accounting
+        crosses the thread boundary."""
+
+        def run(item: Any) -> Any:
+            _local.in_worker = True
+            if getattr(_local, "worker_id", None) is None:
+                with self._lock:
+                    self._worker_seq += 1
+                    _local.worker_id = "t%d" % self._worker_seq
+            previous = _resources.install_monitor(monitor)
+            try:
+                return fn(item)
+            finally:
+                _resources.install_monitor(previous)
+                _local.in_worker = False
+
+        return run
+
+    def __repr__(self) -> str:
+        return "WorkerPool(jobs=%d, executor=%r)" % (self.jobs, self.kind)
+
+
+def process_worker_id() -> str:
+    """The worker id process-pool tasks report (``p<pid>``)."""
+    return "p%d" % os.getpid()
+
+
+def mark_process_worker() -> None:
+    """Stamp the current (process-pool worker) thread with its id, so
+    obslog events emitted inside the worker carry it."""
+    _local.worker_id = process_worker_id()
+    _local.in_worker = True

@@ -27,6 +27,13 @@ The module-level :func:`get_default_planner` provides a process-wide
 planner so free functions (``cqalgs.dispatch.evaluate``, ``wdpt.classes``,
 ``wdpt.explain``) share analyses without explicit wiring; a
 :class:`~repro.engine.Session` owns a private planner instead.
+
+One planner may serve many threads at once (:mod:`repro.parallel`'s
+thread executor shares the session's planner across its workers): the
+caches lock their LRU mutation, the metrics registry locks its series,
+and :meth:`Planner.stats` aggregates from point-in-time snapshots, so
+concurrent queries neither corrupt state nor perturb each other's
+results.
 """
 
 from __future__ import annotations
@@ -133,7 +140,21 @@ class Planner:
 
     def profile_wdpt(self, p: WDPT) -> TreeProfile:
         """The memoized structural profile of a pattern tree — one shared
-        analysis for classes, EXPLAIN, and the Theorem 6/8/9 algorithms."""
+        analysis for classes, EXPLAIN, and the Theorem 6/8/9 algorithms,
+        including the nodes whose subtrees :mod:`repro.parallel` may
+        evaluate concurrently (``profile.parallel_safe_nodes``).
+
+        >>> from repro.core.atoms import atom
+        >>> from repro.wdpt.wdpt import wdpt_from_nested
+        >>> p = wdpt_from_nested(
+        ...     ([atom("R", "?x")],
+        ...      [([atom("S", "?x", "?y")], []),
+        ...       ([atom("T", "?x", "?z")], [])]),
+        ...     free_variables=["?x", "?y", "?z"])
+        >>> profile = Planner().profile_wdpt(p)
+        >>> sorted(profile.parallel_safe_nodes)  # the root has two children
+        [0]
+        """
         key = p.structural_fingerprint()
         profile = self.profiles.get(key)
         if profile is None:
@@ -302,8 +323,7 @@ class Planner:
     def stats(self) -> Dict[str, object]:
         """Counters for ``session.stats()`` and the benchmark tables."""
         subtree_hits = subtree_misses = 0
-        for key in list(self.profiles._data.keys()):
-            profile = self.profiles._data.get(key)
+        for profile in self.profiles.values_snapshot():
             if isinstance(profile, TreeProfile):
                 subtree_hits += profile.subtree_hits
                 subtree_misses += profile.subtree_misses

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import io
 import json
+import sys
 import threading
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
@@ -108,7 +109,21 @@ class QueryLog:
             self._write = handle.write
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
-        """Record one event; returns the complete record."""
+        """Record one event; returns the complete record.
+
+        Events emitted from inside a :mod:`repro.parallel` pool worker are
+        stamped with the worker's id as ``worker`` (``t1``/``t2``… for
+        threads, ``p<pid>`` for processes), so interleaved batch logs can
+        be attributed.  The pool module is looked up through
+        :data:`sys.modules` rather than imported — telemetry must not pull
+        the parallel layer in (the dependency points the other way).
+        """
+        if "worker" not in fields:
+            pool_module = sys.modules.get("repro.parallel.pool")
+            if pool_module is not None:
+                worker = pool_module.current_worker_id()
+                if worker is not None:
+                    fields["worker"] = worker
         with self._lock:
             self._seq += 1
             record: Dict[str, Any] = {

@@ -46,6 +46,7 @@ __all__ = [
     "account_rows",
     "account_subquery",
     "current_monitor",
+    "install_monitor",
 ]
 
 
@@ -138,6 +139,18 @@ def current_monitor() -> "Optional[ResourceMonitor]":
     return getattr(_active, "monitor", None)
 
 
+def install_monitor(
+    monitor: "Optional[ResourceMonitor]",
+) -> "Optional[ResourceMonitor]":
+    """Make ``monitor`` this thread's active monitor; returns the previous
+    one.  Used by :class:`repro.parallel.pool.WorkerPool` to carry the
+    submitting thread's monitor into its workers, so one query's budget is
+    accounted (and enforced) across every worker it fans out to."""
+    previous = getattr(_active, "monitor", None)
+    _active.monitor = monitor
+    return previous
+
+
 def account_rows(rows: int) -> None:
     """Report an intermediate relation / candidate-set cardinality.
 
@@ -155,7 +168,7 @@ def account_subquery(n: int = 1) -> None:
     """Report ``n`` CQ subqueries issued by a decision procedure."""
     monitor = getattr(_active, "monitor", None)
     if monitor is not None:
-        monitor.usage.subqueries += n
+        monitor.note_subqueries(n)
 
 
 class ResourceMonitor:
@@ -190,6 +203,10 @@ class ResourceMonitor:
         self._start_cpu = 0.0
         self._previous: Optional[ResourceMonitor] = None
         self._started_tracemalloc = False
+        # One monitor may receive accounting from several pool workers at
+        # once (repro.parallel propagates it across threads); the peak and
+        # subquery updates are guarded so none are lost.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Accounting hooks (called via account_rows / account_subquery)
@@ -197,7 +214,9 @@ class ResourceMonitor:
     def note_rows(self, rows: int) -> None:
         usage = self.usage
         if rows > usage.peak_intermediate_rows:
-            usage.peak_intermediate_rows = rows
+            with self._lock:
+                if rows > usage.peak_intermediate_rows:
+                    usage.peak_intermediate_rows = rows
         budget = self.budget
         if budget is None:
             return
@@ -209,6 +228,10 @@ class ResourceMonitor:
             elapsed = time.perf_counter() - self._start_wall
             if elapsed > hard_wall:
                 raise ResourceBudgetExceeded("wall-seconds", hard_wall, elapsed)
+
+    def note_subqueries(self, n: int) -> None:
+        with self._lock:
+            self.usage.subqueries += n
 
     # ------------------------------------------------------------------
     # Context manager

@@ -23,16 +23,20 @@ enumeration; the polynomial algorithm for ``ℓ-C ∩ BI(c)`` lives in
 from __future__ import annotations
 
 import time
-from typing import FrozenSet, List, Optional, Set
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Set
 
 from ..core.database import Database
 from ..core.mappings import Mapping, maximal_mappings
 from ..cqalgs.naive import homomorphisms as cq_homomorphisms
+from ..parallel.pool import WorkerPool, current_pool
 from ..telemetry.metrics import NodeStatsCollector
 from ..telemetry.resources import account_rows
 from ..telemetry.tracer import current_tracer
 from .tree import ROOT
 from .wdpt import WDPT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle at runtime
+    from ..planner.profile import TreeProfile
 
 
 # ---------------------------------------------------------------------------
@@ -57,7 +61,19 @@ def evaluate_reference(p: WDPT, db: Database) -> FrozenSet[Mapping]:
 # ---------------------------------------------------------------------------
 # Top-down procedural evaluator
 # ---------------------------------------------------------------------------
-def maximal_homomorphisms(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+def _parallel_safe_nodes(p: WDPT, profile: "Optional[TreeProfile]") -> FrozenSet[int]:
+    """The nodes this query may fan out at — the planner's marking when a
+    profile is supplied, otherwise the same ≥2-children criterion computed
+    locally (sibling independence holds for every well-designed tree)."""
+    if profile is not None:
+        return profile.parallel_safe_nodes
+    tree = p.tree
+    return frozenset(n for n in tree.nodes() if len(tree.children(n)) >= 2)
+
+
+def maximal_homomorphisms(
+    p: WDPT, db: Database, profile: "Optional[TreeProfile]" = None
+) -> FrozenSet[Mapping]:
     """The maximal homomorphisms from ``p`` to ``db``, grown top-down.
 
     Well-designedness makes a node's variables a separator: two sibling
@@ -79,20 +95,67 @@ def maximal_homomorphisms(p: WDPT, db: Database) -> FrozenSet[Mapping]:
     and inclusive wall time per tree node; the aggregate is attached to the
     ``wdpt.maximal_homomorphisms`` span as ``node_stats`` and joined with
     the static profile by ``Session.analyze``.
+
+    When a :class:`~repro.parallel.pool.WorkerPool` is installed
+    (:func:`~repro.parallel.pool.use_pool`), the independent units of work
+    fan out to it: the per-root-candidate branch computations, and — at
+    nodes the planner marks parallel-safe (``profile=`` a
+    :class:`~repro.planner.profile.TreeProfile`) — the sibling-subtree
+    extensions inside :func:`_branch_solutions`.  The product decomposition
+    above is exactly the soundness argument: sibling work never shares
+    state beyond the (immutable) parent mapping, so the parallel schedule
+    computes the same set.
     """
     tracer = current_tracer()
     collector = NodeStatsCollector() if tracer.enabled else None
+    pool = current_pool()
+    safe = _parallel_safe_nodes(p, profile) if pool is not None else frozenset()
     out: Set[Mapping] = set()
     with tracer.span("wdpt.maximal_homomorphisms") as sp:
-        root_candidates = 0
-        for h in cq_homomorphisms(p.labels[ROOT], db):
-            root_candidates += 1
-            out.update(_branch_solutions(p, db, ROOT, h, collector))
+        roots = list(cq_homomorphisms(p.labels[ROOT], db))
+        if pool is not None and len(roots) >= 2:
+            # Fan the root candidates out; each task explores its branch
+            # sequentially (nested dispatch would run inline anyway).
+            branches = pool.map_tasks(
+                lambda h: _branch_solutions(p, db, ROOT, h, collector), roots
+            )
+            for solutions in branches:
+                out.update(solutions)
+        else:
+            for h in roots:
+                out.update(_branch_solutions(p, db, ROOT, h, collector, pool, safe))
         account_rows(len(out))
         if collector is not None:
-            collector.add(ROOT, candidates=root_candidates, extensions=len(out))
+            collector.add(ROOT, candidates=len(roots), extensions=len(out))
             sp.set(node_stats=collector.rows(), maximal=len(out))
     return frozenset(out)
+
+
+def _child_solutions(
+    p: WDPT,
+    db: Database,
+    child: int,
+    sigma: Mapping,
+    collector: Optional[NodeStatsCollector],
+    pool: "Optional[WorkerPool]",
+    safe: FrozenSet[int],
+) -> List[Mapping]:
+    """The maximal extensions of ``sigma`` into ``child``'s subtree
+    (empty when ``λ(child)`` admits none — the OPT branch fails)."""
+    start = time.perf_counter() if collector is not None else 0.0
+    candidates = 0
+    solutions: List[Mapping] = []
+    for g in cq_homomorphisms(p.labels[child], db, pre_assignment=sigma):
+        candidates += 1
+        solutions.extend(_branch_solutions(p, db, child, g, collector, pool, safe))
+    if collector is not None:
+        collector.add(
+            child,
+            candidates=candidates,
+            extensions=len(solutions),
+            seconds=time.perf_counter() - start,
+        )
+    return solutions
 
 
 def _branch_solutions(
@@ -101,26 +164,36 @@ def _branch_solutions(
     node: int,
     h: Mapping,
     collector: Optional[NodeStatsCollector] = None,
+    pool: "Optional[WorkerPool]" = None,
+    safe: FrozenSet[int] = frozenset(),
 ) -> List[Mapping]:
     """All maximal homomorphisms of the subtree under ``node`` that extend
     the node homomorphism ``h`` (``h`` is total on ``vars(node)``)."""
     results: List[Mapping] = [h]
     node_vars = p.node_variables(node)
-    for child in p.tree.children(node):
+    children = p.tree.children(node)
+    if pool is not None and node in safe:
+        # Sibling subtrees are independent given h (see the product
+        # decomposition in maximal_homomorphisms) — compute them
+        # concurrently, then fold the product in child order.
+        per_child = pool.map_tasks(
+            lambda child: _child_solutions(
+                p, db, child, h.restrict(node_vars & p.node_variables(child)),
+                collector, None, safe,
+            ),
+            children,
+        )
+        for child_solutions in per_child:
+            if not child_solutions:
+                continue  # OPT branch fails: the answers keep h unextended
+            results = [r.union(m) for r in results for m in child_solutions]
+            account_rows(len(results))
+        return results
+    for child in children:
         sigma = h.restrict(node_vars & p.node_variables(child))
-        start = time.perf_counter() if collector is not None else 0.0
-        candidates = 0
-        child_solutions: List[Mapping] = []
-        for g in cq_homomorphisms(p.labels[child], db, pre_assignment=sigma):
-            candidates += 1
-            child_solutions.extend(_branch_solutions(p, db, child, g, collector))
-        if collector is not None:
-            collector.add(
-                child,
-                candidates=candidates,
-                extensions=len(child_solutions),
-                seconds=time.perf_counter() - start,
-            )
+        child_solutions = _child_solutions(
+            p, db, child, sigma, collector, pool, safe
+        )
         if not child_solutions:
             continue  # OPT branch fails: the answers keep h unextended
         results = [r.union(m) for r in results for m in child_solutions]
@@ -128,8 +201,15 @@ def _branch_solutions(
     return results
 
 
-def evaluate(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+def evaluate(
+    p: WDPT, db: Database, profile: "Optional[TreeProfile]" = None
+) -> FrozenSet[Mapping]:
     """``p(D)`` via the top-down evaluator.
+
+    ``profile`` (an optional planner :class:`TreeProfile`) supplies the
+    parallel-safe fan-out marking when a worker pool is installed; without
+    it the marking is recomputed locally, so the answer never depends on
+    whether a profile was passed.
 
     >>> from repro.core import atom, Database, Mapping
     >>> from repro.wdpt.wdpt import wdpt_from_nested
@@ -143,17 +223,19 @@ def evaluate(p: WDPT, db: Database) -> FrozenSet[Mapping]:
     """
     tracer = current_tracer()
     with tracer.span("wdpt.evaluate", nodes=len(p.tree)) as sp:
-        maximal = maximal_homomorphisms(p, db)
+        maximal = maximal_homomorphisms(p, db, profile)
         answers = frozenset(h.restrict(p.free_variables) for h in maximal)
         if tracer.enabled:
             sp.set(answers=len(answers))
         return answers
 
 
-def evaluate_max(p: WDPT, db: Database) -> FrozenSet[Mapping]:
+def evaluate_max(
+    p: WDPT, db: Database, profile: "Optional[TreeProfile]" = None
+) -> FrozenSet[Mapping]:
     """``p_m(D)``: the ⊑-maximal answers (Section 3.4)."""
     with current_tracer().span("wdpt.evaluate_max"):
-        return maximal_mappings(evaluate(p, db))
+        return maximal_mappings(evaluate(p, db, profile))
 
 
 # ---------------------------------------------------------------------------
