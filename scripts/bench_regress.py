@@ -37,11 +37,13 @@ from repro.benchharness.regress import (  # noqa: E402
     DEFAULT_THRESHOLD_PCT,
     append_point,
     build_point,
+    compare_backends,
     compare_points,
     inject_regression,
     load_trajectory,
     measure_parallel_scaling,
 )
+from repro.storage import BACKENDS  # noqa: E402
 
 
 def main(argv=None):
@@ -86,9 +88,33 @@ def main(argv=None):
         help="also sweep batched evaluation at 1..J workers and record "
              "the speedup (default: 1 = skip)",
     )
+    parser.add_argument(
+        "--backend", default="memory", choices=sorted(BACKENDS),
+        help="storage backend to run the benchmarks against; points are "
+             "compared only against previous points of the same backend "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--compare-backends", action="store_true",
+        help="print side-by-side memory-vs-sqlite rows instead of the "
+             "regression gate (informational, never appended or gated)",
+    )
     args = parser.parse_args(argv)
 
-    point = build_point(names=args.names, repeats=args.repeats)
+    if args.compare_backends:
+        rows = compare_backends(names=args.names, repeats=args.repeats)
+        print("%-20s %14s %14s %8s" % ("benchmark", "memory", "sqlite", "ratio"))
+        for row in rows:
+            print(
+                "%-20s %13.6fs %13.6fs %7.2fx"
+                % (row["name"], row["memory_seconds"],
+                   row["sqlite_seconds"], row["ratio"])
+            )
+        return 0
+
+    point = build_point(
+        names=args.names, repeats=args.repeats, backend=args.backend
+    )
     if args.jobs > 1:
         jobs_list = sorted({1, *[j for j in (2, args.jobs) if j <= args.jobs]})
         point["parallel"] = measure_parallel_scaling(
@@ -107,7 +133,16 @@ def main(argv=None):
         inject_regression(point, name, float(factor))
 
     trajectory = load_trajectory(args.out)
-    previous = trajectory["points"][-1] if trajectory["points"] else None
+    # Compare like with like: the most recent point of the same backend
+    # (pre-backend points in old trajectories count as "memory").
+    previous = next(
+        (
+            pt
+            for pt in reversed(trajectory["points"])
+            if pt.get("backend", "memory") == args.backend
+        ),
+        None,
+    )
 
     for name, bench in sorted(point["benchmarks"].items()):
         print("%-20s %.6fs" % (name, bench["seconds"]))

@@ -3,8 +3,10 @@
 Usage::
 
     python -m repro profile  "SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?x age ?a } }"
-    python -m repro run      QUERY  TRIPLES.tsv  [--analyze] [--trace-out trace.json]
+    python -m repro run      QUERY  [TRIPLES.tsv]  [--analyze] [--trace-out trace.json]
                              [--log-queries LOG.jsonl] [--slow-ms MS] [--jobs N]
+                             [--backend {memory,sqlite}] [--store DB.sqlite]
+                             [--save-db DB.sqlite] [--no-cache]
     python -m repro analyze  QUERY  [TRIPLES.tsv]  [--trace-out trace.json]
     python -m repro metrics  [QUERY]  [TRIPLES.tsv]
     python -m repro serve-metrics  [TRIPLES.tsv]  [--port P] [--self-check]
@@ -20,7 +22,13 @@ Usage::
   writes the Chrome ``chrome://tracing`` trace of the execution,
   ``--log-queries`` appends structured JSON-lines query events, and
   ``--slow-ms`` additionally captures the full EXPLAIN ANALYZE profile of
-  queries slower than the threshold into the query log.
+  queries slower than the threshold into the query log.  Storage flags:
+  ``--backend`` selects the :mod:`repro.storage` kind, ``--store
+  DB.sqlite`` evaluates directly against an on-disk SQLite database
+  (created from the triples file when missing, resumed — and extended
+  with any given triples — when present; the triples file is then
+  optional), ``--save-db`` snapshots the loaded data to a SQLite file,
+  and ``--no-cache`` disables the version-keyed result cache.
 * ``analyze`` runs EXPLAIN ANALYZE directly (over the paper's Example 2
   database when no triples file is given).
 * ``metrics`` evaluates a query (the paper's query (1) by default) and
@@ -109,10 +117,19 @@ def _make_obslog(args: argparse.Namespace):
 def cmd_run(args: argparse.Namespace) -> int:
     from .engine import Session
 
+    if args.triples is None and args.store is None:
+        raise ReproError(
+            "run needs a TRIPLES file, --store DB.sqlite, or both"
+        )
     p = _parse_any(args.query)
     obslog = _make_obslog(args)
     session = Session(
-        _load_triples(args.triples), obslog=obslog, jobs=args.jobs
+        _load_triples(args.triples) if args.triples is not None else None,
+        obslog=obslog,
+        jobs=args.jobs,
+        backend=args.backend,
+        path=args.store,
+        cache=not args.no_cache,
     )
     try:
         if args.analyze or args.trace_out:
@@ -121,6 +138,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         else:
             report = None
             answers = sorted(session.query(p), key=repr)
+        if args.save_db:
+            _save_database(session.database, args.save_db)
     finally:
         session.close()
         if obslog is not None:
@@ -135,7 +154,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         _write_trace(report, args.trace_out)
     if obslog is not None and args.log_queries:
         print("wrote query log to %s" % args.log_queries)
+    if args.save_db:
+        print("saved database to %s" % args.save_db)
     return 0
+
+
+def _save_database(db, path: str) -> None:
+    """Snapshot ``db`` into the SQLite file at ``path`` (overwriting)."""
+    import os
+
+    from .storage import SQLiteBackend
+
+    if isinstance(db, SQLiteBackend):
+        db.save(path)
+        return
+    if os.path.exists(path):
+        os.remove(path)
+    SQLiteBackend(db.facts(), path=path).close()
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -230,7 +265,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .benchharness.reporting import format_table
 
     names = args.names.split(",") if args.names else None
-    point = build_point(names=names, repeats=args.repeats)
+    point = build_point(
+        names=names, repeats=args.repeats, backend=args.backend
+    )
     rows = [
         [name, "%.6f" % bench["seconds"]]
         for name, bench in sorted(point["benchmarks"].items())
@@ -290,9 +327,16 @@ def main(argv: Optional[list] = None) -> int:
     p_profile.add_argument("query")
     p_profile.set_defaults(func=cmd_profile)
 
-    p_run = sub.add_parser("run", help="evaluate a query over a triples file")
+    p_run = sub.add_parser(
+        "run",
+        help="evaluate a query over a triples file or a stored database",
+    )
     p_run.add_argument("query")
-    p_run.add_argument("triples", help="whitespace-separated 's p o' lines")
+    p_run.add_argument(
+        "triples", nargs="?", default=None,
+        help="whitespace-separated 's p o' lines (optional when --store "
+             "names an existing database)",
+    )
     p_run.add_argument(
         "--analyze", action="store_true",
         help="append the EXPLAIN ANALYZE report to the answers",
@@ -314,6 +358,24 @@ def main(argv: Optional[list] = None) -> int:
         "--jobs", type=int, default=None, metavar="N",
         help="evaluate with N pool workers (independent subtrees fan out; "
              "answers are identical to the sequential run)",
+    )
+    p_run.add_argument(
+        "--backend", default=None, choices=["memory", "sqlite"],
+        help="storage backend (default: memory, or $REPRO_BACKEND; "
+             "--store implies sqlite)",
+    )
+    p_run.add_argument(
+        "--store", metavar="DB.sqlite", default=None,
+        help="on-disk SQLite database to evaluate against (created when "
+             "missing, resumed when present; any TRIPLES are added to it)",
+    )
+    p_run.add_argument(
+        "--save-db", metavar="DB.sqlite", default=None,
+        help="snapshot the loaded database to this SQLite file after the run",
+    )
+    p_run.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the version-keyed result cache",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -390,6 +452,11 @@ def main(argv: Optional[list] = None) -> int:
     p_bench.add_argument(
         "--out", default=None, metavar="FILE",
         help="append the measured point to this trajectory JSON file",
+    )
+    p_bench.add_argument(
+        "--backend", default="memory", choices=["memory", "sqlite"],
+        help="storage backend the benchmarks run against "
+             "(default: %(default)s)",
     )
     p_bench.set_defaults(func=cmd_bench)
 

@@ -16,7 +16,13 @@ planner's router.
 
 Every benchmark factory receives the shared :class:`Planner` of the run,
 so the planner section of the point reflects realistic mixed-workload
-cache behaviour.
+cache behaviour.  The factories also take the storage ``backend`` kind
+(:mod:`repro.storage`), and each point records which backend it measured:
+``bench_regress.py --backend sqlite`` times the same workloads against
+SQLite-backed databases (compared only against previous sqlite points),
+and :func:`compare_backends` produces the side-by-side memory-vs-sqlite
+rows in ``docs/BENCHMARKS.md``.  Benchmark sessions always disable the
+result cache — the gate times evaluation, not cache lookups.
 """
 
 from __future__ import annotations
@@ -47,16 +53,21 @@ _LATENCY_KEYS = ("count", "p50", "p95", "p99", "max")
 # ---------------------------------------------------------------------------
 # Named workloads
 # ---------------------------------------------------------------------------
-def _bench_fig1_query(planner: Planner) -> Callable[[], object]:
+def _bench_fig1_query(
+    planner: Planner, backend: str = "memory"
+) -> Callable[[], object]:
     from ..engine import Session
     from ..workloads.families import FIGURE1_QUERY_TEXT, example2_graph
 
-    session = Session(example2_graph(), planner=planner)
+    session = Session(
+        example2_graph(), planner=planner, backend=backend, cache=False
+    )
     return lambda: session.query(FIGURE1_QUERY_TEXT)
 
 
-def _company_dp_pieces():
+def _company_dp_pieces(backend: str = "memory"):
     from ..core.atoms import atom
+    from ..storage import to_backend
     from ..wdpt.evaluation import evaluate
     from ..wdpt.wdpt import wdpt_from_nested
     from ..workloads.datasets import company_directory
@@ -72,35 +83,47 @@ def _company_dp_pieces():
         ),
         free_variables=["?e", "?d", "?p", "?m", "?o"],
     )
-    db = company_directory(n_departments=4, employees_per_department=8, seed=1)
+    db = to_backend(
+        company_directory(n_departments=4, employees_per_department=8, seed=1),
+        backend,
+    )
     h = max(evaluate(query, db), key=lambda m: (len(m), repr(m)))
     return query, db, h
 
 
-def _bench_thm6_dp(planner: Planner) -> Callable[[], object]:
+def _bench_thm6_dp(
+    planner: Planner, backend: str = "memory"
+) -> Callable[[], object]:
     from ..wdpt.eval_tractable import eval_tractable
 
-    query, db, h = _company_dp_pieces()
+    query, db, h = _company_dp_pieces(backend)
     return lambda: eval_tractable(query, db, h, method="auto", planner=planner)
 
 
-def _bench_thm8_partial_eval(planner: Planner) -> Callable[[], object]:
+def _bench_thm8_partial_eval(
+    planner: Planner, backend: str = "memory"
+) -> Callable[[], object]:
     from ..wdpt.partial_eval import partial_eval
 
-    query, db, h = _company_dp_pieces()
+    query, db, h = _company_dp_pieces(backend)
     partial = h.restrict(sorted(h.domain(), key=repr)[:2])
     return lambda: partial_eval(query, db, partial, method="auto", planner=planner)
 
 
-def _bench_thm9_max_eval(planner: Planner) -> Callable[[], object]:
+def _bench_thm9_max_eval(
+    planner: Planner, backend: str = "memory"
+) -> Callable[[], object]:
     from ..wdpt.max_eval import max_eval
 
-    query, db, h = _company_dp_pieces()
+    query, db, h = _company_dp_pieces(backend)
     return lambda: max_eval(query, db, h, method="auto", planner=planner)
 
 
-def _bench_cq_yannakakis(planner: Planner) -> Callable[[], object]:
+def _bench_cq_yannakakis(
+    planner: Planner, backend: str = "memory"
+) -> Callable[[], object]:
     from ..core.atoms import atom
+    from ..storage import to_backend
     from ..workloads.datasets import company_directory
 
     q = ConjunctiveQuery(
@@ -111,12 +134,15 @@ def _bench_cq_yannakakis(planner: Planner) -> Callable[[], object]:
             atom("office", "?m", "?o"),
         ],
     )
-    db = company_directory(n_departments=6, employees_per_department=10, seed=2)
+    db = to_backend(
+        company_directory(n_departments=6, employees_per_department=10, seed=2),
+        backend,
+    )
     return lambda: planner.evaluate_cq(q, db)
 
 
-#: name → factory(planner) → zero-arg timed workload.
-BENCHMARKS: Dict[str, Callable[[Planner], Callable[[], object]]] = {
+#: name → factory(planner, backend) → zero-arg timed workload.
+BENCHMARKS: Dict[str, Callable[..., Callable[[], object]]] = {
     "fig1.query": _bench_fig1_query,
     "thm6.dp": _bench_thm6_dp,
     "thm8.partial_eval": _bench_thm8_partial_eval,
@@ -179,7 +205,9 @@ def measure_parallel_scaling(
     for jobs in jobs_list:
         jobs = int(jobs)
         kind = executor if jobs > 1 else "thread"
-        with Session(db, jobs=jobs, executor=kind) as session:
+        # cache=False: the sweep times evaluation, and a shared result
+        # cache would collapse the repeated identical queries to lookups.
+        with Session(db, jobs=jobs, executor=kind, cache=False) as session:
             run = lambda: session.run_batch(queries, jobs=jobs, executor=kind)
             batch = run()  # warm-up: spawn workers, warm plan caches
             if baseline_answers is None:
@@ -206,8 +234,10 @@ def measure_parallel_scaling(
 def build_point(
     names: Optional[Sequence[str]] = None,
     repeats: int = 3,
+    backend: str = "memory",
 ) -> Dict[str, Any]:
-    """Run the named benchmarks (all by default) and return one point."""
+    """Run the named benchmarks (all by default) against the given
+    storage backend and return one point."""
     selected = list(names) if names else sorted(BENCHMARKS)
     unknown = [n for n in selected if n not in BENCHMARKS]
     if unknown:
@@ -218,7 +248,7 @@ def build_point(
     planner = Planner()
     benchmarks: Dict[str, Any] = {}
     for name in selected:
-        workload = BENCHMARKS[name](planner)
+        workload = BENCHMARKS[name](planner, backend)
         workload()  # warm caches: measure steady-state, not first-parse
         benchmarks[name] = {
             "seconds": time_callable(workload, repeats=repeats),
@@ -226,6 +256,7 @@ def build_point(
         }
     return {
         "schema": TRAJECTORY_SCHEMA,
+        "backend": backend,
         "meta": {
             "created": time.time(),
             "python": platform.python_version(),
@@ -235,6 +266,32 @@ def build_point(
         "benchmarks": benchmarks,
         "planner": _planner_summary(planner),
     }
+
+
+def compare_backends(
+    names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    backends: Sequence[str] = ("memory", "sqlite"),
+) -> List[Dict[str, Any]]:
+    """Side-by-side timings of the named benchmarks per backend.
+
+    Returns one row per benchmark — ``{"name", "<backend>_seconds"...,
+    "ratio"}`` with ``ratio`` the last backend's seconds over the
+    first's — the memory-vs-sqlite table in ``docs/BENCHMARKS.md``
+    (informational: backend ratios are not gated).
+    """
+    points = {b: build_point(names=names, repeats=repeats, backend=b)
+              for b in backends}
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(points[backends[0]]["benchmarks"]):
+        row: Dict[str, Any] = {"name": name}
+        for b in backends:
+            row["%s_seconds" % b] = points[b]["benchmarks"][name]["seconds"]
+        first = row["%s_seconds" % backends[0]]
+        last = row["%s_seconds" % backends[-1]]
+        row["ratio"] = last / first if first else float("nan")
+        rows.append(row)
+    return rows
 
 
 def _planner_summary(planner: Planner) -> Dict[str, Any]:

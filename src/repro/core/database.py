@@ -1,50 +1,23 @@
-"""In-memory relational databases with hash indexes.
+"""Compatibility home of :class:`Database` (the in-memory backend).
 
-A database ``D`` over a schema ``σ`` is a set of ground atoms (facts).  This
-module provides :class:`Database`, the evaluation substrate used by every
-query engine in the library.  Lookups needed by backtracking evaluation and
-by the semi-join passes of Yannakakis' algorithm are served by two indexes:
-
-* a per-relation fact list, and
-* a per-``(relation, position, value)`` inverted index.
-
-:meth:`Database.match` answers "which facts unify with this partially
-instantiated atom?" in time proportional to the smallest candidate posting
-list, which is the inner loop of all evaluation algorithms here.
+The implementation lives in :mod:`repro.storage.memory` since the
+storage subsystem was introduced; :class:`Database` is a thin alias kept
+so the historical import path — ``from repro.core.database import
+Database`` — and ``isinstance`` checks keep working.  New code choosing
+between backends should go through :mod:`repro.storage` (or
+``Session(backend=...)``).
 """
 
 from __future__ import annotations
 
-from typing import (
-    Dict,
-    FrozenSet,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Set,
-    Tuple,
-)
-
-from ..exceptions import NotGroundError
-from .atoms import Atom, Schema
-from .terms import Constant, Variable
+from ..storage.memory import MemoryBackend
 
 
-class Database:
-    """A set of ground atoms with hash indexes.
+class Database(MemoryBackend):
+    """A set of ground atoms with hash indexes (see
+    :class:`repro.storage.memory.MemoryBackend` — this subclass only
+    preserves the historical name).
 
-    Parameters
-    ----------
-    facts:
-        Initial ground atoms.  Non-ground atoms raise
-        :class:`~repro.exceptions.NotGroundError`.
-    schema:
-        Optional explicit schema; when given, every inserted fact is checked
-        against it.  When omitted, the schema is inferred incrementally.
-
-    Examples
-    --------
     >>> from repro.core.atoms import atom
     >>> db = Database([atom("E", 1, 2), atom("E", 2, 3)])
     >>> len(db)
@@ -53,146 +26,7 @@ class Database:
     [E(2, 3)]
     """
 
-    __slots__ = ("_facts", "_by_relation", "_index", "_schema", "_adom", "_explicit_schema")
-
-    def __init__(self, facts: Iterable[Atom] = (), schema: Optional[Schema] = None):
-        self._facts: Set[Atom] = set()
-        self._by_relation: Dict[str, List[Atom]] = {}
-        self._index: Dict[Tuple[str, int, Constant], List[Atom]] = {}
-        self._schema = schema if schema is not None else Schema()
-        self._explicit_schema = schema is not None
-        self._adom: Set[Constant] = set()
-        for fact in facts:
-            self.add(fact)
-
-    def add(self, fact: Atom) -> bool:
-        """Insert ``fact``; return ``True`` iff it was not already present."""
-        if not fact.is_ground():
-            raise NotGroundError("database facts must be ground, got %r" % (fact,))
-        if self._explicit_schema:
-            self._schema.validate_atom(fact)
-        else:
-            self._schema.add_relation(fact.relation, fact.arity)
-        if fact in self._facts:
-            return False
-        self._facts.add(fact)
-        self._by_relation.setdefault(fact.relation, []).append(fact)
-        for pos, value in enumerate(fact.args):
-            assert isinstance(value, Constant)
-            self._index.setdefault((fact.relation, pos, value), []).append(fact)
-            self._adom.add(value)
-        return True
-
-    def update(self, facts: Iterable[Atom]) -> int:
-        """Insert many facts; return how many were new."""
-        return sum(1 for fact in facts if self.add(fact))
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def schema(self) -> Schema:
-        """The (explicit or inferred) schema of this database."""
-        return self._schema
-
-    def facts(self, relation: Optional[str] = None) -> Tuple[Atom, ...]:
-        """All facts, or the facts of one relation."""
-        if relation is None:
-            return tuple(self._facts)
-        return tuple(self._by_relation.get(relation, ()))
-
-    def relations(self) -> FrozenSet[str]:
-        """Relation names with at least one fact."""
-        return frozenset(self._by_relation)
-
-    def active_domain(self) -> FrozenSet[Constant]:
-        """All constants appearing in some fact (the active domain ``adom``)."""
-        return frozenset(self._adom)
-
-    def __contains__(self, fact: Atom) -> bool:
-        return fact in self._facts
-
-    def __len__(self) -> int:
-        return len(self._facts)
-
-    def __iter__(self) -> Iterator[Atom]:
-        return iter(self._facts)
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, Database) and other._facts == self._facts
-
-    def __ne__(self, other: object) -> bool:
-        return not self.__eq__(other)
-
-    def __hash__(self) -> int:  # pragma: no cover - databases are mutable
-        raise TypeError("Database objects are mutable and unhashable")
-
-    def __repr__(self) -> str:
-        return "Database(%d facts over %d relations)" % (len(self._facts), len(self._by_relation))
-
-    # ------------------------------------------------------------------
-    # Matching
-    # ------------------------------------------------------------------
-    def match(self, pattern: Atom) -> Iterator[Atom]:
-        """Yield the facts unifying with ``pattern``.
-
-        ``pattern`` may mix constants and variables; repeated variables
-        impose equality between positions.  The smallest inverted-index
-        posting list among the constant positions is scanned; with no
-        constants the relation's full fact list is scanned.
-        """
-        candidates = self._candidates(pattern)
-        repeated = _repeated_positions(pattern)
-        for fact in candidates:
-            if _fact_matches(pattern, fact, repeated):
-                yield fact
-
-    def match_count(self, pattern: Atom) -> int:
-        """Number of facts matching ``pattern`` (see :meth:`match`)."""
-        return sum(1 for _ in self.match(pattern))
-
-    def _candidates(self, pattern: Atom) -> Iterable[Atom]:
-        """Smallest available posting list of facts that might match."""
-        if pattern.relation not in self._by_relation:
-            return ()
-        best: Optional[List[Atom]] = None
-        for pos, value in enumerate(pattern.args):
-            if isinstance(value, Constant):
-                posting = self._index.get((pattern.relation, pos, value))
-                if posting is None:
-                    return ()
-                if best is None or len(posting) < len(best):
-                    best = posting
-        if best is None:
-            best = self._by_relation[pattern.relation]
-        return best
-
-    def copy(self) -> "Database":
-        """An independent copy sharing no mutable state."""
-        clone = Database()
-        clone.update(self._facts)
-        return clone
+    __slots__ = ()
 
 
-def _repeated_positions(pattern: Atom) -> Tuple[Tuple[int, ...], ...]:
-    """Groups of argument positions bound to the same variable (size ≥ 2)."""
-    groups: Dict[Variable, List[int]] = {}
-    for pos, value in enumerate(pattern.args):
-        if isinstance(value, Variable):
-            groups.setdefault(value, []).append(pos)
-    return tuple(tuple(ps) for ps in groups.values() if len(ps) > 1)
-
-
-def _fact_matches(
-    pattern: Atom, fact: Atom, repeated: Tuple[Tuple[int, ...], ...]
-) -> bool:
-    if pattern.relation != fact.relation or pattern.arity != fact.arity:
-        return False
-    for p_arg, f_arg in zip(pattern.args, fact.args):
-        if isinstance(p_arg, Constant) and p_arg != f_arg:
-            return False
-    for positions in repeated:
-        first = fact.args[positions[0]]
-        if any(fact.args[p] != first for p in positions[1:]):
-            return False
-    return True
+__all__ = ["Database"]

@@ -69,45 +69,58 @@ def evaluate_with_join_tree(
     tracer = current_tracer()
     pool = current_pool()
     with tracer.span("yannakakis", atoms=n) as y_span:
-        with tracer.span("yannakakis.scan") as sp:
-            if pool is not None and n >= 2:
-                relations: List[List[Mapping]] = pool.map_tasks(
-                    lambda a: _scan(a, db), list(atoms)
-                )
-            else:
-                relations = [_scan(a, db) for a in atoms]
-            account_rows(max(len(r) for r in relations))
-            if tracer.enabled:
-                sp.set(relation_sizes=[len(r) for r in relations])
         root = join_tree_root(links, n)
         children = join_tree_children(links, n)
         order = _topological(root, children)  # root first
-        levels = _levels(root, children, order) if pool is not None else None
+        if pool is None and getattr(db, "supports_sql_semijoin", False):
+            # SQLite-backed database: both semi-join sweeps run inside
+            # the storage engine; only the join phase stays in Python.
+            with tracer.span("yannakakis.sql_semijoin") as sp:
+                relations: List[List[Mapping]] = db.sql_semijoin_reduce(
+                    atoms, links
+                )
+                account_rows(max(len(r) for r in relations))
+                if tracer.enabled:
+                    sp.set(relation_sizes=[len(r) for r in relations])
+        else:
+            with tracer.span("yannakakis.scan") as sp:
+                if pool is not None and n >= 2:
+                    relations = pool.map_tasks(
+                        lambda a: _scan(a, db), list(atoms)
+                    )
+                else:
+                    relations = [_scan(a, db) for a in atoms]
+                account_rows(max(len(r) for r in relations))
+                if tracer.enabled:
+                    sp.set(relation_sizes=[len(r) for r in relations])
+            levels = _levels(root, children, order) if pool is not None else None
 
-        # Phase 1: bottom-up semi-joins (children filter parents).
-        with tracer.span("yannakakis.semijoin_up") as sp:
-            if levels is not None:
-                _semijoin_up_parallel(pool, relations, children, levels)
-            else:
-                for node in reversed(order):
-                    for child in children[node]:
-                        relations[node] = _semijoin(
-                            relations[node], relations[child]
-                        )
-            if tracer.enabled:
-                sp.set(relation_sizes=[len(r) for r in relations])
-        # Phase 2: top-down semi-joins (parents filter children).
-        with tracer.span("yannakakis.semijoin_down") as sp:
-            if levels is not None:
-                _semijoin_down_parallel(pool, relations, links, children, levels)
-            else:
-                for node in order:
-                    for child in children[node]:
-                        relations[child] = _semijoin(
-                            relations[child], relations[node]
-                        )
-            if tracer.enabled:
-                sp.set(relation_sizes=[len(r) for r in relations])
+            # Phase 1: bottom-up semi-joins (children filter parents).
+            with tracer.span("yannakakis.semijoin_up") as sp:
+                if levels is not None:
+                    _semijoin_up_parallel(pool, relations, children, levels)
+                else:
+                    for node in reversed(order):
+                        for child in children[node]:
+                            relations[node] = _semijoin(
+                                relations[node], relations[child]
+                            )
+                if tracer.enabled:
+                    sp.set(relation_sizes=[len(r) for r in relations])
+            # Phase 2: top-down semi-joins (parents filter children).
+            with tracer.span("yannakakis.semijoin_down") as sp:
+                if levels is not None:
+                    _semijoin_down_parallel(
+                        pool, relations, links, children, levels
+                    )
+                else:
+                    for node in order:
+                        for child in children[node]:
+                            relations[child] = _semijoin(
+                                relations[child], relations[node]
+                            )
+                if tracer.enabled:
+                    sp.set(relation_sizes=[len(r) for r in relations])
         result = _join_phase(
             query, db, atoms, links, relations, root, children, order, tracer
         )

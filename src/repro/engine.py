@@ -28,12 +28,27 @@ passes of each query to a worker pool, and :meth:`Session.run_batch` /
 or separate processes with ``executor="process"`` for CPU parallelism.
 Results are bit-identical to sequential evaluation either way.
 
-The Session accepts :class:`~repro.core.database.Database`,
-:class:`~repro.rdf.graph.RDFGraph`, or an iterable of ground atoms.
+The Session accepts any :class:`~repro.storage.base.StorageBackend`
+(:class:`~repro.core.database.Database`/
+:class:`~repro.storage.memory.MemoryBackend`,
+:class:`~repro.storage.sqlite.SQLiteBackend`), an
+:class:`~repro.rdf.graph.RDFGraph`, or an iterable of ground atoms —
+``backend="sqlite"`` (or the ``REPRO_BACKEND`` environment variable)
+selects the storage kind, and ``path=`` puts a SQLite session on disk:
+
+    >>> s = Session(backend="memory")     # empty in-memory session
+    >>> s.size
+    0
+
+Finished answers are memoized in a version-keyed
+:class:`~repro.storage.cache.ResultCache`: repeating a query against an
+unmodified database is a cache hit, and any ``add``/``update``/``remove``
+bumps the backend's data version so stale entries are never served.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, FrozenSet, Iterable, Optional, Union
 
@@ -46,6 +61,8 @@ from .rdf.graph import RDFGraph
 from .rdf.parser import parse_query
 from .rdf.sparql import parse_sparql
 from .planner.planner import Planner
+from .storage import ResultCache, StorageBackend, to_backend
+from .storage.cache import DEFAULT_SIZE as DEFAULT_CACHE_SIZE
 from .telemetry.obslog import QueryLog, QueryObservation
 from .telemetry.resources import ResourceBudget
 from .telemetry.tracer import Tracer, current_tracer, tracing
@@ -58,7 +75,10 @@ from .wdpt.wdpt import WDPT
 from .wdpt.witness import AnswerWitness, witness
 
 Query = Union[str, WDPT]
-DataSource = Union[Database, RDFGraph, Iterable[Atom]]
+DataSource = Union[StorageBackend, RDFGraph, Iterable[Atom]]
+
+#: Environment variable naming the default storage backend kind.
+BACKEND_ENV = "REPRO_BACKEND"
 
 
 class Result:
@@ -132,6 +152,16 @@ class Session:
 
     Keyword arguments beyond ``data``:
 
+    * ``backend=`` — storage kind, ``"memory"`` or ``"sqlite"``
+      (:mod:`repro.storage`); an explicitly passed backend instance is
+      used as-is, raw data (iterables, graphs) defaults to the
+      ``REPRO_BACKEND`` environment variable, else to memory;
+    * ``path=`` — with ``backend="sqlite"``, the on-disk database file
+      (created when missing, resumed when present);
+    * ``cache=`` — the result cache: ``True``/``None`` (default) enables
+      a version-keyed :class:`~repro.storage.cache.ResultCache`,
+      ``False`` disables caching, or pass a ``ResultCache`` to share one;
+    * ``cache_size=`` — LRU bound of the default cache;
     * ``planner=`` — share an existing :class:`Planner` (warmed caches)
       instead of the private default;
     * ``obslog=`` — a :class:`~repro.telemetry.obslog.QueryLog` receiving
@@ -164,26 +194,53 @@ class Session:
 
     def __init__(
         self,
-        data: DataSource,
+        data: Optional[DataSource] = None,
         planner: Optional[Planner] = None,
         obslog: Optional["QueryLog"] = None,
         budgets: Optional["ResourceBudget"] = None,
         track_resources: bool = False,
         jobs: Optional[int] = None,
         executor: str = "thread",
+        backend: Optional[str] = None,
+        path: Optional[str] = None,
+        cache: Union[bool, ResultCache, None] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
                 "unknown executor %r (expected one of %s)"
                 % (executor, ", ".join(EXECUTORS))
             )
-        if isinstance(data, Database):
+        if isinstance(data, RDFGraph):
+            data = data.to_database()
+        kind = backend
+        if kind is None and path is not None:
+            kind = "sqlite"
+        if kind is None and not isinstance(data, StorageBackend):
+            # The env var only picks the default for *raw* data; an
+            # explicitly passed backend instance is always used as-is
+            # (converting would silently detach the session from it).
+            kind = os.environ.get(BACKEND_ENV)
+        if kind is not None:
+            self.database = to_backend(
+                data if data is not None else (), kind, path=path
+            )
+        elif isinstance(data, StorageBackend):
             self.database = data
-        elif isinstance(data, RDFGraph):
-            self.database = data.to_database()
         else:
-            self.database = Database(data)
+            self.database = Database(data if data is not None else ())
         self.planner = planner if planner is not None else Planner()
+        #: Version-keyed finished-answer cache (``repro.storage.cache``);
+        #: ``None`` when caching is disabled.
+        self.result_cache: Optional[ResultCache]
+        if isinstance(cache, ResultCache):
+            self.result_cache = cache
+        elif cache is None or cache:
+            self.result_cache = ResultCache(
+                cache_size, metrics=self.planner.metrics
+            )
+        else:
+            self.result_cache = None
         #: Structured query-event log (``repro.telemetry.obslog.QueryLog``);
         #: ``None`` disables observation entirely (zero per-query cost).
         self.obslog = obslog
@@ -214,7 +271,12 @@ class Session:
                     jobs,
                     "process",
                     initializer=_init_process_worker,
-                    initargs=(self.database, self.budgets, self.track_resources),
+                    initargs=(
+                        self.database,
+                        self.budgets,
+                        self.track_resources,
+                        self.result_cache is not None,
+                    ),
                 )
             else:
                 pool = WorkerPool(jobs, "thread")
@@ -305,6 +367,29 @@ class Session:
             return None
         return QueryObservation(self, op, query)
 
+    def _cache_key(self, op: str, p: WDPT, extra=None):
+        """The :class:`ResultCache` key of one evaluation call, or
+        ``None`` when caching is off."""
+        if self.result_cache is None:
+            return None
+        return ResultCache.key(
+            op,
+            p.structural_fingerprint(),
+            self.database.backend_id,
+            self.database.data_version,
+            extra=extra,
+        )
+
+    def _note_cache(self, obs: Optional[QueryObservation], outcome: str) -> None:
+        """Emit a ``query.cache`` obslog record (hit or miss)."""
+        if obs is not None and obs.log is not None:
+            obs.log.emit(
+                "query.cache",
+                op=obs.op,
+                query_id=obs.query_id,
+                outcome=outcome,
+            )
+
     def query(self, query: Query) -> Result:
         """Evaluate and return all answers."""
         obs = self._observe("query", query)
@@ -325,10 +410,19 @@ class Session:
                 profile = self.planner.profile_wdpt(p)  # warm the shared analysis
             if obs is not None:
                 obs.parsed(p)
+            key = self._cache_key("query", p)
+            if key is not None:
+                answers = self.result_cache.get(key)
+                if answers is not None:
+                    self._note_cache(obs, "hit")
+                    return Result(self, p, answers)
+                self._note_cache(obs, "miss")
             start = time.perf_counter()
             with use_pool(self._intra_pool()):
                 answers = evaluate(p, self.database, profile)
             self.planner.record_engine("wdpt-topdown", time.perf_counter() - start)
+            if key is not None:
+                self.result_cache.put(key, answers)
         return Result(self, p, answers)
 
     def query_maximal(self, query: Query) -> Result:
@@ -353,12 +447,21 @@ class Session:
                 profile = self.planner.profile_wdpt(p)
             if obs is not None:
                 obs.parsed(p)
+            key = self._cache_key("query_maximal", p)
+            if key is not None:
+                answers = self.result_cache.get(key)
+                if answers is not None:
+                    self._note_cache(obs, "hit")
+                    return Result(self, p, answers)
+                self._note_cache(obs, "miss")
             start = time.perf_counter()
             with use_pool(self._intra_pool()):
                 answers = evaluate_max(p, self.database, profile)
             self.planner.record_engine(
                 "wdpt-topdown-max", time.perf_counter() - start
             )
+            if key is not None:
+                self.result_cache.put(key, answers)
         return Result(self, p, answers)
 
     def ask(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
@@ -383,11 +486,21 @@ class Session:
             p = self.parse(query)
             if obs is not None:
                 obs.parsed(p)
+            key = self._cache_key("ask", p, extra=(method, candidate))
+            if key is not None:
+                decision = self.result_cache.get(key)
+                if decision is not None:
+                    self._note_cache(obs, "hit")
+                    return decision
+                self._note_cache(obs, "miss")
             with use_pool(self._intra_pool()):
-                return eval_tractable(
+                decision = eval_tractable(
                     p, self.database, candidate,
                     method=method, planner=self.planner,
                 )
+            if key is not None:
+                self.result_cache.put(key, decision)
+            return decision
 
     def is_partial(self, query: Query, candidate: Mapping, method: str = "auto") -> bool:
         """``PARTIAL-EVAL``: does some answer extend ``candidate``?
@@ -456,15 +569,22 @@ class Session:
         )
 
     def stats(self) -> Dict[str, object]:
-        """Planner instrumentation: cache hit rates, per-engine selection
-        counts, analysis vs. engine time."""
-        return self.planner.stats()
+        """Planner instrumentation (cache hit rates, per-engine selection
+        counts, analysis vs. engine time) plus the result-cache state."""
+        out = self.planner.stats()
+        out["result_cache"] = (
+            self.result_cache.stats() if self.result_cache is not None else None
+        )
+        return out
 
     def reset_stats(self) -> None:
         """Zero the instrumentation counters while keeping the warmed
-        planner caches (parsed queries, structural profiles, EXPLAINs), so
-        steady-state measurement windows start from a warm cache."""
+        planner caches (parsed queries, structural profiles, EXPLAINs)
+        and cached results, so steady-state measurement windows start
+        from a warm cache."""
         self.planner.reset_counters()
+        if self.result_cache is not None:
+            self.result_cache.reset_counters()
 
     # ------------------------------------------------------------------
     # Data management
@@ -474,8 +594,14 @@ class Session:
         return len(self.database)
 
     def add(self, fact: Atom) -> bool:
-        """Insert a fact (answers of previous Results are snapshots)."""
+        """Insert a fact (answers of previous Results are snapshots;
+        the data version moves, so cached results are not reused)."""
         return self.database.add(fact)
+
+    def remove(self, fact: Atom) -> None:
+        """Delete a fact (:exc:`KeyError` when absent); like :meth:`add`,
+        this bumps the data version and so invalidates cached results."""
+        self.database.remove(fact)
 
     def add_triples(self, triples: Iterable) -> int:
         """Insert RDF triples into the ``triple/3`` relation."""

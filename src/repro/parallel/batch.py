@@ -111,15 +111,16 @@ class BatchResult:
 _worker_session = None
 
 
-def _init_process_worker(database, budgets, track_resources) -> None:
+def _init_process_worker(database, budgets, track_resources, cache=True) -> None:
     """Build this worker process's private session, once.  Its plan cache
-    then warms across every task the worker serves."""
+    then warms across every task the worker serves; ``cache`` mirrors the
+    parent session's result-cache setting."""
     global _worker_session
     from ..engine import Session
 
     mark_process_worker()
     _worker_session = Session(
-        database, budgets=budgets, track_resources=track_resources
+        database, budgets=budgets, track_resources=track_resources, cache=cache
     )
 
 

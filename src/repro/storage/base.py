@@ -1,0 +1,187 @@
+"""The storage-backend protocol every evaluation engine runs against.
+
+A backend is a mutable set of ground atoms (facts) exposing exactly the
+access paths the evaluators use: per-relation fact lists, pattern
+:meth:`~StorageBackend.match` (the inner loop of backtracking search and
+of Yannakakis' semi-join passes), the active domain, and mutation via
+``add``/``update``/``remove``.  Two implementations ship with the
+library:
+
+* :class:`repro.storage.memory.MemoryBackend` — the hash-indexed
+  in-memory store (the historical ``repro.core.database.Database``, which
+  is now a thin alias of it);
+* :class:`repro.storage.sqlite.SQLiteBackend` — one SQLite table per
+  relation with per-position indexes, supporting on-disk open/save and
+  SQL pushdown of the Yannakakis semi-join program.
+
+Every backend carries two pieces of identity used by the result cache
+(:mod:`repro.storage.cache`):
+
+* ``backend_id`` — a stable identifier of the *database instance* (for
+  on-disk SQLite files it is derived from the path, so re-opening the
+  same file resumes the same cache lineage);
+* ``data_version`` — a monotonically increasing epoch counter bumped on
+  every successful mutation.  ``(query fingerprint, backend_id,
+  data_version)`` is a sound cache key: any write moves the version
+  forward, so stale answers are never served.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.atoms import Atom, Schema
+from ..core.terms import Constant, Variable
+
+#: Process-wide allocator for anonymous backend ids.
+_BACKEND_IDS = itertools.count(1)
+
+
+def allocate_backend_id(kind: str) -> str:
+    """A fresh ``"<kind>#<n>"`` identifier for an anonymous backend."""
+    return "%s#%d" % (kind, next(_BACKEND_IDS))
+
+
+class StorageBackend(abc.ABC):
+    """Abstract base of every fact store.
+
+    Subclasses implement the storage primitives; the shared behaviour
+    (``update``, ``match_count``, equality by fact set, the unhashable
+    guard) lives here so all backends agree on semantics.
+    """
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def backend_id(self) -> str:
+        """Stable identifier of this database instance (cache keying)."""
+
+    @property
+    @abc.abstractmethod
+    def data_version(self) -> int:
+        """Epoch counter: bumped on every successful mutation."""
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def add(self, fact: Atom) -> bool:
+        """Insert ``fact``; return ``True`` iff it was not already present."""
+
+    @abc.abstractmethod
+    def discard(self, fact: Atom) -> bool:
+        """Delete ``fact`` if present; return ``True`` iff it was removed."""
+
+    def remove(self, fact: Atom) -> None:
+        """Delete ``fact``; raise :class:`KeyError` when it is absent."""
+        if not self.discard(fact):
+            raise KeyError("fact not in database: %r" % (fact,))
+
+    def update(self, facts: Iterable[Atom]) -> int:
+        """Insert many facts; return how many were new."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def schema(self) -> Schema:
+        """The (explicit or inferred) schema of this database."""
+
+    @abc.abstractmethod
+    def facts(self, relation: Optional[str] = None) -> Tuple[Atom, ...]:
+        """All facts, or the facts of one relation."""
+
+    @abc.abstractmethod
+    def relations(self) -> FrozenSet[str]:
+        """Relation names with at least one fact."""
+
+    @abc.abstractmethod
+    def active_domain(self) -> FrozenSet[Constant]:
+        """All constants appearing in some fact (the active domain)."""
+
+    @abc.abstractmethod
+    def __contains__(self, fact: Atom) -> bool: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[Atom]: ...
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def match(self, pattern: Atom) -> Iterator[Atom]:
+        """Yield the facts unifying with ``pattern`` (which may mix
+        constants and variables; repeated variables impose equality)."""
+
+    def match_count(self, pattern: Atom) -> int:
+        """Number of facts matching ``pattern`` (see :meth:`match`)."""
+        return sum(1 for _ in self.match(pattern))
+
+    @abc.abstractmethod
+    def copy(self) -> "StorageBackend":
+        """An independent copy sharing no mutable state, carrying the
+        schema (explicit or inferred) and the current data version."""
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Backends are equal iff they hold the same fact set — across
+        implementations (a SQLite copy of a memory database compares
+        equal to it)."""
+        if not isinstance(other, StorageBackend):
+            return NotImplemented
+        return frozenset(iter(self)) == frozenset(iter(other))
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:  # pragma: no cover - databases are mutable
+        raise TypeError(
+            "%s objects are mutable and unhashable; key caches by "
+            "(backend_id, data_version) instead" % type(self).__name__
+        )
+
+    def __repr__(self) -> str:
+        return "%s(%d facts over %d relations, v%d)" % (
+            type(self).__name__, len(self), len(self.relations()),
+            self.data_version,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Pattern-matching helpers shared by the backends
+# ---------------------------------------------------------------------------
+def repeated_positions(pattern: Atom) -> Tuple[Tuple[int, ...], ...]:
+    """Groups of argument positions bound to the same variable (size ≥ 2)."""
+    groups: Dict[Variable, List[int]] = {}
+    for pos, value in enumerate(pattern.args):
+        if isinstance(value, Variable):
+            groups.setdefault(value, []).append(pos)
+    return tuple(tuple(ps) for ps in groups.values() if len(ps) > 1)
+
+
+def fact_matches(
+    pattern: Atom, fact: Atom, repeated: Tuple[Tuple[int, ...], ...]
+) -> bool:
+    """Does ``fact`` unify with ``pattern`` (``repeated`` precomputed)?"""
+    if pattern.relation != fact.relation or pattern.arity != fact.arity:
+        return False
+    for p_arg, f_arg in zip(pattern.args, fact.args):
+        if isinstance(p_arg, Constant) and p_arg != f_arg:
+            return False
+    for positions in repeated:
+        first = fact.args[positions[0]]
+        if any(fact.args[p] != first for p in positions[1:]):
+            return False
+    return True

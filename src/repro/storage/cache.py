@@ -1,0 +1,117 @@
+"""Version-keyed result caching for :class:`repro.engine.Session`.
+
+A :class:`ResultCache` memoizes finished answers keyed by
+
+    ``(operation, query fingerprint, extra, backend_id, data_version)``
+
+— the query's structural fingerprint (the same machinery
+:mod:`repro.planner` memoizes analyses under), the identity of the
+database instance, and its mutation epoch.  Any ``add``/``update``/
+``remove`` bumps the backend's :attr:`~repro.storage.base.StorageBackend.
+data_version`, so a mutated database can never serve stale answers: the
+old entries simply stop being addressable and age out of the LRU.
+
+Entries are immutable values (answer frozensets, booleans), so one cached
+entry may back many :class:`~repro.engine.Result` objects.  Storage is a
+:class:`~repro.planner.cache.PlanCache` (thread-safe bounded LRU), and
+hit/miss counters are mirrored into a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (``session.result_cache.
+hits``/``.misses``/``.puts``), so cache behaviour shows up in
+``session.stats()``, the Prometheus exposition, and the query log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional
+
+from ..telemetry.metrics import MetricsRegistry
+
+#: Metric names mirrored into the registry.
+HITS = "session.result_cache.hits"
+MISSES = "session.result_cache.misses"
+PUTS = "session.result_cache.puts"
+
+#: Default LRU bound.
+DEFAULT_SIZE = 128
+
+
+class ResultCache:
+    """A bounded LRU of finished query results keyed by data version."""
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_SIZE,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        # Deferred: repro.planner transitively imports repro.core, which
+        # is mid-initialisation when repro.storage first loads.
+        from ..planner.cache import PlanCache
+
+        self._entries = PlanCache(maxsize)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @staticmethod
+    def key(
+        op: str,
+        fingerprint: str,
+        backend_id: str,
+        data_version: int,
+        extra: Hashable = None,
+    ) -> Hashable:
+        """The cache key for one evaluation call."""
+        return (op, fingerprint, extra, backend_id, data_version)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, counting a hit or miss."""
+        value = self._entries.get(key)
+        if value is None:
+            self.metrics.counter(MISSES).inc()
+        else:
+            self.metrics.counter(HITS).inc()
+        return value
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        self.metrics.counter(PUTS).inc()
+        return self._entries.put(key, value)
+
+    @property
+    def hits(self) -> int:
+        return int(self.metrics.counter(HITS).value)
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.counter(MISSES).value)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "size": len(self._entries),
+            "maxsize": self._entries.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": int(self.metrics.counter(PUTS).value),
+            "evictions": self._entries.evictions,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/put counters (entries are kept)."""
+        for name in (HITS, MISSES, PUTS):
+            self.metrics.counter(name).reset()
+        self._entries.hits = self._entries.misses = 0
+        self._entries.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return "ResultCache(%d/%d, %d hits, %d misses)" % (
+            len(self._entries), self._entries.maxsize, self.hits, self.misses,
+        )

@@ -1,0 +1,604 @@
+"""SQLite-backed storage: one table per relation, SQL-served matching.
+
+A :class:`SQLiteBackend` stores each relation in its own table
+(``r0``, ``r1``, … — the mapping lives in a catalog table, so arbitrary
+relation names never reach SQL identifiers) with one ``TEXT`` column per
+argument position, a covering UNIQUE index enforcing set semantics, and
+one index per position serving :meth:`~SQLiteBackend.match` lookups.
+Constants are encoded with a type tag (int/str/bool/float/None get
+compact readable forms, anything else a pickle payload), so facts
+round-trip exactly.
+
+Three capabilities the in-memory backend does not have:
+
+* **Persistence** — construct with ``path=`` to operate directly on an
+  on-disk file, :meth:`SQLiteBackend.open` to resume one, and
+  :meth:`~SQLiteBackend.save` to snapshot the current state elsewhere
+  (via SQLite's online backup).  The catalog and the data version live
+  in the file, so an re-opened database resumes its cache lineage
+  (same ``backend_id``, same ``data_version``).
+* **SQL semi-join pushdown** — :meth:`~SQLiteBackend.sql_semijoin_reduce`
+  runs both semi-join sweeps of Yannakakis' algorithm inside SQLite
+  (per-atom scans into temp tables, then correlated ``DELETE … WHERE NOT
+  EXISTS`` passes along the join tree) and hands the reduced relations
+  back to the Python join phase.  ``repro.cqalgs.yannakakis`` uses it
+  automatically when the database is SQLite-backed.
+* **Concurrency** — the connection is shared across threads behind an
+  ``RLock`` (``repro.parallel``'s thread pools may issue matches
+  concurrently); pickling ships the facts, so process pools work too.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import sqlite3
+import threading
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.atoms import Atom, Schema
+from ..core.mappings import Mapping
+from ..core.terms import Constant, Variable
+from ..exceptions import NotGroundError, ReproError
+from .base import StorageBackend, allocate_backend_id
+
+#: Catalog table mapping relation names to their backing tables.
+_CATALOG = "_repro_catalog"
+#: Key/value metadata (schema version, data version).
+_META = "_repro_meta"
+#: On-disk layout version (bump on incompatible changes).
+_LAYOUT = 1
+
+
+# ---------------------------------------------------------------------------
+# Constant encoding: readable tags for the common payloads, pickle otherwise
+# ---------------------------------------------------------------------------
+def encode_value(value: Any) -> str:
+    """Encode one constant payload as tagged TEXT (injective per value)."""
+    if value is True:
+        return "b1"
+    if value is False:
+        return "b0"
+    if value is None:
+        return "n"
+    if isinstance(value, int):
+        return "i%d" % value
+    if isinstance(value, str):
+        return "s" + value
+    if isinstance(value, float):
+        return "f%r" % value
+    return "p" + base64.b64encode(
+        pickle.dumps(value, protocol=4)
+    ).decode("ascii")
+
+
+def decode_value(text: str) -> Any:
+    """Invert :func:`encode_value`."""
+    tag, body = text[0], text[1:]
+    if tag == "i":
+        return int(body)
+    if tag == "s":
+        return body
+    if tag == "b":
+        return body == "1"
+    if tag == "n":
+        return None
+    if tag == "f":
+        return float(body)
+    if tag == "p":
+        return pickle.loads(base64.b64decode(body))
+    raise ReproError("corrupt stored value %r" % (text,))
+
+
+class SQLiteBackend(StorageBackend):
+    """A fact store backed by a stdlib-``sqlite3`` database.
+
+    Parameters
+    ----------
+    facts:
+        Initial ground atoms.
+    schema:
+        Optional explicit schema (eager arity checking, as with the
+        memory backend).
+    path:
+        SQLite file to operate on (created when missing; existing
+        repro-layout files are resumed).  ``None`` (default) keeps the
+        database in ``:memory:``.
+
+    >>> from repro.core.atoms import atom
+    >>> db = SQLiteBackend([atom("E", 1, 2), atom("E", 2, 3)])
+    >>> sorted(db.match(atom("E", "?x", 3)))
+    [E(2, 3)]
+    >>> db.match_count(atom("E", "?x", "?y"))
+    2
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Atom] = (),
+        schema: Optional[Schema] = None,
+        path: Optional[str] = None,
+    ):
+        self._path = os.path.abspath(path) if path is not None else None
+        self._conn = sqlite3.connect(
+            self._path if self._path is not None else ":memory:",
+            check_same_thread=False,
+        )
+        self._lock = threading.RLock()
+        self._schema = schema if schema is not None else Schema()
+        self._explicit_schema = schema is not None
+        #: relation name -> (table name, arity)
+        self._tables: Dict[str, Tuple[str, int]] = {}
+        self._version = 0
+        self._tmp_counter = 0
+        if self._path is not None:
+            self._backend_id = "sqlite:%s" % self._path
+        else:
+            self._backend_id = allocate_backend_id("sqlite")
+        with self._lock, self._conn:
+            self._init_layout()
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _init_layout(self) -> None:
+        cur = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name=?",
+            (_CATALOG,),
+        )
+        fresh = cur.fetchone() is None
+        if fresh:
+            self._conn.execute(
+                "CREATE TABLE %s (relation TEXT PRIMARY KEY, tbl TEXT, arity INTEGER)"
+                % _CATALOG
+            )
+            self._conn.execute(
+                "CREATE TABLE %s (key TEXT PRIMARY KEY, value TEXT)" % _META
+            )
+            self._conn.execute(
+                "INSERT INTO %s VALUES ('layout', ?)" % _META, (str(_LAYOUT),)
+            )
+            self._conn.execute(
+                "INSERT INTO %s VALUES ('data_version', '0')" % _META
+            )
+            return
+        layout = self._meta("layout")
+        if layout != str(_LAYOUT):
+            raise ReproError(
+                "unsupported sqlite layout %r (expected %r)" % (layout, _LAYOUT)
+            )
+        for relation, tbl, arity in self._conn.execute(
+            "SELECT relation, tbl, arity FROM %s" % _CATALOG
+        ):
+            self._tables[relation] = (tbl, int(arity))
+            if not self._explicit_schema:
+                self._schema.add_relation(relation, int(arity))
+        self._version = int(self._meta("data_version") or 0)
+
+    def _meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM %s WHERE key=?" % _META, (key,)
+        ).fetchone()
+        return row[0] if row is not None else None
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        self._conn.execute(
+            "UPDATE %s SET value=? WHERE key='data_version'" % _META,
+            (str(self._version),),
+        )
+
+    def _table_for(self, relation: str, arity: int) -> str:
+        """The backing table of ``relation``, created on first insert."""
+        entry = self._tables.get(relation)
+        if entry is not None:
+            return entry[0]
+        tbl = "r%d" % len(self._tables)
+        cols = ", ".join("c%d TEXT" % i for i in range(arity))
+        self._conn.execute("CREATE TABLE %s (%s)" % (tbl, cols))
+        all_cols = ", ".join("c%d" % i for i in range(arity))
+        self._conn.execute(
+            "CREATE UNIQUE INDEX %s_u ON %s (%s)" % (tbl, tbl, all_cols)
+        )
+        for i in range(arity):
+            self._conn.execute(
+                "CREATE INDEX %s_i%d ON %s (c%d)" % (tbl, i, tbl, i)
+            )
+        self._conn.execute(
+            "INSERT INTO %s VALUES (?, ?, ?)" % _CATALOG, (relation, tbl, arity)
+        )
+        self._tables[relation] = (tbl, arity)
+        return tbl
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def backend_id(self) -> str:
+        return self._backend_id
+
+    @property
+    def data_version(self) -> int:
+        return self._version
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, fact: Atom) -> bool:
+        if not fact.is_ground():
+            raise NotGroundError("database facts must be ground, got %r" % (fact,))
+        if self._explicit_schema:
+            self._schema.validate_atom(fact)
+        else:
+            self._schema.add_relation(fact.relation, fact.arity)
+        row = tuple(encode_value(a.value) for a in fact.args)  # type: ignore[union-attr]
+        with self._lock, self._conn:
+            tbl = self._table_for(fact.relation, fact.arity)
+            cur = self._conn.execute(
+                "INSERT OR IGNORE INTO %s VALUES (%s)"
+                % (tbl, ", ".join("?" * fact.arity)),
+                row,
+            )
+            if cur.rowcount == 0:
+                return False
+            self._bump_version()
+            return True
+
+    def discard(self, fact: Atom) -> bool:
+        entry = self._tables.get(fact.relation)
+        if entry is None or entry[1] != fact.arity:
+            return False
+        tbl = entry[0]
+        where = " AND ".join("c%d=?" % i for i in range(fact.arity))
+        row = tuple(encode_value(a.value) for a in fact.args)  # type: ignore[union-attr]
+        with self._lock, self._conn:
+            cur = self._conn.execute(
+                "DELETE FROM %s WHERE %s" % (tbl, where), row
+            )
+            if cur.rowcount == 0:
+                return False
+            self._bump_version()
+            return True
+
+    def update(self, facts: Iterable[Atom]) -> int:
+        with self._lock:
+            return super().update(facts)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def _decode_row(self, relation: str, row: Sequence[str]) -> Atom:
+        return Atom(relation, tuple(Constant(decode_value(v)) for v in row))
+
+    def facts(self, relation: Optional[str] = None) -> Tuple[Atom, ...]:
+        if relation is None:
+            out: List[Atom] = []
+            for rel in self._tables:
+                out.extend(self.facts(rel))
+            return tuple(out)
+        entry = self._tables.get(relation)
+        if entry is None:
+            return ()
+        with self._lock:
+            rows = self._conn.execute("SELECT * FROM %s" % entry[0]).fetchall()
+        return tuple(self._decode_row(relation, row) for row in rows)
+
+    def relations(self) -> FrozenSet[str]:
+        with self._lock:
+            return frozenset(
+                rel
+                for rel, (tbl, _) in self._tables.items()
+                if self._conn.execute(
+                    "SELECT 1 FROM %s LIMIT 1" % tbl
+                ).fetchone()
+                is not None
+            )
+
+    def active_domain(self) -> FrozenSet[Constant]:
+        out: set = set()
+        with self._lock:
+            for tbl, arity in self._tables.values():
+                for i in range(arity):
+                    for (value,) in self._conn.execute(
+                        "SELECT DISTINCT c%d FROM %s" % (i, tbl)
+                    ):
+                        out.add(Constant(decode_value(value)))
+        return frozenset(out)
+
+    def __contains__(self, fact: Atom) -> bool:
+        if not fact.is_ground():
+            return False
+        entry = self._tables.get(fact.relation)
+        if entry is None or entry[1] != fact.arity:
+            return False
+        where = " AND ".join("c%d=?" % i for i in range(fact.arity))
+        row = tuple(encode_value(a.value) for a in fact.args)  # type: ignore[union-attr]
+        with self._lock:
+            return (
+                self._conn.execute(
+                    "SELECT 1 FROM %s WHERE %s LIMIT 1" % (entry[0], where), row
+                ).fetchone()
+                is not None
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM %s" % tbl
+                ).fetchone()[0]
+                for tbl, _ in self._tables.values()
+            )
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.facts())
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _pattern_sql(self, pattern: Atom) -> Optional[Tuple[str, str, Tuple[str, ...]]]:
+        """``(table, WHERE clause, parameters)`` for ``pattern``, or
+        ``None`` when the relation/arity cannot match anything."""
+        entry = self._tables.get(pattern.relation)
+        if entry is None or entry[1] != pattern.arity:
+            return None
+        conditions: List[str] = []
+        params: List[str] = []
+        first_pos: Dict[Variable, int] = {}
+        for pos, arg in enumerate(pattern.args):
+            if isinstance(arg, Constant):
+                conditions.append("c%d=?" % pos)
+                params.append(encode_value(arg.value))
+            else:
+                seen = first_pos.setdefault(arg, pos)
+                if seen != pos:
+                    conditions.append("c%d=c%d" % (pos, seen))
+        where = " AND ".join(conditions) if conditions else "1=1"
+        return entry[0], where, tuple(params)
+
+    def match(self, pattern: Atom) -> Iterator[Atom]:
+        plan = self._pattern_sql(pattern)
+        if plan is None:
+            return
+        tbl, where, params = plan
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM %s WHERE %s" % (tbl, where), params
+            ).fetchall()
+        for row in rows:
+            yield self._decode_row(pattern.relation, row)
+
+    def match_count(self, pattern: Atom) -> int:
+        plan = self._pattern_sql(pattern)
+        if plan is None:
+            return 0
+        tbl, where, params = plan
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM %s WHERE %s" % (tbl, where), params
+            ).fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Yannakakis semi-join pushdown
+    # ------------------------------------------------------------------
+    #: Capability flag ``repro.cqalgs.yannakakis`` checks for.
+    supports_sql_semijoin = True
+
+    def sql_semijoin_reduce(
+        self,
+        atoms: Sequence[Atom],
+        links: Sequence[Tuple[int, int]],
+    ) -> List[List[Mapping]]:
+        """Both semi-join sweeps of Yannakakis' algorithm, in SQL.
+
+        ``atoms`` are the join-tree nodes and ``links`` its child→parent
+        edges.  Each atom is scanned into a temp table of its distinct
+        variable bindings; the bottom-up and top-down sweeps then run as
+        correlated ``DELETE … WHERE NOT EXISTS`` statements along the
+        tree, and the reduced relations are decoded back into
+        :class:`~repro.core.mappings.Mapping` lists for the join phase.
+        The result equals the Python sweeps' output up to duplicate
+        bindings (temp tables are ``DISTINCT``), which the join phase
+        collapses anyway.
+        """
+        n = len(atoms)
+        children: Dict[int, List[int]] = {i: [] for i in range(n)}
+        is_child = [False] * n
+        for child, parent in links:
+            children[parent].append(child)
+            is_child[child] = True
+        roots = [i for i in range(n) if not is_child[i]]
+        order: List[int] = []
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(children[node])
+
+        atom_vars: List[List[Variable]] = [
+            sorted(a.variables(), key=repr) for a in atoms
+        ]
+        with self._lock, self._conn:
+            self._tmp_counter += 1
+            prefix = "yt%d" % self._tmp_counter
+            names = ["%s_%d" % (prefix, i) for i in range(n)]
+            try:
+                for i, a in enumerate(atoms):
+                    self._scan_to_temp(names[i], a, atom_vars[i])
+                # Phase 1: bottom-up (children filter parents).
+                for node in reversed(order):
+                    for child in children[node]:
+                        self._sql_semijoin(
+                            names[node], atom_vars[node],
+                            names[child], atom_vars[child],
+                        )
+                # Phase 2: top-down (parents filter children).
+                for node in order:
+                    for child in children[node]:
+                        self._sql_semijoin(
+                            names[child], atom_vars[child],
+                            names[node], atom_vars[node],
+                        )
+                relations: List[List[Mapping]] = []
+                for i in range(n):
+                    rows = self._conn.execute(
+                        "SELECT * FROM %s" % names[i]
+                    ).fetchall()
+                    vs = atom_vars[i]
+                    relations.append(
+                        [
+                            Mapping(
+                                {
+                                    v: Constant(decode_value(row[j]))
+                                    for j, v in enumerate(vs)
+                                }
+                            )
+                            for row in rows
+                        ]
+                    )
+                return relations
+            finally:
+                for name in names:
+                    self._conn.execute("DROP TABLE IF EXISTS %s" % name)
+
+    def _scan_to_temp(self, name: str, pattern: Atom, vs: List[Variable]) -> None:
+        """``CREATE TEMP TABLE name`` holding the distinct variable
+        bindings of the facts matching ``pattern`` (a constant ``one``
+        column when the pattern is ground)."""
+        cols = ", ".join("v%d TEXT" % i for i in range(len(vs))) or "one INTEGER"
+        self._conn.execute("CREATE TEMP TABLE %s (%s)" % (name, cols))
+        plan = self._pattern_sql(pattern)
+        if plan is None:
+            return
+        tbl, where, params = plan
+        if vs:
+            pos_of = {
+                v: next(
+                    p for p, arg in enumerate(pattern.args) if arg == v
+                )
+                for v in vs
+            }
+            select = ", ".join("c%d" % pos_of[v] for v in vs)
+            self._conn.execute(
+                "INSERT INTO %s SELECT DISTINCT %s FROM %s WHERE %s"
+                % (name, select, tbl, where),
+                params,
+            )
+        else:
+            self._conn.execute(
+                "INSERT INTO %s SELECT DISTINCT 1 FROM %s WHERE %s"
+                % (name, tbl, where),
+                params,
+            )
+
+    def _sql_semijoin(
+        self,
+        left: str,
+        left_vars: List[Variable],
+        right: str,
+        right_vars: List[Variable],
+    ) -> None:
+        """``left ⋉ right`` in place: delete the ``left`` rows with no
+        join partner (on the shared variables) in ``right``."""
+        shared = [v for v in left_vars if v in set(right_vars)]
+        conditions = " AND ".join(
+            "%s.v%d = %s.v%d"
+            % (right, right_vars.index(v), left, left_vars.index(v))
+            for v in shared
+        )
+        sub = "SELECT 1 FROM %s" % right
+        if conditions:
+            sub += " WHERE %s" % conditions
+        self._conn.execute(
+            "DELETE FROM %s WHERE NOT EXISTS (%s)" % (left, sub)
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Snapshot the current state into the SQLite file at ``path``
+        (overwriting it) via the online backup API."""
+        target = os.path.abspath(path)
+        if os.path.exists(target):
+            os.remove(target)
+        with self._lock:
+            dest = sqlite3.connect(target)
+            try:
+                with dest:
+                    self._conn.backup(dest)
+            finally:
+                dest.close()
+
+    @classmethod
+    def open(cls, path: str, schema: Optional[Schema] = None) -> "SQLiteBackend":
+        """Resume the on-disk database at ``path`` (same ``backend_id``
+        and ``data_version`` it was saved with, so result-cache lineage
+        survives the round trip)."""
+        if not os.path.exists(path):
+            raise ReproError("no sqlite database at %s" % path)
+        return cls(schema=schema, path=path)
+
+    def close(self) -> None:
+        """Close the underlying connection (further use is an error)."""
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Copy / pickling
+    # ------------------------------------------------------------------
+    def copy(self) -> "SQLiteBackend":
+        """An independent in-memory copy (schema, facts, and version
+        carry over; the copy gets its own ``backend_id``)."""
+        clone = SQLiteBackend(
+            schema=self._schema if self._explicit_schema else None
+        )
+        clone.update(self.facts())
+        with clone._lock, clone._conn:
+            clone._version = self._version
+            clone._conn.execute(
+                "UPDATE %s SET value=? WHERE key='data_version'" % _META,
+                (str(self._version),),
+            )
+        return clone
+
+    def __reduce__(self):
+        return (
+            _restore_sqlite_backend,
+            (
+                self._path,
+                tuple(self.facts()) if self._path is None else None,
+                self._schema if self._explicit_schema else None,
+                self._version,
+            ),
+        )
+
+
+def _restore_sqlite_backend(path, facts, schema, version):
+    if path is not None:
+        return SQLiteBackend(schema=schema, path=path)
+    backend = SQLiteBackend(facts, schema=schema)
+    with backend._lock, backend._conn:
+        backend._version = version
+        backend._conn.execute(
+            "UPDATE %s SET value=? WHERE key='data_version'" % _META,
+            (str(version),),
+        )
+    return backend

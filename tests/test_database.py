@@ -66,6 +66,81 @@ class TestBasics:
             hash(db)
 
 
+class TestRemoval:
+    def test_remove_deletes_fact(self, db):
+        db.remove(atom("E", 1, 2))
+        assert atom("E", 1, 2) not in db
+        assert len(db) == 3
+
+    def test_remove_missing_raises(self, db):
+        with pytest.raises(KeyError):
+            db.remove(atom("E", 9, 9))
+
+    def test_discard_missing_is_false(self, db):
+        assert db.discard(atom("E", 9, 9)) is False
+        assert db.discard(atom("E", 1, 2)) is True
+
+    def test_remove_updates_index(self, db):
+        db.remove(atom("E", 2, 3))
+        assert sorted(db.match(atom("E", 2, "?y"))) == [atom("E", 2, 2)]
+        assert list(db.match(atom("E", "?x", 3))) == []
+
+    def test_remove_updates_active_domain(self, db):
+        db.remove(atom("E", 2, 3))
+        # 3 occurred only in that fact; 2 still occurs elsewhere.
+        assert db.active_domain() == {Constant(1), Constant(2)}
+
+    def test_remove_last_fact_of_relation(self, db):
+        db.remove(atom("U", 1))
+        assert db.relations() == {"E"}
+        assert db.facts("U") == ()
+
+    def test_removed_relation_rematchable(self, db):
+        db.remove(atom("U", 1))
+        assert list(db.match(atom("U", "?x"))) == []
+        db.add(atom("U", 5))
+        assert list(db.match(atom("U", "?x"))) == [atom("U", 5)]
+
+
+class TestVersioning:
+    def test_add_bumps_version(self, db):
+        v = db.data_version
+        assert db.add(atom("E", 8, 8))
+        assert db.data_version == v + 1
+
+    def test_noop_add_keeps_version(self, db):
+        v = db.data_version
+        assert not db.add(atom("E", 1, 2))
+        assert db.data_version == v
+
+    def test_remove_bumps_version(self, db):
+        v = db.data_version
+        db.remove(atom("E", 1, 2))
+        assert db.data_version == v + 1
+
+    def test_noop_discard_keeps_version(self, db):
+        v = db.data_version
+        db.discard(atom("E", 9, 9))
+        assert db.data_version == v
+
+    def test_copy_carries_version_and_schema(self, db):
+        clone = db.copy()
+        assert clone.data_version == db.data_version
+        assert clone.schema.arity("E") == 2
+        clone.add(atom("E", 8, 8))
+        assert clone.data_version == db.data_version + 1
+        assert db.data_version == clone.data_version - 1
+
+    def test_copy_of_explicit_schema_stays_strict(self):
+        db = Database(schema=Schema({"E": 2}))
+        clone = db.copy()
+        with pytest.raises(SchemaError):
+            clone.add(atom("F", 1))
+
+    def test_backend_ids_distinct(self, db):
+        assert db.backend_id != db.copy().backend_id
+
+
 class TestMatch:
     def test_all_variables(self, db):
         assert len(list(db.match(atom("E", "?x", "?y")))) == 3

@@ -72,14 +72,20 @@ def test_query_lifecycle_events_and_stable_id():
     session = _session(obslog=log)
     result = session.query(EXAMPLE2_QUERY)
     events = [r["event"] for r in log.recent()]
-    assert events == ["query.start", "query.parse", "query.plan", "query.complete"]
+    assert events == [
+        "query.start", "query.parse", "query.plan", "query.cache",
+        "query.complete",
+    ]
     parse = log.events("query.parse")[0]
     plan = log.events("query.plan")[0]
+    cache = log.events("query.cache")[0]
     complete = log.events("query.complete")[0]
+    assert cache["outcome"] == "miss"
     # Stable ID: a prefix of the structural fingerprint, shared by all events.
     qid = parse["query_id"]
     assert qid == result.query.structural_fingerprint()[:16]
     assert plan["query_id"] == qid and complete["query_id"] == qid
+    assert cache["query_id"] == qid
     assert plan["engine"] == "wdpt-topdown"
     assert "Theorem" in plan["theorem"]
     assert set(plan["classes"]) == {

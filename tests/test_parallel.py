@@ -360,7 +360,9 @@ def test_merge_in_fixed_order_is_bit_identical():
 
 def test_process_batch_merges_worker_metrics():
     db = _company_db(employees=4)
-    with Session(db, executor="process") as session:
+    # cache=False: a worker's result cache would serve repeats without
+    # touching the engine, and this test counts engine selections.
+    with Session(db, executor="process", cache=False) as session:
         before = dict(session.stats()["engine_selections"])
         session.run_batch([_company_query()] * 4, jobs=2)
         after = dict(session.stats()["engine_selections"])

@@ -214,7 +214,9 @@ class TestCrossEnginePropertyBased:
 # ---------------------------------------------------------------------------
 class TestSessionStats:
     def test_stats_keys_and_counters(self):
-        s = Session([atom("E", 1, 2), atom("E", 2, 3)])
+        # cache=False: a result-cache hit would skip the second engine
+        # selection, and this test is about plan-cache reuse across runs.
+        s = Session([atom("E", 1, 2), atom("E", 2, 3)], cache=False)
         p = random_wdpt(depth=1, fanout=2, seed=1)
         s.query(p)
         s.query(p)

@@ -1,0 +1,232 @@
+"""Unit tests for repro.storage: protocol, SQLite backend, persistence,
+SQL semi-join pushdown, and pickling."""
+
+import pickle
+
+import pytest
+
+from repro.core.atoms import Schema, atom
+from repro.core.cq import ConjunctiveQuery
+from repro.core.database import Database
+from repro.core.terms import Constant
+from repro.cqalgs.yannakakis import evaluate_acyclic
+from repro.exceptions import NotGroundError, ReproError, SchemaError
+from repro.storage import (
+    BACKENDS,
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    to_backend,
+)
+from repro.storage.sqlite import decode_value, encode_value
+
+FACTS = [atom("E", 1, 2), atom("E", 2, 3), atom("E", 2, 2), atom("U", 1)]
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def db(request):
+    return BACKENDS[request.param](FACTS)
+
+
+# ---------------------------------------------------------------------------
+# Protocol conformance (both backends through one suite)
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_is_storage_backend(self, db):
+        assert isinstance(db, StorageBackend)
+
+    def test_database_alias_is_memory_backend(self):
+        assert issubclass(Database, MemoryBackend)
+        assert isinstance(Database(FACTS), StorageBackend)
+
+    def test_len_iter_contains(self, db):
+        assert len(db) == 4
+        assert set(db) == set(FACTS)
+        assert atom("E", 1, 2) in db
+        assert atom("E", 9, 9) not in db
+
+    def test_match_with_constants_and_repeats(self, db):
+        assert sorted(db.match(atom("E", 2, "?y"))) == [
+            atom("E", 2, 2), atom("E", 2, 3),
+        ]
+        assert list(db.match(atom("E", "?x", "?x"))) == [atom("E", 2, 2)]
+        assert db.match_count(atom("E", "?x", "?y")) == 3
+        assert list(db.match(atom("Z", "?x"))) == []
+        assert list(db.match(atom("E", "?x", "?y", "?z"))) == []
+
+    def test_relations_facts_active_domain(self, db):
+        assert db.relations() == {"E", "U"}
+        assert len(db.facts("E")) == 3
+        assert db.active_domain() == {Constant(1), Constant(2), Constant(3)}
+
+    def test_add_remove_roundtrip(self, db):
+        assert db.add(atom("E", 7, 8))
+        assert not db.add(atom("E", 7, 8))
+        db.remove(atom("E", 7, 8))
+        assert atom("E", 7, 8) not in db
+        with pytest.raises(KeyError):
+            db.remove(atom("E", 7, 8))
+
+    def test_version_bumps_on_mutation_only(self, db):
+        v = db.data_version
+        db.add(atom("E", 7, 8))
+        assert db.data_version == v + 1
+        db.add(atom("E", 7, 8))  # duplicate: no-op
+        assert db.data_version == v + 1
+        db.discard(atom("E", 7, 8))
+        assert db.data_version == v + 2
+        db.discard(atom("E", 7, 8))  # absent: no-op
+        assert db.data_version == v + 2
+
+    def test_non_ground_rejected(self, db):
+        with pytest.raises(NotGroundError):
+            db.add(atom("E", "?x", 1))
+
+    def test_copy_independent_and_versioned(self, db):
+        clone = db.copy()
+        assert clone == db
+        assert clone.data_version == db.data_version
+        assert clone.backend_id != db.backend_id
+        clone.add(atom("E", 9, 9))
+        assert len(db) == 4 and len(clone) == 5
+
+    def test_unhashable(self, db):
+        with pytest.raises(TypeError):
+            hash(db)
+
+    def test_pickle_roundtrip(self, db):
+        restored = pickle.loads(pickle.dumps(db))
+        assert restored == db
+        assert restored.data_version == db.data_version
+        assert type(restored) is type(db)
+
+
+class TestCrossBackend:
+    def test_equality_across_kinds(self):
+        mem, sql = MemoryBackend(FACTS), SQLiteBackend(FACTS)
+        assert mem == sql
+        assert sql == mem
+        sql.add(atom("E", 9, 9))
+        assert mem != sql
+
+    def test_to_backend_converts_and_passes_through(self):
+        mem = MemoryBackend(FACTS)
+        assert to_backend(mem, "memory") is mem
+        sql = to_backend(mem, "sqlite")
+        assert isinstance(sql, SQLiteBackend) and sql == mem
+        back = to_backend(sql, "memory")
+        assert isinstance(back, MemoryBackend) and back == mem
+
+    def test_to_backend_unknown_kind(self):
+        with pytest.raises(ValueError):
+            to_backend(FACTS, "parquet")
+
+
+# ---------------------------------------------------------------------------
+# Value codec
+# ---------------------------------------------------------------------------
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [0, -17, 2 ** 70, "", "hello", "i123", True, False, None,
+         3.5, float("inf"), (1, "two"), frozenset({1, 2})],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_tags_are_injective_across_types(self):
+        # 1, "1", True, "i1" must all encode distinctly.
+        encoded = {encode_value(v) for v in (1, "1", True, "i1")}
+        assert len(encoded) == 4
+
+
+# ---------------------------------------------------------------------------
+# SQLite specifics: schema, persistence, pushdown
+# ---------------------------------------------------------------------------
+class TestSQLiteBackend:
+    def test_explicit_schema_enforced(self):
+        db = SQLiteBackend(schema=Schema({"E": 2}))
+        db.add(atom("E", 1, 2))
+        with pytest.raises(SchemaError):
+            db.add(atom("F", 1))
+
+    def test_hostile_relation_names_are_safe(self):
+        # Relation names never reach SQL identifiers (catalog indirection).
+        name = 'x"; DROP TABLE r0; --'
+        db = SQLiteBackend([atom(name, 1)])
+        assert list(db.match(atom(name, "?x"))) == [atom(name, 1)]
+        assert db.relations() == {name}
+
+    def test_save_open_roundtrip(self, tmp_path):
+        path = str(tmp_path / "facts.sqlite")
+        db = SQLiteBackend(FACTS)
+        db.add(atom("E", 7, 8))
+        db.save(path)
+        restored = SQLiteBackend.open(path)
+        assert restored == db
+        assert restored.data_version == db.data_version
+        assert restored.backend_id == "sqlite:%s" % path
+        restored.close()
+
+    def test_on_disk_resume_keeps_identity(self, tmp_path):
+        path = str(tmp_path / "facts.sqlite")
+        db = SQLiteBackend(FACTS, path=path)
+        version, backend_id = db.data_version, db.backend_id
+        db.close()
+        resumed = SQLiteBackend.open(path)
+        assert resumed.data_version == version
+        assert resumed.backend_id == backend_id
+        assert set(resumed) == set(FACTS)
+        resumed.close()
+
+    def test_open_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            SQLiteBackend.open(str(tmp_path / "absent.sqlite"))
+
+    def test_pickled_on_disk_backend_reopens_file(self, tmp_path):
+        path = str(tmp_path / "facts.sqlite")
+        db = SQLiteBackend(FACTS, path=path)
+        restored = pickle.loads(pickle.dumps(db))
+        assert restored.backend_id == db.backend_id
+        assert restored == db
+        restored.close()
+        db.close()
+
+
+class TestSQLSemijoinPushdown:
+    def _graph(self):
+        facts = [atom("E", i, (i * 3 + 1) % 7) for i in range(7)]
+        facts += [atom("E", i, (i + 1) % 5) for i in range(5)]
+        facts += [atom("L", i, "c%d" % (i % 2)) for i in range(5)]
+        facts += [atom("U", i) for i in (0, 2, 4)]
+        return facts
+
+    @pytest.mark.parametrize(
+        "free,atoms",
+        [
+            (("?x", "?z"), [atom("E", "?x", "?y"), atom("E", "?y", "?z")]),
+            (("?x", "?c"),
+             [atom("E", "?x", "?y"), atom("L", "?y", "?c"), atom("U", "?x")]),
+            (("?x",), [atom("E", "?x", "?x")]),
+            ((), [atom("E", "?x", "?y"), atom("L", "?y", "?c")]),
+            (("?x",), [atom("Z", "?x", "?y")]),
+        ],
+    )
+    def test_matches_python_yannakakis(self, free, atoms):
+        q = ConjunctiveQuery(free, atoms)
+        facts = self._graph()
+        assert evaluate_acyclic(q, SQLiteBackend(facts)) == evaluate_acyclic(
+            q, MemoryBackend(facts)
+        )
+
+    def test_temp_tables_are_cleaned_up(self):
+        db = SQLiteBackend(self._graph())
+        q = ConjunctiveQuery(
+            ("?x",), [atom("E", "?x", "?y"), atom("L", "?y", "?c")]
+        )
+        evaluate_acyclic(q, db)
+        evaluate_acyclic(q, db)
+        leftovers = db._conn.execute(
+            "SELECT name FROM sqlite_temp_master WHERE type='table'"
+        ).fetchall()
+        assert leftovers == []
