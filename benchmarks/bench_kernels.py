@@ -1,0 +1,93 @@
+"""KERNELS — columnar relation kernels vs the legacy Mapping path.
+
+The relational-algebra refactor (``repro.relalg``) replaces the historical
+tuple-at-a-time Mapping pipeline inside Yannakakis with set-oriented
+columnar kernels, and — on SQLite — pushes the whole join tree down as a
+single SQL statement.  This benchmark measures all three paths on the
+same adversarial workloads and cross-checks their answers:
+
+* layered path queries where semijoin reduction carries the day (the
+  Theorem 3 family the regression gate also tracks);
+* star queries with a wide free schema, stressing the join/project phase.
+
+``scripts/bench_regress.py`` records the same comparison as the
+``kernels.columnar`` / ``kernels.legacy`` points in ``BENCH_eval.json``.
+"""
+
+import pytest
+
+from repro.benchharness import Series, format_series_table, time_callable
+from repro.core.atoms import Atom
+from repro.core.database import Database
+from repro.cqalgs.yannakakis import evaluate_acyclic
+from repro.relalg.config import force_kernels
+from repro.storage import to_backend
+from repro.workloads.generators import path_cq, random_graph_database, star_cq
+
+pytestmark = pytest.mark.paper_artifact("Columnar kernels (Theorem 3 substrate)")
+
+
+def _layered_db(layers, width):
+    """Fully-connected layers plus dangling tuples that only a global
+    semijoin pass eliminates — the workload where kernel overhead per
+    tuple dominates."""
+    db = Database()
+    for layer in range(layers):
+        for i in range(width):
+            for j in range(width):
+                db.add(Atom("E", ("L%d_%d" % (layer, i), "L%d_%d" % (layer + 1, j))))
+    for i in range(width):
+        db.add(Atom("E", ("L%d_%d" % (layers, i), "dead_%d" % i)))
+    return db
+
+
+def _answers(q, db, mode):
+    with force_kernels(mode):
+        return evaluate_acyclic(q, db)
+
+
+def test_kernel_series_on_paths():
+    columnar = Series("columnar")
+    legacy = Series("legacy")
+    for length in (2, 4, 6):
+        db = _layered_db(length, 6)
+        q = path_cq(length)
+        columnar.add(length, time_callable(lambda: _answers(q, db, "columnar"), repeats=3))
+        legacy.add(length, time_callable(lambda: _answers(q, db, "legacy"), repeats=3))
+        assert _answers(q, db, "columnar") == _answers(q, db, "legacy")
+    print()
+    print(format_series_table([columnar, legacy], parameter_name="path length"))
+    # The columnar kernels must at least hold their own on the family the
+    # regression gate records; the BENCH_eval.json points quantify the win.
+    assert columnar.points[-1][1] < legacy.points[-1][1] * 1.25
+
+
+def test_kernel_parity_three_ways_on_stars():
+    """columnar ≡ legacy ≡ whole-tree SQL pushdown, with free variables."""
+    data = random_graph_database(40, 240, seed=11)
+    q = star_cq(4)
+    mem = to_backend(data, "memory")
+    lite = to_backend(data, "sqlite")
+    expected = _answers(q, mem, "legacy")
+    assert _answers(q, mem, "columnar") == expected
+    assert _answers(q, lite, "columnar") == expected
+    # auto on SQLite resolves to the whole-tree SQL pushdown
+    assert _answers(q, lite, "auto") == expected
+
+
+def test_bench_kernel_columnar(benchmark):
+    db = _layered_db(5, 6)
+    q = path_cq(5)
+    benchmark(lambda: _answers(q, db, "columnar"))
+
+
+def test_bench_kernel_legacy(benchmark):
+    db = _layered_db(5, 6)
+    q = path_cq(5)
+    benchmark(lambda: _answers(q, db, "legacy"))
+
+
+def test_bench_kernel_sql_pushdown(benchmark):
+    db = to_backend(_layered_db(5, 6).facts(), "sqlite")
+    q = path_cq(5)
+    benchmark(lambda: _answers(q, db, "auto"))

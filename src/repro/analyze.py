@@ -120,6 +120,7 @@ class AnalyzeReport:
                     _fmt_opt(row["treewidth"]),
                     row["interface"],
                     row["engine"],
+                    row.get("kernel") or "-",
                     _fmt_seconds(row["seconds"]),
                     int(row["candidates"]),
                     int(row["extensions"]),
@@ -127,7 +128,7 @@ class AnalyzeReport:
                 ]
             )
         node_table = format_table(
-            ["tree node", "atoms", "tw", "iface", "engine", "time",
+            ["tree node", "atoms", "tw", "iface", "engine", "kernel", "time",
              "candidates", "extensions", "cq checks"],
             table_rows,
         )
@@ -145,13 +146,18 @@ def build_report(
     planner: Planner,
     n_answers: Optional[int] = None,
     mode: str = "query",
+    db: Optional[Any] = None,
 ) -> AnalyzeReport:
-    """Join the static profile with the measured trace, per tree node."""
+    """Join the static profile with the measured trace, per tree node.
+
+    ``db`` (the session's storage backend, when available) lets each
+    Yannakakis-routed node report the relational kernel its CQ checks
+    resolve to (``sql``/``columnar``/``legacy``)."""
     measured = _merge_node_stats(tracer)
     tree_profile = profile.tree_profile
     rows: List[Dict[str, Any]] = []
     for node in p.tree.nodes():
-        plan = planner.plan_for_profile("", tree_profile.node_profile(node))
+        plan = planner.plan_for_profile("", tree_profile.node_profile(node), db)
         stats = measured.get(node, {})
         rows.append(
             {
@@ -163,6 +169,7 @@ def build_report(
                 "hypertreewidth": profile.node_hypertreewidths[node],
                 "interface": profile.node_interfaces[node],
                 "engine": plan.engine,
+                "kernel": plan.kernel,
                 "theorem": plan.theorem,
                 "seconds": float(stats.get("seconds", 0.0)),
                 "candidates": stats.get("candidates", 0),

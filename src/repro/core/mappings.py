@@ -63,6 +63,17 @@ class Mapping:
         self._assignment = coerced
         self._hash = hash(frozenset(coerced.items()))
 
+    @classmethod
+    def from_trusted(cls, assignment: Dict["Variable", "Constant"]) -> "Mapping":
+        """Wrap an already-validated ``Variable → Constant`` dict without
+        per-item coercion.  The caller must not mutate ``assignment``
+        afterwards — the boundary converters of :mod:`repro.relalg` build
+        a fresh dict per row and hand over ownership."""
+        self = cls.__new__(cls)
+        self._assignment = assignment
+        self._hash = hash(frozenset(assignment.items()))
+        return self
+
     # ------------------------------------------------------------------
     # Basic container protocol
     # ------------------------------------------------------------------

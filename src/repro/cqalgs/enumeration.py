@@ -23,7 +23,7 @@ from ..core.database import Database
 from ..core.mappings import Mapping
 from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_root
 from .naive import homomorphisms
-from .yannakakis import _scan, _semijoin
+from .yannakakis import _edge_shared_variables, _scan, _semijoin
 
 
 def enumerate_answers(
@@ -73,12 +73,17 @@ def _acyclic_stream(
     root = join_tree_root(links, n)
     children = join_tree_children(links, n)
     order = _preorder(root, children)
+    shared = _edge_shared_variables(atoms, links)
     for node in reversed(order):
         for child in children[node]:
-            relations[node] = _semijoin(relations[node], relations[child])
+            relations[node] = _semijoin(
+                relations[node], relations[child], shared[(node, child)]
+            )
     for node in order:
         for child in children[node]:
-            relations[child] = _semijoin(relations[child], relations[node])
+            relations[child] = _semijoin(
+                relations[child], relations[node], shared[(child, node)]
+            )
     if not relations[root]:
         return
 

@@ -10,7 +10,7 @@ in ``B`` (constants are fixed).  We reduce to database homomorphisms: map
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping as TMapping, Optional
+from typing import Dict, Iterable, Iterator, List, Mapping as TMapping, Optional
 
 from ..core.atoms import Atom
 from ..core.canonical import (
@@ -19,9 +19,14 @@ from ..core.canonical import (
     is_frozen_constant,
     unfreeze_constant,
 )
+from ..core.cq import ConjunctiveQuery
+from ..core.database import Database
 from ..core.mappings import Mapping
 from ..core.terms import Constant, Term, Variable
+from ..hypergraphs.gyo import join_tree_of_atoms
+from ..relalg.config import MODE_LEGACY, kernel_mode
 from .naive import homomorphisms as db_homomorphisms
+from .yannakakis import evaluate_with_join_tree
 
 #: A query-to-query homomorphism: variables → variables-or-constants.
 QueryHomomorphism = Dict[Variable, Term]
@@ -45,11 +50,50 @@ def query_homomorphisms(
         for var, value in fixed.items():
             pre[var] = freeze_variable(value) if isinstance(value, Variable) else value
     produced = 0
-    for h in db_homomorphisms(source, target_db, Mapping(pre)):
+    for h in _source_homomorphisms(source, target_db, Mapping(pre), limit):
         yield _unfreeze(h)
         produced += 1
         if limit is not None and produced >= limit:
             return
+
+
+def _source_homomorphisms(
+    source: Iterable[Atom],
+    target_db: Database,
+    pre: Mapping,
+    limit: Optional[int],
+) -> Iterable[Mapping]:
+    """Homomorphisms of ``source`` into ``target_db`` extending ``pre``.
+
+    Unlimited enumerations of an acyclic source run set-at-a-time through
+    the Yannakakis kernels (``pre`` substituted in, the remaining
+    variables evaluated as one full CQ over the canonical database);
+    cyclic sources, bounded enumerations (where backtracking's early exit
+    wins), and ``REPRO_KERNELS=legacy`` take the backtracking search.
+    """
+    atoms = tuple(sorted(set(source)))
+    if limit is None and atoms and kernel_mode() != MODE_LEGACY:
+        links = join_tree_of_atoms(atoms)
+        if links is not None:
+            if len(pre):
+                substituted = tuple(a.substitute(pre) for a in atoms)
+            else:
+                substituted = atoms
+            frees: set = set()
+            for a in substituted:
+                frees |= a.variables()
+            q = ConjunctiveQuery(tuple(sorted(frees)), substituted)
+            rows = evaluate_with_join_tree(q, target_db, substituted, links)
+            if not len(pre):
+                return rows
+            base = pre.as_dict()
+            out: List[Mapping] = []
+            for m in rows:
+                merged = dict(base)
+                merged.update(m.items())
+                out.append(Mapping.from_trusted(merged))
+            return out
+    return db_homomorphisms(atoms, target_db, pre)
 
 
 def has_query_homomorphism(

@@ -90,26 +90,30 @@ def _evaluate_with_decomposition(
 
     assignment = _assign_atoms_to_bags(variable_atoms, td)
 
-    # Materialize one relation per bag.
+    # Materialize one relation per bag.  Each factor carries its schema
+    # (the variables its mappings are total on) so the joins run on
+    # structurally-known shared variables rather than inspecting rows.
     bag_relations: List[FrozenSet[Mapping]] = []
     bag_vars: List[Tuple[Variable, ...]] = []
     for i, bag in enumerate(td.bags):
-        factors: List[FrozenSet[Mapping]] = []
+        factors: List[Tuple[FrozenSet[Variable], FrozenSet[Mapping]]] = []
         covered: Set[Variable] = set()
         if td.covers is not None:
             for edge in td.covers[i]:
                 witness = _atom_with_variables(variable_atoms, edge)
-                factors.append(frozenset(_scan(witness, db)))
+                factors.append((frozenset(edge), frozenset(_scan(witness, db))))
                 covered |= set(edge)
         for a in assignment.get(i, ()):
-            factors.append(frozenset(_scan(a, db)))
+            factors.append((a.variables(), frozenset(_scan(a, db))))
             covered |= set(a.variables())
         for v in sorted(bag - covered, key=repr):
-            factors.append(_unary_domain(v, variable_atoms, db))
+            factors.append((frozenset([v]), _unary_domain(v, variable_atoms, db)))
             covered.add(v)
         relation: FrozenSet[Mapping] = frozenset([Mapping()])
-        for f in factors:
-            relation = _join(relation, f)
+        schema: Set[Variable] = set()
+        for f_vars, f in factors:
+            relation = _join(relation, f, tuple(sorted(schema & f_vars, key=repr)))
+            schema |= f_vars
         relation = frozenset(m.restrict(bag) for m in relation)
         bag_relations.append(relation)
         bag_vars.append(tuple(sorted((v for v in bag), key=repr)))

@@ -9,11 +9,33 @@ the concrete engine behind the paper's use of ``HW(1) = AC`` (Theorem 3
 with ``k = 1``), and the backend of the bounded-width engines, which reduce
 to an acyclic instance first.
 
+Three interchangeable execution paths implement the phases, selected per
+run by :func:`repro.relalg.config.choose_kernel` (``REPRO_KERNELS``):
+
+* ``columnar`` — the set-oriented kernels of :mod:`repro.relalg`:
+  relations carry explicit variable schemas, shared-variable layouts are
+  resolved once per join-tree edge, and rows are plain tuples;
+* ``legacy`` — the historical tuple-at-a-time path over
+  :class:`~repro.core.mappings.Mapping` objects (kept as the parity
+  baseline; its kernels now also take their schemas from the atoms
+  rather than from inspecting the first row);
+* ``sql`` — on a SQLite backend, the **whole tree** runs as a single SQL
+  statement (:meth:`~repro.storage.sqlite.SQLiteBackend.sql_yannakakis`):
+  scans, both semi-join sweeps, and the join/projection phase are CTE
+  layers, and only the final answer rows cross back into Python.
+
 With a worker pool installed (:mod:`repro.parallel`) the independent
-pieces overlap: the per-atom scans, and the semi-join passes taken
-level-by-level over the join tree — within one level every pass reads
-relations fixed by the previous level and writes a distinct slot, so the
-parallel schedule computes exactly the sequential relations.
+pieces overlap on either Python path: the per-atom scans, and the
+semi-join passes taken level-by-level over the join tree — within one
+level every pass reads relations fixed by the previous level and writes a
+distinct slot, so the parallel schedule computes exactly the sequential
+relations.
+
+:func:`satisfiable_with_join_tree` is the Boolean fast path the planner
+routes the Theorem 6/8/9 inner loops through: for satisfiability the
+bottom-up sweep alone decides the answer (the root empties iff some
+relation empties), so the top-down sweep and the join phase are skipped
+entirely and empty scans exit early.
 """
 
 from __future__ import annotations
@@ -28,6 +50,20 @@ from ..core.terms import Constant, Variable
 from ..exceptions import ClassMembershipError
 from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_root
 from ..parallel.pool import current_pool
+from ..relalg.config import (
+    KERNEL_COLUMNAR,
+    KERNEL_LEGACY,
+    KERNEL_SQL,
+    choose_kernel,
+)
+from ..relalg.relation import (
+    Relation,
+    hash_join,
+    project,
+    scan,
+    semijoin,
+    to_mappings,
+)
 from ..telemetry.resources import account_rows
 from ..telemetry.tracer import current_tracer
 
@@ -68,65 +104,242 @@ def evaluate_with_join_tree(
         return frozenset()
     tracer = current_tracer()
     pool = current_pool()
-    with tracer.span("yannakakis", atoms=n) as y_span:
-        root = join_tree_root(links, n)
-        children = join_tree_children(links, n)
-        order = _topological(root, children)  # root first
-        if pool is None and getattr(db, "supports_sql_semijoin", False):
-            # SQLite-backed database: both semi-join sweeps run inside
-            # the storage engine; only the join phase stays in Python.
-            with tracer.span("yannakakis.sql_semijoin") as sp:
-                relations: List[List[Mapping]] = db.sql_semijoin_reduce(
-                    atoms, links
+    kernel = choose_kernel(db, pool)
+    with tracer.span("yannakakis", atoms=n, kernel=kernel) as y_span:
+        if kernel == KERNEL_SQL:
+            # SQLite-backed database: scans, both semi-join sweeps, and
+            # the join/projection phase run as one SQL statement; only
+            # the answer rows cross back into Python.
+            with tracer.span("yannakakis.sql") as sp:
+                result: FrozenSet[Mapping] = db.sql_yannakakis(
+                    atoms, links, query.free_variables
                 )
-                account_rows(max(len(r) for r in relations))
+                account_rows(len(result))
                 if tracer.enabled:
-                    sp.set(relation_sizes=[len(r) for r in relations])
+                    sp.set(answers=len(result))
         else:
-            with tracer.span("yannakakis.scan") as sp:
-                if pool is not None and n >= 2:
-                    relations = pool.map_tasks(
-                        lambda a: _scan(a, db), list(atoms)
-                    )
-                else:
-                    relations = [_scan(a, db) for a in atoms]
-                account_rows(max(len(r) for r in relations))
-                if tracer.enabled:
-                    sp.set(relation_sizes=[len(r) for r in relations])
-            levels = _levels(root, children, order) if pool is not None else None
-
-            # Phase 1: bottom-up semi-joins (children filter parents).
-            with tracer.span("yannakakis.semijoin_up") as sp:
-                if levels is not None:
-                    _semijoin_up_parallel(pool, relations, children, levels)
-                else:
-                    for node in reversed(order):
-                        for child in children[node]:
-                            relations[node] = _semijoin(
-                                relations[node], relations[child]
-                            )
-                if tracer.enabled:
-                    sp.set(relation_sizes=[len(r) for r in relations])
-            # Phase 2: top-down semi-joins (parents filter children).
-            with tracer.span("yannakakis.semijoin_down") as sp:
-                if levels is not None:
-                    _semijoin_down_parallel(
-                        pool, relations, links, children, levels
-                    )
-                else:
-                    for node in order:
-                        for child in children[node]:
-                            relations[child] = _semijoin(
-                                relations[child], relations[node]
-                            )
-                if tracer.enabled:
-                    sp.set(relation_sizes=[len(r) for r in relations])
-        result = _join_phase(
-            query, db, atoms, links, relations, root, children, order, tracer
-        )
+            root = join_tree_root(links, n)
+            children = join_tree_children(links, n)
+            order = _topological(root, children)  # root first
+            if kernel == KERNEL_COLUMNAR:
+                result = _evaluate_columnar(
+                    query, db, atoms, links, root, children, order, pool, tracer
+                )
+            else:
+                result = _evaluate_legacy(
+                    query, db, atoms, links, root, children, order, pool, tracer
+                )
         if tracer.enabled:
             y_span.set(answers=len(result))
         return result
+
+
+def satisfiable_with_join_tree(
+    atoms: Sequence[Atom],
+    links: Sequence[Tuple[int, int]],
+    db: Database,
+) -> bool:
+    """Boolean fast path: is the Boolean CQ over ``atoms`` satisfiable?
+
+    After the bottom-up semi-join sweep the root relation is non-empty
+    iff the query is satisfiable, so the top-down sweep and the join
+    phase never run; an empty scan or an emptied relation exits
+    immediately (emptiness propagates to the root along the sweep).
+    This is the engine behind the Theorem 6/8/9 inner loops
+    (:meth:`repro.planner.planner.Planner.satisfiable_substituted`).
+    Under ``REPRO_KERNELS=legacy`` it falls back to full evaluation,
+    keeping that mode byte-for-byte the historical behaviour.
+    """
+    n = len(atoms)
+    if n == 0:
+        return False  # mirrors evaluate_with_join_tree's empty-query result
+    pool = current_pool()
+    kernel = choose_kernel(db, pool)
+    if kernel == KERNEL_LEGACY:
+        q = ConjunctiveQuery((), list(atoms))
+        return bool(evaluate_with_join_tree(q, db, atoms, links))
+    tracer = current_tracer()
+    with tracer.span("yannakakis", atoms=n, kernel=kernel, boolean=True) as y_span:
+        if kernel == KERNEL_SQL:
+            with tracer.span("yannakakis.sql") as sp:
+                result = bool(
+                    db.sql_yannakakis(atoms, links, (), exists_only=True)
+                )
+                if tracer.enabled:
+                    sp.set(satisfiable=result)
+        else:
+            result = _satisfiable_columnar(atoms, links, db, tracer)
+        if tracer.enabled:
+            y_span.set(satisfiable=result)
+        return result
+
+
+def _satisfiable_columnar(
+    atoms: Sequence[Atom],
+    links: Sequence[Tuple[int, int]],
+    db: Database,
+    tracer,
+) -> bool:
+    n = len(atoms)
+    root = join_tree_root(links, n)
+    children = join_tree_children(links, n)
+    order = _topological(root, children)
+    verdict: Optional[bool] = None
+    relations: List[Relation] = []
+    with tracer.span("yannakakis.scan") as sp:
+        for a in atoms:
+            rel = scan(a, db)
+            if not rel.rows:
+                verdict = False
+                break
+            relations.append(rel)
+        account_rows(max((len(r) for r in relations), default=0))
+        if tracer.enabled:
+            sp.set(relation_sizes=[len(r) for r in relations])
+    with tracer.span("yannakakis.semijoin_up") as sp:
+        if verdict is None:
+            for node in reversed(order):
+                for child in children[node]:
+                    relations[node] = semijoin(relations[node], relations[child])
+                if not relations[node].rows:
+                    verdict = False
+                    break
+            if verdict is None:
+                verdict = bool(relations[root].rows)
+        if tracer.enabled:
+            sp.set(relation_sizes=[len(r) for r in relations])
+    return verdict
+
+
+# ---------------------------------------------------------------------------
+# Columnar path (repro.relalg kernels)
+# ---------------------------------------------------------------------------
+def _evaluate_columnar(
+    query: ConjunctiveQuery,
+    db: Database,
+    atoms: Sequence[Atom],
+    links: Sequence[Tuple[int, int]],
+    root: int,
+    children: Dict[int, List[int]],
+    order: List[int],
+    pool,
+    tracer,
+) -> FrozenSet[Mapping]:
+    n = len(atoms)
+    with tracer.span("yannakakis.scan") as sp:
+        if pool is not None and n >= 2:
+            relations: List[Relation] = pool.map_tasks(
+                lambda a: scan(a, db), list(atoms)
+            )
+        else:
+            relations = [scan(a, db) for a in atoms]
+        account_rows(max(len(r) for r in relations))
+        if tracer.enabled:
+            sp.set(relation_sizes=[len(r) for r in relations])
+    levels = _levels(root, children, order) if pool is not None else None
+
+    def sj(node: int, other: int, left: Relation, right: Relation) -> Relation:
+        return semijoin(left, right)
+
+    # Phase 1: bottom-up semi-joins (children filter parents).
+    with tracer.span("yannakakis.semijoin_up") as sp:
+        if levels is not None:
+            _semijoin_up_parallel(pool, relations, children, levels, sj)
+        else:
+            for node in reversed(order):
+                for child in children[node]:
+                    relations[node] = semijoin(relations[node], relations[child])
+        if tracer.enabled:
+            sp.set(relation_sizes=[len(r) for r in relations])
+    # Phase 2: top-down semi-joins (parents filter children).
+    with tracer.span("yannakakis.semijoin_down") as sp:
+        if levels is not None:
+            _semijoin_down_parallel(pool, relations, links, children, levels, sj)
+        else:
+            for node in order:
+                for child in children[node]:
+                    relations[child] = semijoin(relations[child], relations[node])
+        if tracer.enabled:
+            sp.set(relation_sizes=[len(r) for r in relations])
+    # Phase 3: bottom-up join keeping (free ∪ parent-interface) variables.
+    frees = frozenset(query.free_variables)
+    atom_vars = [a.variables() for a in atoms]
+    subtree_vars = _subtree_variables(atom_vars, children, order)
+    parent_of: Dict[int, int] = {c: p for c, p in links}
+    partials: List[Optional[Relation]] = [None] * n
+    with tracer.span("yannakakis.join") as sp:
+        for node in reversed(order):
+            current = relations[node]
+            for child in children[node]:
+                current = hash_join(current, partials[child])
+            if node == root:
+                keep = frees
+            else:
+                interface = atom_vars[parent_of[node]]
+                keep = (frees & frozenset(subtree_vars[node])) | (
+                    frozenset(subtree_vars[node]) & interface
+                )
+            account_rows(len(current))
+            partials[node] = project(current, keep)
+        if tracer.enabled:
+            sp.set(partial_sizes=[len(p) for p in partials])
+    return to_mappings(partials[root])
+
+
+# ---------------------------------------------------------------------------
+# Legacy path (tuple-at-a-time over Mapping objects)
+# ---------------------------------------------------------------------------
+def _evaluate_legacy(
+    query: ConjunctiveQuery,
+    db: Database,
+    atoms: Sequence[Atom],
+    links: Sequence[Tuple[int, int]],
+    root: int,
+    children: Dict[int, List[int]],
+    order: List[int],
+    pool,
+    tracer,
+) -> FrozenSet[Mapping]:
+    n = len(atoms)
+    with tracer.span("yannakakis.scan") as sp:
+        if pool is not None and n >= 2:
+            relations: List[List[Mapping]] = pool.map_tasks(
+                lambda a: _scan(a, db), list(atoms)
+            )
+        else:
+            relations = [_scan(a, db) for a in atoms]
+        account_rows(max(len(r) for r in relations))
+        if tracer.enabled:
+            sp.set(relation_sizes=[len(r) for r in relations])
+    levels = _levels(root, children, order) if pool is not None else None
+    shared = _edge_shared_variables(atoms, links)
+
+    def sj(node: int, other: int, left: List[Mapping], right: List[Mapping]) -> List[Mapping]:
+        return _semijoin(left, right, shared[(node, other)])
+
+    # Phase 1: bottom-up semi-joins (children filter parents).
+    with tracer.span("yannakakis.semijoin_up") as sp:
+        if levels is not None:
+            _semijoin_up_parallel(pool, relations, children, levels, sj)
+        else:
+            for node in reversed(order):
+                for child in children[node]:
+                    relations[node] = sj(node, child, relations[node], relations[child])
+        if tracer.enabled:
+            sp.set(relation_sizes=[len(r) for r in relations])
+    # Phase 2: top-down semi-joins (parents filter children).
+    with tracer.span("yannakakis.semijoin_down") as sp:
+        if levels is not None:
+            _semijoin_down_parallel(pool, relations, links, children, levels, sj)
+        else:
+            for node in order:
+                for child in children[node]:
+                    relations[child] = sj(child, node, relations[child], relations[node])
+        if tracer.enabled:
+            sp.set(relation_sizes=[len(r) for r in relations])
+    return _join_phase(
+        query, db, atoms, links, relations, root, children, order, tracer
+    )
 
 
 def _join_phase(
@@ -140,22 +353,28 @@ def _join_phase(
     order: List[int],
     tracer,
 ) -> FrozenSet[Mapping]:
-    """Phase 3: bottom-up join keeping (free ∪ parent-interface) variables."""
+    """Phase 3: bottom-up join keeping (free ∪ parent-interface) variables.
+
+    Schemas are tracked structurally — a node's relation is total on its
+    atom's variables, a partial result on the ``keep`` set it was
+    projected to — so the join kernels never inspect row contents to
+    find the shared variables (robust for empty relations)."""
     n = len(atoms)
     frees = frozenset(query.free_variables)
     atom_vars = [a.variables() for a in atoms]
-    subtree_vars: List[Set[Variable]] = [set(v) for v in atom_vars]
-    for node in reversed(order):
-        for child in children[node]:
-            subtree_vars[node] |= subtree_vars[child]
+    subtree_vars = _subtree_variables(atom_vars, children, order)
     parent_of: Dict[int, int] = {c: p for c, p in links}
 
     partials: List[FrozenSet[Mapping]] = [frozenset()] * n
+    partial_schema: List[FrozenSet[Variable]] = [frozenset()] * n
     with tracer.span("yannakakis.join") as sp:
         for node in reversed(order):
             current: FrozenSet[Mapping] = frozenset(relations[node])
+            schema = frozenset(atom_vars[node])
             for child in children[node]:
-                current = _join(current, partials[child])
+                join_on = tuple(sorted(schema & partial_schema[child]))
+                current = _join(current, partials[child], join_on)
+                schema |= partial_schema[child]
             if node == root:
                 keep = frees
             else:
@@ -165,6 +384,7 @@ def _join_phase(
                 )
             account_rows(len(current))
             partials[node] = frozenset(m.restrict(keep) for m in current)
+            partial_schema[node] = schema & keep
         if tracer.enabled:
             sp.set(partial_sizes=[len(p) for p in partials])
     return partials[root]
@@ -183,25 +403,35 @@ def _scan(a: Atom, db: Database) -> List[Mapping]:
     return out
 
 
-def _semijoin(left: List[Mapping], right: Iterable[Mapping]) -> List[Mapping]:
-    """``left ⋉ right`` on their common variables."""
+def _semijoin(
+    left: List[Mapping],
+    right: Iterable[Mapping],
+    shared: Sequence[Variable],
+) -> List[Mapping]:
+    """``left ⋉ right`` on ``shared`` (the schemas' common variables,
+    supplied by the caller from the atoms/plan — not derived from row
+    contents, so empty and boundary relations behave structurally)."""
     right = list(right)
-    if not left or not right:
+    if not right:
         return []
-    shared = tuple(sorted(left[0].domain() & right[0].domain()))
     if not shared:
         return list(left)
+    shared = tuple(shared)
     keys = {tuple(m[v] for v in shared) for m in right}
     return [m for m in left if tuple(m[v] for v in shared) in keys]
 
 
-def _join(left: Iterable[Mapping], right: Iterable[Mapping]) -> FrozenSet[Mapping]:
-    """Natural join of two sets of mappings (hash join on shared vars)."""
+def _join(
+    left: Iterable[Mapping],
+    right: Iterable[Mapping],
+    shared: Sequence[Variable],
+) -> FrozenSet[Mapping]:
+    """Natural join on ``shared`` (hash join; schemas from the caller)."""
     left = list(left)
     right = list(right)
     if not left or not right:
         return frozenset()
-    shared = tuple(sorted(left[0].domain() & right[0].domain()))
+    shared = tuple(shared)
     buckets: Dict[Tuple[Constant, ...], List[Mapping]] = {}
     for m in right:
         buckets.setdefault(tuple(m[v] for v in shared), []).append(m)
@@ -223,6 +453,33 @@ def _topological(root: int, children: Dict[int, List[int]]) -> List[int]:
     return order
 
 
+def _subtree_variables(
+    atom_vars: Sequence[FrozenSet[Variable]],
+    children: Dict[int, List[int]],
+    order: List[int],
+) -> List[Set[Variable]]:
+    """Per node, the variables of its join-tree subtree."""
+    subtree: List[Set[Variable]] = [set(v) for v in atom_vars]
+    for node in reversed(order):
+        for child in children[node]:
+            subtree[node] |= subtree[child]
+    return subtree
+
+
+def _edge_shared_variables(
+    atoms: Sequence[Atom], links: Sequence[Tuple[int, int]]
+) -> Dict[Tuple[int, int], Tuple[Variable, ...]]:
+    """The shared variables of every join-tree edge, both orientations —
+    computed once per edge from the atoms (the structural schemas)."""
+    var_sets = [a.variables() for a in atoms]
+    shared: Dict[Tuple[int, int], Tuple[Variable, ...]] = {}
+    for child, parent in links:
+        common = tuple(sorted(var_sets[child] & var_sets[parent]))
+        shared[(child, parent)] = common
+        shared[(parent, child)] = common
+    return shared
+
+
 # ---------------------------------------------------------------------------
 # Level-parallel semi-join sweeps (repro.parallel)
 # ---------------------------------------------------------------------------
@@ -242,18 +499,20 @@ def _levels(
 
 def _semijoin_up_parallel(
     pool,
-    relations: List[List[Mapping]],
+    relations: List,
     children: Dict[int, List[int]],
     levels: List[List[int]],
+    sj,
 ) -> None:
     """Phase 1, deepest level first.  A node's pass folds semi-joins with
     its (already-final, one level deeper) children, so nodes within a
-    level are independent — each level is one fan-out."""
+    level are independent — each level is one fan-out.  ``sj(node,
+    other, left, right)`` is the kernel (columnar or legacy)."""
 
-    def filter_by_children(node: int) -> List[Mapping]:
+    def filter_by_children(node: int):
         rel = relations[node]
         for child in children[node]:
-            rel = _semijoin(rel, relations[child])
+            rel = sj(node, child, rel, relations[child])
         return rel
 
     for level in reversed(levels):
@@ -267,18 +526,19 @@ def _semijoin_up_parallel(
 
 def _semijoin_down_parallel(
     pool,
-    relations: List[List[Mapping]],
+    relations: List,
     links: Sequence[Tuple[int, int]],
     children: Dict[int, List[int]],
     levels: List[List[int]],
+    sj,
 ) -> None:
     """Phase 2, root level first.  Each node of a level is filtered by its
     (already-filtered, one level up) parent — again one fan-out per
     level."""
     parent_of: Dict[int, int] = {c: p for c, p in links}
 
-    def filter_by_parent(node: int) -> List[Mapping]:
-        return _semijoin(relations[node], relations[parent_of[node]])
+    def filter_by_parent(node: int):
+        return sj(node, parent_of[node], relations[node], relations[parent_of[node]])
 
     for level in levels[1:]:
         if len(level) >= 2:

@@ -565,7 +565,8 @@ class Session:
                 n_answers = len(self.query(p).answers)
                 mode = "query"
         return build_report(
-            p, profile, tracer, self.planner, n_answers=n_answers, mode=mode
+            p, profile, tracer, self.planner, n_answers=n_answers, mode=mode,
+            db=self.database,
         )
 
     def stats(self) -> Dict[str, object]:

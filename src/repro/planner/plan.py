@@ -34,9 +34,15 @@ class QueryPlan:
     profile:
         The memoized structural analysis (join tree / decomposition) the
         engine consumes — shared with every other plan for this shape.
+    kernel:
+        For Yannakakis plans, the resolved relational kernel (``sql`` /
+        ``columnar`` / ``legacy``, see :mod:`repro.relalg.config`) the
+        run will use against the database the plan was built for;
+        ``None`` for the other engines (they evaluate through their own
+        decomposition machinery before reaching the kernels).
     """
 
-    __slots__ = ("fingerprint", "engine", "theorem", "profile")
+    __slots__ = ("fingerprint", "engine", "theorem", "profile", "kernel")
 
     def __init__(
         self,
@@ -44,15 +50,20 @@ class QueryPlan:
         engine: str,
         theorem: str,
         profile: StructuralProfile,
+        kernel: Optional[str] = None,
     ):
         self.fingerprint = fingerprint
         self.engine = engine
         self.theorem = theorem
         self.profile = profile
+        self.kernel = kernel
 
     def describe(self) -> str:
         """One-line EXPLAIN: engine plus justification."""
-        return "%s — %s" % (self.engine, self.theorem)
+        base = "%s — %s" % (self.engine, self.theorem)
+        if self.kernel is not None:
+            base += " [kernel=%s]" % self.kernel
+        return base
 
     def width_note(self) -> Optional[str]:
         """A short note on the width parameters behind the decision."""

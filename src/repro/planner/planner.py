@@ -59,8 +59,9 @@ from ..cqalgs.structured import (
     evaluate_bounded_hypertreewidth,
     evaluate_bounded_treewidth,
 )
-from ..cqalgs.yannakakis import evaluate_with_join_tree
+from ..cqalgs.yannakakis import evaluate_with_join_tree, satisfiable_with_join_tree
 from ..hypergraphs.treedecomp import TreeDecomposition
+from ..relalg.config import default_kernel
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.tracer import current_tracer
 from ..wdpt.wdpt import WDPT
@@ -182,12 +183,21 @@ class Planner:
     # ------------------------------------------------------------------
     # Planning and execution
     # ------------------------------------------------------------------
-    def plan_cq(self, query: ConjunctiveQuery) -> QueryPlan:
-        """The plan for ``query``: engine + justification + structures."""
-        profile = self.profile_cq(query)
-        return self.plan_for_profile(query.structural_fingerprint(), profile)
+    def plan_cq(self, query: ConjunctiveQuery, db: Optional[Database] = None) -> QueryPlan:
+        """The plan for ``query``: engine + justification + structures.
 
-    def plan_for_profile(self, fingerprint: str, profile: StructuralProfile) -> QueryPlan:
+        ``db`` (optional) lets the plan resolve the relational kernel a
+        Yannakakis run would use against that database (SQL pushdown is
+        backend-dependent)."""
+        profile = self.profile_cq(query)
+        return self.plan_for_profile(query.structural_fingerprint(), profile, db)
+
+    def plan_for_profile(
+        self,
+        fingerprint: str,
+        profile: StructuralProfile,
+        db: Optional[Database] = None,
+    ) -> QueryPlan:
         """The routing decision for an already-profiled atom set."""
         self.metrics.counter("planner.plans_built").inc()
         if profile.is_acyclic:
@@ -196,6 +206,7 @@ class Planner:
                 ENGINE_YANNAKAKIS,
                 "Theorem 3, k=1 (HW(1) = AC): Yannakakis over the memoized join tree",
                 profile,
+                kernel=default_kernel(db),
             )
         if profile.treewidth_upper <= self.tw_cutoff:
             return QueryPlan(
@@ -214,7 +225,9 @@ class Planner:
 
     def evaluate_cq(self, query: ConjunctiveQuery, db: Database) -> FrozenSet:
         """``q(D)`` through the plan-aware router (the ``auto`` method)."""
-        plan = self.plan_cq(query)
+        plan = self.plan_cq(query, db)
+        if plan.kernel is not None:
+            self.record_kernel(plan.kernel)
         start = time.perf_counter()
         try:
             with current_tracer().span("planner.evaluate_cq", engine=plan.engine):
@@ -241,6 +254,22 @@ class Planner:
         self.metrics.counter("planner.engine.selected", labels).inc()
         self.metrics.counter("planner.engine_seconds").inc(seconds)
         self.metrics.histogram("planner.engine_latency", labels=labels).observe(seconds)
+
+    def record_kernel(self, kernel: str) -> None:
+        """Record which relational kernel (``sql``/``columnar``/``legacy``)
+        a Yannakakis run resolved to — a labeled counter family, mirroring
+        :meth:`record_engine`."""
+        self.metrics.counter("planner.kernel.selected", {"kernel": kernel}).inc()
+
+    @property
+    def kernel_selections(self) -> Dict[str, int]:
+        return {
+            kernel: int(count)
+            for kernel, count in self.metrics.labeled_values(
+                "planner.kernel.selected", "kernel"
+            ).items()
+            if count
+        }
 
     #: Backwards-compatible alias (pre-telemetry callers).
     _record_engine = record_engine
@@ -283,14 +312,17 @@ class Planner:
             finally:
                 self.record_engine(method, time.perf_counter() - start)
             raise ValueError("unknown method %r" % (method,))
-        plan = self.plan_for_profile("", profile)
+        plan = self.plan_for_profile("", profile, db)
+        if plan.kernel is not None:
+            self.record_kernel(plan.kernel)
         start = time.perf_counter()
         try:
             with current_tracer().span("planner.satisfiable", engine=plan.engine):
                 if plan.engine == ENGINE_YANNAKAKIS:
-                    q = ConjunctiveQuery((), atoms)
-                    return bool(
-                        evaluate_with_join_tree(q, db, atoms, profile.join_tree)
+                    # Boolean fast path: the bottom-up semi-join sweep
+                    # alone decides satisfiability, with early exit.
+                    return satisfiable_with_join_tree(
+                        atoms, profile.join_tree, db
                     )
                 if plan.engine == ENGINE_TREEWIDTH:
                     q = ConjunctiveQuery((), atoms)
@@ -333,6 +365,7 @@ class Planner:
             "explain_cache": self.explains.stats(),
             "subtree_profiles": {"hits": subtree_hits, "misses": subtree_misses},
             "engine_selections": dict(self.engine_selections),
+            "kernel_selections": dict(self.kernel_selections),
             "plans_built": self.plans_built,
             "analysis_seconds": self.analysis_seconds,
             "engine_seconds": self.engine_seconds,

@@ -1,0 +1,55 @@
+"""Columnar relation kernels: the set-oriented substrate of the
+evaluation stack (ROADMAP item 2).
+
+:mod:`repro.relalg.relation` defines the :class:`Relation`
+representation and the kernels (``scan``/``semijoin``/``hash_join``/
+``project``/``dedup``); :mod:`repro.relalg.config` resolves which
+execution path — columnar, legacy Mapping, or whole-tree SQL pushdown —
+serves a given query (``REPRO_KERNELS``).
+"""
+
+from .config import (
+    KERNEL_COLUMNAR,
+    KERNEL_LEGACY,
+    KERNEL_SQL,
+    KERNELS_ENV,
+    MODE_AUTO,
+    MODE_COLUMNAR,
+    MODE_LEGACY,
+    choose_kernel,
+    default_kernel,
+    force_kernels,
+    kernel_mode,
+)
+from .relation import (
+    Relation,
+    dedup,
+    from_mappings,
+    hash_join,
+    project,
+    scan,
+    semijoin,
+    to_mappings,
+)
+
+__all__ = [
+    "Relation",
+    "scan",
+    "semijoin",
+    "hash_join",
+    "project",
+    "dedup",
+    "from_mappings",
+    "to_mappings",
+    "choose_kernel",
+    "default_kernel",
+    "force_kernels",
+    "kernel_mode",
+    "KERNELS_ENV",
+    "KERNEL_SQL",
+    "KERNEL_COLUMNAR",
+    "KERNEL_LEGACY",
+    "MODE_AUTO",
+    "MODE_COLUMNAR",
+    "MODE_LEGACY",
+]

@@ -1,0 +1,103 @@
+"""Kernel selection for the relational-algebra layer.
+
+Three execution paths implement the same relational operations:
+
+* ``columnar`` — the set-oriented kernels of
+  :mod:`repro.relalg.relation`: explicit variable schemas, tuple rows,
+  shared-variable layouts computed once per join-tree edge;
+* ``legacy`` — the historical tuple-at-a-time path over immutable
+  :class:`~repro.core.mappings.Mapping` objects;
+* ``sql`` — the whole-tree SQL pushdown of
+  :meth:`repro.storage.sqlite.SQLiteBackend.sql_yannakakis` (only
+  available when the database is SQLite-backed).
+
+The **mode** is user-facing policy, read from the ``REPRO_KERNELS``
+environment variable (or forced programmatically with
+:func:`force_kernels`):
+
+* ``auto`` (default) — SQL pushdown when the backend supports it and no
+  worker pool is installed, otherwise the columnar kernels;
+* ``columnar`` — always the columnar Python kernels (even on SQLite);
+* ``legacy`` — always the historical Mapping path.
+
+The **kernel** is the resolved per-execution choice (``sql`` /
+``columnar`` / ``legacy``), computed by :func:`choose_kernel` from the
+mode plus the database's capabilities; it is recorded in plans, traces,
+and the obslog so operators can see which path served a query.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Environment variable naming the kernel mode.
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: User-facing modes.
+MODE_AUTO = "auto"
+MODE_COLUMNAR = "columnar"
+MODE_LEGACY = "legacy"
+MODES = (MODE_AUTO, MODE_COLUMNAR, MODE_LEGACY)
+
+#: Resolved per-execution kernels.
+KERNEL_SQL = "sql"
+KERNEL_COLUMNAR = "columnar"
+KERNEL_LEGACY = "legacy"
+
+#: Programmatic override (tests, benchmarks); ``None`` defers to the env.
+_forced: Optional[str] = None
+
+
+def kernel_mode() -> str:
+    """The active kernel mode: the :func:`force_kernels` override when
+    one is installed, else ``REPRO_KERNELS``, else ``auto``."""
+    if _forced is not None:
+        return _forced
+    raw = os.environ.get(KERNELS_ENV, MODE_AUTO).strip().lower() or MODE_AUTO
+    if raw not in MODES:
+        raise ValueError(
+            "%s=%r is not a kernel mode (expected one of %s)"
+            % (KERNELS_ENV, raw, ", ".join(MODES))
+        )
+    return raw
+
+
+@contextmanager
+def force_kernels(mode: str) -> Iterator[None]:
+    """Force the kernel mode for the dynamic extent of the block,
+    overriding ``REPRO_KERNELS`` — the parity tests and the kernel
+    microbenchmarks pin each path with this."""
+    if mode not in MODES:
+        raise ValueError("unknown kernel mode %r (expected one of %s)" % (mode, ", ".join(MODES)))
+    global _forced
+    previous = _forced
+    _forced = mode
+    try:
+        yield
+    finally:
+        _forced = previous
+
+
+def choose_kernel(db: object, pool: object = None) -> str:
+    """Resolve the mode against the database's capabilities.
+
+    SQL pushdown is only chosen in ``auto`` mode, when the backend
+    advertises :attr:`supports_sql_yannakakis` and no worker pool is
+    installed (the level-parallel sweeps are a Python-side feature).
+    """
+    mode = kernel_mode()
+    if mode == MODE_LEGACY:
+        return KERNEL_LEGACY
+    if mode == MODE_COLUMNAR:
+        return KERNEL_COLUMNAR
+    if pool is None and getattr(db, "supports_sql_yannakakis", False):
+        return KERNEL_SQL
+    return KERNEL_COLUMNAR
+
+
+def default_kernel(db: object = None) -> str:
+    """The kernel a plain (pool-less) execution against ``db`` would use
+    right now — what EXPLAIN and the obslog stamp on plans."""
+    return choose_kernel(db, None)

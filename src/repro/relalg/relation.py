@@ -1,0 +1,188 @@
+"""Columnar relations and set-oriented kernels.
+
+The evaluation stack's inner loops — Yannakakis' semi-join sweeps, the
+join/projection phase, the per-node extension steps of the WDPT
+evaluators — operate on *relations over variables*: sets of bindings of
+a fixed variable set.  The historical representation is one immutable
+:class:`~repro.core.mappings.Mapping` per binding, which re-derives the
+shared-variable layout of every operation from row contents and pays a
+hash + dict per row per operation.
+
+A :class:`Relation` instead carries an explicit **schema** — a tuple of
+variables, fixed at creation — and its bindings as plain value tuples
+aligned with that schema.  The kernels below (:func:`scan`,
+:func:`semijoin`, :func:`hash_join`, :func:`project`, :func:`dedup`)
+resolve variable positions against the schemas **once per call** (i.e.
+once per join-tree edge, not once per row) and then run tight loops over
+the tuple arrays.  Conversion to and from ``Mapping`` happens only at
+API boundaries (:func:`from_mappings` / :func:`to_mappings`).
+
+Kernel semantics match the legacy Mapping path exactly, including the
+boundary cases the parity suite pins down:
+
+* a semi-join against an **empty** right side is empty, even when the
+  two schemas share no variable;
+* a semi-join with **no shared variables** against a non-empty right
+  side keeps the left side unchanged;
+* relations over the empty schema are Boolean: one zero-length row for
+  *true*, no rows for *false*.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core.atoms import Atom
+from ..core.mappings import Mapping
+from ..core.terms import Constant, Variable
+
+#: One binding: constants aligned with the owning relation's schema.
+Row = Tuple[Constant, ...]
+
+
+class Relation:
+    """A set of bindings of a fixed variable tuple.
+
+    ``schema`` orders the variables; ``rows`` holds one constant tuple
+    per binding, aligned with the schema.  Rows are duplicate-free by
+    construction in every kernel below.  The positional index
+    (variable → column) is computed once at construction and shared by
+    every kernel invocation against this relation.
+    """
+
+    __slots__ = ("schema", "rows", "index")
+
+    def __init__(self, schema: Sequence[Variable], rows: Iterable[Row] = ()):
+        self.schema: Tuple[Variable, ...] = tuple(schema)
+        self.rows: List[Row] = list(rows)
+        self.index: Dict[Variable, int] = {v: i for i, v in enumerate(self.schema)}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __repr__(self) -> str:
+        return "Relation(%s, %d rows)" % (
+            "(%s)" % ", ".join(repr(v) for v in self.schema),
+            len(self.rows),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+def scan(pattern: Atom, db) -> Relation:
+    """The relation of ``pattern`` over ``db``: the variable bindings of
+    its matching facts, schema sorted by variable repr (the same order
+    the SQL pushdown uses, so layouts agree across paths)."""
+    schema = sorted(pattern.variables(), key=repr)
+    if not schema:
+        # Ground pattern: Boolean relation (all matches project to ()).
+        for _ in db.match(pattern):
+            return Relation((), [()])
+        return Relation((), [])
+    positions = [
+        next(i for i, arg in enumerate(pattern.args) if arg == v) for v in schema
+    ]
+    rows: List[Row] = []
+    for fact in db.match(pattern):
+        args = fact.args
+        rows.append(tuple(args[i] for i in positions))
+    # Distinct facts matching a pattern always differ at some variable
+    # position, so the projection is already duplicate-free.
+    return Relation(schema, rows)
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """``left ⋉ right`` on the schemas' common variables (legacy edge
+    semantics: empty right ⇒ empty result; no shared variables against a
+    non-empty right ⇒ ``left`` unchanged)."""
+    if not right.rows:
+        return Relation(left.schema, [])
+    shared = [v for v in left.schema if v in right.index]
+    if not shared:
+        return left
+    if not left.rows:
+        return Relation(left.schema, [])
+    if len(shared) == 1:
+        li = left.index[shared[0]]
+        ri = right.index[shared[0]]
+        keys: Set = {row[ri] for row in right.rows}
+        return Relation(left.schema, [row for row in left.rows if row[li] in keys])
+    lpos = [left.index[v] for v in shared]
+    rpos = [right.index[v] for v in shared]
+    key_set: Set[Row] = {tuple(row[i] for i in rpos) for row in right.rows}
+    return Relation(
+        left.schema,
+        [row for row in left.rows if tuple(row[i] for i in lpos) in key_set],
+    )
+
+
+def hash_join(left: Relation, right: Relation) -> Relation:
+    """Natural join; output schema is ``left.schema`` followed by the
+    right-only variables.  The join of duplicate-free inputs is
+    duplicate-free (a result row determines both input rows), so no
+    dedup pass is needed."""
+    shared = [v for v in left.schema if v in right.index]
+    extra = [(v, right.index[v]) for v in right.schema if v not in left.index]
+    schema = left.schema + tuple(v for v, _ in extra)
+    if not left.rows or not right.rows:
+        return Relation(schema, [])
+    extra_pos = [i for _, i in extra]
+    rpos = [right.index[v] for v in shared]
+    buckets: Dict[Row, List[Row]] = {}
+    for row in right.rows:
+        key = tuple(row[i] for i in rpos)
+        buckets.setdefault(key, []).append(tuple(row[i] for i in extra_pos))
+    lpos = [left.index[v] for v in shared]
+    rows: List[Row] = []
+    for row in left.rows:
+        matches = buckets.get(tuple(row[i] for i in lpos))
+        if matches:
+            rows.extend(row + ext for ext in matches)
+    return Relation(schema, rows)
+
+
+def project(rel: Relation, keep: Iterable[Variable]) -> Relation:
+    """Projection onto ``keep`` (missing variables dropped, like
+    ``Mapping.restrict``), with duplicate elimination."""
+    wanted = keep if isinstance(keep, (set, frozenset)) else set(keep)
+    columns = [v for v in rel.schema if v in wanted]
+    if len(columns) == len(rel.schema):
+        return rel
+    pos = [rel.index[v] for v in columns]
+    seen: Set[Row] = {tuple(row[i] for i in pos) for row in rel.rows}
+    return Relation(tuple(columns), seen)
+
+
+def dedup(rel: Relation) -> Relation:
+    """The relation with duplicate rows removed (idempotent; the other
+    kernels already produce duplicate-free output)."""
+    return Relation(rel.schema, set(rel.rows))
+
+
+# ---------------------------------------------------------------------------
+# Mapping boundary
+# ---------------------------------------------------------------------------
+def from_mappings(mappings: Iterable[Mapping], schema: Sequence[Variable]) -> Relation:
+    """Pack mappings (each total on ``schema``) into a relation."""
+    ordered = tuple(schema)
+    return Relation(ordered, {tuple(m[v] for v in ordered) for m in mappings})
+
+
+def to_mappings(rel: Relation) -> FrozenSet[Mapping]:
+    """Unpack a relation into the API-boundary ``Mapping`` set."""
+    schema = rel.schema
+    return frozenset(
+        Mapping.from_trusted(dict(zip(schema, row))) for row in rel.rows
+    )

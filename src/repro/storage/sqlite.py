@@ -17,12 +17,15 @@ Three capabilities the in-memory backend does not have:
   (via SQLite's online backup).  The catalog and the data version live
   in the file, so an re-opened database resumes its cache lineage
   (same ``backend_id``, same ``data_version``).
-* **SQL semi-join pushdown** — :meth:`~SQLiteBackend.sql_semijoin_reduce`
-  runs both semi-join sweeps of Yannakakis' algorithm inside SQLite
-  (per-atom scans into temp tables, then correlated ``DELETE … WHERE NOT
-  EXISTS`` passes along the join tree) and hands the reduced relations
-  back to the Python join phase.  ``repro.cqalgs.yannakakis`` uses it
-  automatically when the database is SQLite-backed.
+* **Whole-tree SQL pushdown** — :meth:`~SQLiteBackend.sql_yannakakis`
+  runs the *entire* Yannakakis join plan as a single SQL statement: one
+  CTE layer per phase (per-atom ``DISTINCT`` scans, bottom-up and
+  top-down ``EXISTS`` semi-join sweeps, then the bottom-up
+  join/projection phase), with only the final answer rows decoded back
+  into Python.  ``repro.cqalgs.yannakakis`` selects it automatically
+  when the database is SQLite-backed (``REPRO_KERNELS=auto``).  The
+  older :meth:`~SQLiteBackend.sql_semijoin_reduce` (temp-table sweeps,
+  Python join phase) is kept as a standalone building block.
 * **Concurrency** — the connection is shared across threads behind an
   ``RLock`` (``repro.parallel``'s thread pools may issue matches
   concurrently); pickling ships the facts, so process pools work too.
@@ -394,6 +397,236 @@ class SQLiteBackend(StorageBackend):
             return self._conn.execute(
                 "SELECT COUNT(*) FROM %s WHERE %s" % (tbl, where), params
             ).fetchone()[0]
+
+    # ------------------------------------------------------------------
+    # Whole-tree Yannakakis pushdown
+    # ------------------------------------------------------------------
+    #: Capability flag :func:`repro.relalg.config.choose_kernel` checks.
+    supports_sql_yannakakis = True
+
+    def sql_yannakakis(
+        self,
+        atoms: Sequence[Atom],
+        links: Sequence[Tuple[int, int]],
+        frees: Iterable[Variable],
+        exists_only: bool = False,
+    ):
+        """The whole Yannakakis join plan as **one** SQL statement.
+
+        ``atoms`` are the join-tree nodes, ``links`` its child→parent
+        edges, ``frees`` the output variables.  The statement is a
+        ``WITH`` chain of four CTE layers mirroring the algorithm:
+
+        * ``s<i>`` — the scan of atom ``i``: its distinct variable
+          bindings, columns ``v0, v1, …`` aligned with the variables
+          sorted by repr (ground atoms become the one-column Boolean
+          relation ``SELECT DISTINCT 1``; atoms over an absent relation
+          become a correctly-shaped empty relation);
+        * ``u<i>`` — the bottom-up sweep: ``s<i>`` filtered by an
+          ``EXISTS`` per child (leaves are skipped — their ``u`` *is*
+          their ``s``);
+        * ``d<i>`` — the top-down sweep: ``u<i>`` filtered by an
+          ``EXISTS`` against the parent's ``d`` (the root's ``d`` is its
+          ``u``);
+        * ``a<i>`` — the join phase: ``d<i>`` joined with the children's
+          ``a`` relations and projected (``DISTINCT``) onto the free
+          variables plus the interface to the parent.  The running-
+          intersection property of the join tree guarantees every
+          variable shared between sibling subtrees occurs in atom ``i``,
+          so all cross-child equalities route through ``t0`` and each
+          kept column has a unique source.
+
+        Returns the decoded answer mappings, or — with ``exists_only``,
+        the Boolean fast path — whether the root survives the bottom-up
+        sweep (the ``d``/``a`` layers are then not even generated).
+        """
+        n = len(atoms)
+        children: Dict[int, List[int]] = {i: [] for i in range(n)}
+        parent_of: Dict[int, int] = {}
+        for child, parent in links:
+            children[parent].append(child)
+            parent_of[child] = parent
+        roots = [i for i in range(n) if i not in parent_of]
+        if len(roots) != 1:
+            raise ReproError(
+                "sql_yannakakis needs a single-root join tree, got %d roots"
+                % len(roots)
+            )
+        root = roots[0]
+        order: List[int] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(children[node])
+
+        atom_vars: List[List[Variable]] = [
+            sorted(a.variables(), key=repr) for a in atoms
+        ]
+        var_sets = [set(vs) for vs in atom_vars]
+
+        ctes: List[Tuple[str, str]] = []
+        params: List[str] = []
+        #: current CTE name per node, advanced layer by layer
+        rel = ["s%d" % i for i in range(n)]
+
+        # --- scans -----------------------------------------------------
+        for i, a in enumerate(atoms):
+            vs = atom_vars[i]
+            plan = self._pattern_sql(a)
+            if plan is None:
+                cols = ", ".join(
+                    "NULL AS v%d" % j for j in range(len(vs))
+                ) or "1 AS one"
+                body = "SELECT %s WHERE 0" % cols
+            else:
+                tbl, where, scan_params = plan
+                params.extend(scan_params)
+                if vs:
+                    pos_of = {
+                        v: next(p for p, arg in enumerate(a.args) if arg == v)
+                        for v in vs
+                    }
+                    select = ", ".join(
+                        "c%d AS v%d" % (pos_of[v], j) for j, v in enumerate(vs)
+                    )
+                else:
+                    select = "1 AS one"
+                body = "SELECT DISTINCT %s FROM %s WHERE %s" % (
+                    select, tbl, where,
+                )
+            ctes.append((rel[i], body))
+
+        # --- bottom-up sweep -------------------------------------------
+        for node in reversed(order):
+            if not children[node]:
+                continue
+            conditions: List[str] = []
+            for child in children[node]:
+                shared = [v for v in atom_vars[node] if v in var_sets[child]]
+                sub = "SELECT 1 FROM %s" % rel[child]
+                if shared:
+                    sub += " WHERE " + " AND ".join(
+                        "%s.v%d = t.v%d"
+                        % (
+                            rel[child],
+                            atom_vars[child].index(v),
+                            atom_vars[node].index(v),
+                        )
+                        for v in shared
+                    )
+                conditions.append("EXISTS (%s)" % sub)
+            ctes.append(
+                (
+                    "u%d" % node,
+                    "SELECT * FROM %s t WHERE %s"
+                    % (rel[node], " AND ".join(conditions)),
+                )
+            )
+            rel[node] = "u%d" % node
+
+        if exists_only:
+            sql = "WITH %s SELECT EXISTS (SELECT 1 FROM %s)" % (
+                ", ".join("%s AS (%s)" % (name, body) for name, body in ctes),
+                rel[root],
+            )
+            with self._lock:
+                return bool(self._conn.execute(sql, params).fetchone()[0])
+
+        # --- top-down sweep --------------------------------------------
+        for node in order:
+            if node == root:
+                continue
+            parent = parent_of[node]
+            shared = [v for v in atom_vars[node] if v in var_sets[parent]]
+            sub = "SELECT 1 FROM %s" % rel[parent]
+            if shared:
+                sub += " WHERE " + " AND ".join(
+                    "%s.v%d = t.v%d"
+                    % (
+                        rel[parent],
+                        atom_vars[parent].index(v),
+                        atom_vars[node].index(v),
+                    )
+                    for v in shared
+                )
+            ctes.append(
+                (
+                    "d%d" % node,
+                    "SELECT * FROM %s t WHERE EXISTS (%s)" % (rel[node], sub),
+                )
+            )
+            rel[node] = "d%d" % node
+
+        # --- join phase ------------------------------------------------
+        subtree: List[set] = [set(vs) for vs in var_sets]
+        for node in reversed(order):
+            for child in children[node]:
+                subtree[node] |= subtree[child]
+        free_set = set(frees)
+        a_schema: List[List[Variable]] = [[] for _ in range(n)]
+        for node in reversed(order):
+            if node == root:
+                keep = free_set & subtree[node]
+            else:
+                keep = (free_set & subtree[node]) | (
+                    subtree[node] & var_sets[parent_of[node]]
+                )
+            a_schema[node] = sorted(keep, key=repr)
+            source: List[str] = ["%s t0" % rel[node]]
+            for k, child in enumerate(children[node]):
+                alias = "t%d" % (k + 1)
+                join_on = [v for v in a_schema[child] if v in var_sets[node]]
+                condition = " AND ".join(
+                    "%s.v%d = t0.v%d"
+                    % (alias, a_schema[child].index(v), atom_vars[node].index(v))
+                    for v in join_on
+                ) or "1=1"
+                source.append(
+                    "JOIN a%d %s ON %s" % (child, alias, condition)
+                )
+            columns: List[str] = []
+            for j, v in enumerate(a_schema[node]):
+                if v in var_sets[node]:
+                    columns.append("t0.v%d AS v%d" % (atom_vars[node].index(v), j))
+                else:
+                    # Unique by the running-intersection property.
+                    k, child = next(
+                        (k, c)
+                        for k, c in enumerate(children[node])
+                        if v in subtree[c]
+                    )
+                    columns.append(
+                        "t%d.v%d AS v%d"
+                        % (k + 1, a_schema[child].index(v), j)
+                    )
+            ctes.append(
+                (
+                    "a%d" % node,
+                    "SELECT DISTINCT %s FROM %s"
+                    % (", ".join(columns) or "1 AS one", " ".join(source)),
+                )
+            )
+            rel[node] = "a%d" % node
+
+        sql = "WITH %s SELECT * FROM %s" % (
+            ", ".join("%s AS (%s)" % (name, body) for name, body in ctes),
+            rel[root],
+        )
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        out_schema = a_schema[root]
+        if not out_schema:
+            return frozenset([Mapping()]) if rows else frozenset()
+        return frozenset(
+            Mapping.from_trusted(
+                {
+                    v: Constant(decode_value(row[j]))
+                    for j, v in enumerate(out_schema)
+                }
+            )
+            for row in rows
+        )
 
     # ------------------------------------------------------------------
     # Yannakakis semi-join pushdown

@@ -7,9 +7,10 @@ one JSON-serialisable record per lifecycle event —
 * ``query.parse`` — the **stable query ID** (a prefix of the WDPT's
   structural fingerprint, so the same query shape gets the same ID across
   sessions and textual variants) plus parse/profile cache hits;
-* ``query.plan`` — engine chosen, theorem justification, and the class
-  memberships the routing was derived from (local treewidth, interface
-  width, global treewidth, projection-freeness);
+* ``query.plan`` — engine chosen, the relational kernel its CQ checks
+  resolve to (``sql``/``columnar``/``legacy``), theorem justification,
+  and the class memberships the routing was derived from (local
+  treewidth, interface width, global treewidth, projection-freeness);
 * ``query.complete`` — row count, wall/CPU seconds, resource usage;
 * ``query.budget`` — a soft resource budget was exceeded (warning);
 * ``query.error`` — the exception type and message;
@@ -299,11 +300,14 @@ class QueryObservation:
             },
         )
         profile = planner.explain_wdpt(p)
+        from ..relalg.config import default_kernel
+
         self.log.emit(
             "query.plan",
             op=self.op,
             query_id=self.query_id,
             engine=OP_ENGINES.get(self.op, self.op),
+            kernel=default_kernel(self.session.database),
             theorem=profile.eval_route(),
             classes={
                 "local_treewidth": profile.local_treewidth,
@@ -388,6 +392,7 @@ class QueryObservation:
         report = build_report(
             self.query, profile, tracer, planner,
             n_answers=self.n_rows, mode=self.op,
+            db=self.session.database,
         )
         return {
             "op": self.op,

@@ -23,17 +23,26 @@ enumeration; the polynomial algorithm for ``ℓ-C ∩ BI(c)`` lives in
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, FrozenSet, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from ..core.atoms import Atom
+from ..core.cq import ConjunctiveQuery
 from ..core.database import Database
 from ..core.mappings import Mapping, maximal_mappings
 from ..cqalgs.naive import homomorphisms as cq_homomorphisms
+from ..cqalgs.yannakakis import evaluate_with_join_tree
+from ..hypergraphs.gyo import join_tree_of_atoms
 from ..parallel.pool import WorkerPool, current_pool
+from ..relalg.config import MODE_LEGACY, kernel_mode
 from ..telemetry.metrics import NodeStatsCollector
 from ..telemetry.resources import account_rows
 from ..telemetry.tracer import current_tracer
 from .tree import ROOT
 from .wdpt import WDPT
+
+#: Per-node join-tree cache: node → (sorted atoms, links), or ``None``
+#: for labels the columnar extension cannot serve (cyclic hypergraph).
+NodeTrees = Dict[int, Optional[Tuple[Tuple[Atom, ...], Tuple[Tuple[int, int], ...]]]]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle at runtime
     from ..planner.profile import TreeProfile
@@ -61,6 +70,57 @@ def evaluate_reference(p: WDPT, db: Database) -> FrozenSet[Mapping]:
 # ---------------------------------------------------------------------------
 # Top-down procedural evaluator
 # ---------------------------------------------------------------------------
+def _node_homomorphisms(
+    p: WDPT,
+    db: Database,
+    node: int,
+    sigma: Mapping,
+    trees: Optional[NodeTrees],
+) -> Iterable[Mapping]:
+    """The homomorphisms of ``λ(node)`` extending ``sigma`` (each total on
+    ``vars(λ(node)) ∪ dom(sigma)``) — the per-node extension step of the
+    top-down evaluator.
+
+    With ``trees`` (the per-node join-tree cache) and an acyclic label,
+    the step runs set-at-a-time: ``sigma`` is substituted into the label
+    atoms and the remaining variables are evaluated as one full CQ
+    through the Yannakakis kernels (the join tree of the unsubstituted
+    label stays valid — instantiating variables only shrinks hyperedges).
+    Cyclic or empty labels, and ``trees is None`` (legacy kernel mode),
+    fall back to the historical backtracking search.
+    """
+    label = p.labels[node]
+    if trees is None or not label:
+        return cq_homomorphisms(label, db, pre_assignment=sigma)
+    entry = trees.get(node, False)
+    if entry is False:
+        atoms = tuple(sorted(set(label)))
+        links = join_tree_of_atoms(atoms)
+        entry = (atoms, tuple(links)) if links is not None else None
+        trees[node] = entry
+    if entry is None:
+        return cq_homomorphisms(label, db, pre_assignment=sigma)
+    atoms, links = entry
+    if len(sigma):
+        substituted = tuple(a.substitute(sigma) for a in atoms)
+    else:
+        substituted = atoms
+    frees: Set = set()
+    for a in substituted:
+        frees |= a.variables()
+    q = ConjunctiveQuery(tuple(sorted(frees)), substituted)
+    rows = evaluate_with_join_tree(q, db, substituted, links)
+    if not len(sigma):
+        return rows
+    base = sigma.as_dict()
+    out: List[Mapping] = []
+    for m in rows:
+        merged = dict(base)
+        merged.update(m.items())
+        out.append(Mapping.from_trusted(merged))
+    return out
+
+
 def _parallel_safe_nodes(p: WDPT, profile: "Optional[TreeProfile]") -> FrozenSet[int]:
     """The nodes this query may fan out at — the planner's marking when a
     profile is supplied, otherwise the same ≥2-children criterion computed
@@ -110,20 +170,24 @@ def maximal_homomorphisms(
     collector = NodeStatsCollector() if tracer.enabled else None
     pool = current_pool()
     safe = _parallel_safe_nodes(p, profile) if pool is not None else frozenset()
+    trees: Optional[NodeTrees] = {} if kernel_mode() != MODE_LEGACY else None
     out: Set[Mapping] = set()
     with tracer.span("wdpt.maximal_homomorphisms") as sp:
-        roots = list(cq_homomorphisms(p.labels[ROOT], db))
+        roots = list(_node_homomorphisms(p, db, ROOT, Mapping(), trees))
         if pool is not None and len(roots) >= 2:
             # Fan the root candidates out; each task explores its branch
             # sequentially (nested dispatch would run inline anyway).
             branches = pool.map_tasks(
-                lambda h: _branch_solutions(p, db, ROOT, h, collector), roots
+                lambda h: _branch_solutions(p, db, ROOT, h, collector, trees=trees),
+                roots,
             )
             for solutions in branches:
                 out.update(solutions)
         else:
             for h in roots:
-                out.update(_branch_solutions(p, db, ROOT, h, collector, pool, safe))
+                out.update(
+                    _branch_solutions(p, db, ROOT, h, collector, pool, safe, trees)
+                )
         account_rows(len(out))
         if collector is not None:
             collector.add(ROOT, candidates=len(roots), extensions=len(out))
@@ -139,15 +203,18 @@ def _child_solutions(
     collector: Optional[NodeStatsCollector],
     pool: "Optional[WorkerPool]",
     safe: FrozenSet[int],
+    trees: Optional[NodeTrees] = None,
 ) -> List[Mapping]:
     """The maximal extensions of ``sigma`` into ``child``'s subtree
     (empty when ``λ(child)`` admits none — the OPT branch fails)."""
     start = time.perf_counter() if collector is not None else 0.0
     candidates = 0
     solutions: List[Mapping] = []
-    for g in cq_homomorphisms(p.labels[child], db, pre_assignment=sigma):
+    for g in _node_homomorphisms(p, db, child, sigma, trees):
         candidates += 1
-        solutions.extend(_branch_solutions(p, db, child, g, collector, pool, safe))
+        solutions.extend(
+            _branch_solutions(p, db, child, g, collector, pool, safe, trees)
+        )
     if collector is not None:
         collector.add(
             child,
@@ -166,6 +233,7 @@ def _branch_solutions(
     collector: Optional[NodeStatsCollector] = None,
     pool: "Optional[WorkerPool]" = None,
     safe: FrozenSet[int] = frozenset(),
+    trees: Optional[NodeTrees] = None,
 ) -> List[Mapping]:
     """All maximal homomorphisms of the subtree under ``node`` that extend
     the node homomorphism ``h`` (``h`` is total on ``vars(node)``)."""
@@ -179,7 +247,7 @@ def _branch_solutions(
         per_child = pool.map_tasks(
             lambda child: _child_solutions(
                 p, db, child, h.restrict(node_vars & p.node_variables(child)),
-                collector, None, safe,
+                collector, None, safe, trees,
             ),
             children,
         )
@@ -192,7 +260,7 @@ def _branch_solutions(
     for child in children:
         sigma = h.restrict(node_vars & p.node_variables(child))
         child_solutions = _child_solutions(
-            p, db, child, sigma, collector, pool, safe
+            p, db, child, sigma, collector, pool, safe, trees
         )
         if not child_solutions:
             continue  # OPT branch fails: the answers keep h unextended

@@ -87,6 +87,7 @@ class WDPTProfile:
 
     def as_table(self) -> str:
         from ..benchharness.reporting import format_table
+        from ..relalg.config import kernel_mode
 
         rows = [
             ["tree nodes", self.tree_size],
@@ -98,6 +99,7 @@ class WDPTProfile:
             ["global treewidth (g-TW)", _fmt(self.global_treewidth)],
             ["global hypertreewidth", _fmt(self.global_hypertreewidth)],
             ["fingerprint", self.fingerprint[:12]],
+            ["kernel mode (REPRO_KERNELS)", kernel_mode()],
             ["EVAL route", self.eval_route()],
             ["PARTIAL/MAX-EVAL route", self.partial_eval_route()],
         ]

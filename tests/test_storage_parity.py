@@ -79,16 +79,22 @@ def test_decision_procedure_parity(seed):
         )
 
 
+@pytest.mark.parametrize("mode", ["auto", "columnar", "legacy"])
 @settings(max_examples=15, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10 ** 6),
     length=st.integers(min_value=1, max_value=4),
     rays=st.integers(min_value=1, max_value=3),
 )
-def test_acyclic_cq_parity_exercises_sql_pushdown(seed, length, rays):
+def test_acyclic_cq_parity_per_kernel_mode(mode, seed, length, rays):
+    # ``auto`` on SQLite is the whole-tree SQL pushdown; ``columnar`` and
+    # ``legacy`` pin the two Python kernels on both backends.
+    from repro.relalg.config import force_kernels
+
     mem, sql = _pair(seed, n_facts=30, domain_size=5)
-    for q in (path_cq(length), star_cq(rays)):
-        assert Planner().evaluate_cq(q, mem) == Planner().evaluate_cq(q, sql)
+    with force_kernels(mode):
+        for q in (path_cq(length), star_cq(rays)):
+            assert Planner().evaluate_cq(q, mem) == Planner().evaluate_cq(q, sql)
 
 
 @settings(max_examples=10, deadline=None)
