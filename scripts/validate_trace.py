@@ -8,7 +8,11 @@ Usage::
 
 Two formats:
 
-* ``chrome`` — a Chrome trace-event JSON file from the tracer;
+* ``chrome`` — a Chrome trace-event JSON file from the tracer.  Known
+  span attributes (``kernel``, ``engine``, ``trace_id``, ``est_rows``,
+  ``q_error``, … — see ``repro.telemetry.export.SPAN_ATTR_TYPES``) are
+  type-checked; attributes the validator does not know about are
+  accepted, so instrumentation can grow without breaking old validators;
 * ``obslog`` — a JSON-lines structured query log from
   :class:`repro.telemetry.obslog.QueryLog`.
 
@@ -28,7 +32,7 @@ _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"
 if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.telemetry.export import validate_chrome_trace  # noqa: E402
+from repro.telemetry.export import SPAN_ATTR_TYPES, validate_chrome_trace  # noqa: E402
 from repro.telemetry.obslog import validate_obslog  # noqa: E402
 
 
@@ -45,7 +49,14 @@ def validate_chrome_file(path):
     if problems:
         return problems, None
     events = payload["traceEvents"] if isinstance(payload, dict) else payload
-    return [], "%d trace events" % len(events)
+    typed = sum(
+        1
+        for event in events
+        if isinstance(event, dict)
+        and isinstance(event.get("args"), dict)
+        and any(attr in SPAN_ATTR_TYPES for attr in event["args"])
+    )
+    return [], "%d trace events, %d with typed attributes" % (len(events), typed)
 
 
 def validate_obslog_file(path):

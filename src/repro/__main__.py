@@ -7,6 +7,8 @@ Usage::
                              [--log-queries LOG.jsonl] [--slow-ms MS] [--jobs N]
                              [--backend {memory,sqlite}] [--store DB.sqlite]
                              [--save-db DB.sqlite] [--no-cache]
+                             [--stats-store STATS.json] [--serve-debug PORT]
+                             [--serve-seconds N]
     python -m repro analyze  QUERY  [TRIPLES.tsv]  [--trace-out trace.json]
     python -m repro metrics  [QUERY]  [TRIPLES.tsv]
     python -m repro serve-metrics  [TRIPLES.tsv]  [--port P] [--self-check]
@@ -31,10 +33,15 @@ Usage::
   and ``--no-cache`` disables the version-keyed result cache.
 * ``analyze`` runs EXPLAIN ANALYZE directly (over the paper's Example 2
   database when no triples file is given).
+  ``--stats-store STATS.json`` accumulates per-query-shape statistics
+  (resumed across runs), and ``--serve-debug PORT`` serves ``/metrics``,
+  ``/healthz`` and ``/debug/{queries,plans,stats}`` during the run
+  (``--serve-seconds N`` keeps serving after it finishes).
 * ``metrics`` evaluates a query (the paper's query (1) by default) and
   prints the planner's metrics in Prometheus text exposition format.
-* ``serve-metrics`` exposes ``/metrics`` + ``/healthz`` over HTTP
-  (``--self-check`` fetches its own endpoint once and exits, for CI).
+* ``serve-metrics`` exposes ``/metrics`` + ``/healthz`` + ``/debug/*``
+  over HTTP (``--self-check`` fetches its own endpoint once and exits,
+  for CI).
 * ``bench`` runs the named regression benchmarks
   (``repro.benchharness.regress``) and, with ``--jobs N > 1``, the
   parallel batch-scaling sweep; ``--out`` appends the point to a
@@ -114,7 +121,29 @@ def _make_obslog(args: argparse.Namespace):
         ) from exc
 
 
+def _make_stats_store(args: argparse.Namespace):
+    """A :class:`QueryStatsStore` from ``--stats-store`` (resumed from the
+    file when it exists), or ``None``."""
+    path = getattr(args, "stats_store", None)
+    if path is None:
+        return None
+    import os
+
+    from .telemetry.insight import QueryStatsStore
+
+    if os.path.exists(path):
+        try:
+            return QueryStatsStore.load(path)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                "cannot load stats store %s: %s" % (path, exc)
+            ) from exc
+    return QueryStatsStore()
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    import time
+
     from .engine import Session
 
     if args.triples is None and args.store is None:
@@ -123,14 +152,29 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
     p = _parse_any(args.query)
     obslog = _make_obslog(args)
+    stats_store = _make_stats_store(args)
     session = Session(
         _load_triples(args.triples) if args.triples is not None else None,
         obslog=obslog,
+        stats_store=stats_store,
         jobs=args.jobs,
         backend=args.backend,
         path=args.store,
         cache=not args.no_cache,
     )
+    server = None
+    if args.serve_debug is not None:
+        from .telemetry.promhttp import MetricsServer
+
+        server = MetricsServer(
+            session.planner.metrics,
+            port=args.serve_debug,
+            debug=session.debug_providers(),
+        ).start()
+        print(
+            "serving %s/metrics, %s/healthz and %s/debug"
+            % (server.url, server.url, server.url)
+        )
     try:
         if args.analyze or args.trace_out:
             report = session.analyze(p)
@@ -140,22 +184,30 @@ def cmd_run(args: argparse.Namespace) -> int:
             answers = sorted(session.query(p), key=repr)
         if args.save_db:
             _save_database(session.database, args.save_db)
+        print("%d answer(s) over %d facts:" % (len(answers), session.size))
+        for answer in answers:
+            print("   ", answer)
+        if report is not None and args.analyze:
+            print()
+            print(report.as_text())
+        if report is not None and args.trace_out:
+            _write_trace(report, args.trace_out)
+        if obslog is not None and args.log_queries:
+            print("wrote query log to %s" % args.log_queries)
+        if stats_store is not None:
+            stats_store.save(args.stats_store)
+            print("saved query stats to %s" % args.stats_store)
+        if args.save_db:
+            print("saved database to %s" % args.save_db)
+        if server is not None and args.serve_seconds > 0:
+            print("serving debug endpoints for %gs" % args.serve_seconds)
+            time.sleep(args.serve_seconds)
     finally:
+        if server is not None:
+            server.stop()
         session.close()
         if obslog is not None:
             obslog.close()
-    print("%d answer(s) over %d facts:" % (len(answers), session.size))
-    for answer in answers:
-        print("   ", answer)
-    if report is not None and args.analyze:
-        print()
-        print(report.as_text())
-    if report is not None and args.trace_out:
-        _write_trace(report, args.trace_out)
-    if obslog is not None and args.log_queries:
-        print("wrote query log to %s" % args.log_queries)
-    if args.save_db:
-        print("saved database to %s" % args.save_db)
     return 0
 
 
@@ -236,15 +288,23 @@ def cmd_serve_metrics(args: argparse.Namespace) -> int:
     session, p = _metrics_session(args)
     session.query(p)  # warm the registry so the exposition is non-empty
     server = MetricsServer(
-        session.planner.metrics, host=args.host, port=args.port
+        session.planner.metrics, host=args.host, port=args.port,
+        debug=session.debug_providers(),
     ).start()
-    print("serving %s/metrics and %s/healthz" % (server.url, server.url))
+    print(
+        "serving %s/metrics, %s/healthz and %s/debug"
+        % (server.url, server.url, server.url)
+    )
     try:
         if args.self_check:
             import urllib.request
 
             with urllib.request.urlopen(server.url + "/healthz") as response:
                 print("healthz:", response.read().decode())
+            with urllib.request.urlopen(
+                server.url + "/debug/queries"
+            ) as response:
+                print("debug/queries:", response.read().decode())
             with urllib.request.urlopen(server.url + "/metrics") as response:
                 print(response.read().decode(), end="")
             return 0
@@ -273,6 +333,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for name, bench in sorted(point["benchmarks"].items())
     ]
     print(format_table(["benchmark", "best-of-%d s" % args.repeats], rows))
+    est = point.get("estimator")
+    if est:
+        print(
+            "estimator q-error: p50 %.2f, p95 %.2f, max %.2f over %d node(s)"
+            % (est["p50"], est["p95"], est["max"], est["nodes"])
+        )
     if args.jobs > 1:
         jobs_list = sorted({1, *[j for j in (2, args.jobs) if j <= args.jobs]})
         scaling = measure_parallel_scaling(
@@ -376,6 +442,22 @@ def main(argv: Optional[list] = None) -> int:
     p_run.add_argument(
         "--no-cache", action="store_true",
         help="disable the version-keyed result cache",
+    )
+    p_run.add_argument(
+        "--stats-store", metavar="STATS.json", default=None,
+        help="accumulate per-query-shape statistics (latency, rows, "
+             "kernels, q-errors) into this JSON file — resumed when it "
+             "exists, so history persists across runs",
+    )
+    p_run.add_argument(
+        "--serve-debug", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /healthz and /debug/{queries,plans,stats} "
+             "on this port (0 = pick a free one) while the run executes",
+    )
+    p_run.add_argument(
+        "--serve-seconds", type=float, default=0.0, metavar="N",
+        help="with --serve-debug, keep serving N seconds after the run "
+             "finishes (so external clients can scrape; default: 0)",
     )
     p_run.set_defaults(func=cmd_run)
 

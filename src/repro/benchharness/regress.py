@@ -263,6 +263,45 @@ def measure_parallel_scaling(
 
 
 # ---------------------------------------------------------------------------
+# Estimator accuracy (q-error of the planner's cardinality estimates)
+# ---------------------------------------------------------------------------
+def measure_estimator_accuracy(backend: str = "memory") -> Dict[str, Any]:
+    """Per-node q-error distribution of the cardinality estimator over
+    the benchmark query families, via EXPLAIN ANALYZE.
+
+    Runs the paper's query (1) and the company-directory WDPT under
+    :meth:`repro.engine.Session.analyze` and pools every node's q-error
+    (``max(est/actual, actual/est)``).  The summary rides along in each
+    trajectory point, so estimator drift is visible in the perf history
+    the same way timings are — informational, not gated.
+    """
+    from ..analyze import _percentile
+    from ..engine import Session
+    from ..workloads.families import FIGURE1_QUERY_TEXT, example2_graph
+
+    errors: List[float] = []
+
+    def pool(report) -> None:
+        errors.extend(
+            row["q_error"] for row in report.rows
+            if row.get("q_error") is not None
+        )
+
+    with Session(example2_graph(), backend=backend, cache=False) as session:
+        pool(session.analyze(FIGURE1_QUERY_TEXT))
+    query, db, _ = _company_dp_pieces(backend)
+    with Session(db, cache=False) as session:
+        pool(session.analyze(query))
+    errors.sort()
+    return {
+        "nodes": len(errors),
+        "p50": _percentile(errors, 0.50),
+        "p95": _percentile(errors, 0.95),
+        "max": errors[-1] if errors else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Trajectory points
 # ---------------------------------------------------------------------------
 def build_point(
@@ -299,6 +338,7 @@ def build_point(
         },
         "benchmarks": benchmarks,
         "planner": _planner_summary(planner),
+        "estimator": measure_estimator_accuracy(backend),
     }
 
 

@@ -55,6 +55,7 @@ from ..relalg.config import (
     KERNEL_LEGACY,
     KERNEL_SQL,
     choose_kernel,
+    resolve_kernel,
 )
 from ..relalg.relation import (
     Relation,
@@ -97,14 +98,21 @@ def evaluate_with_join_tree(
     db: Database,
     atoms: Sequence[Atom],
     links: Sequence[Tuple[int, int]],
+    kernel: Optional[str] = None,
 ) -> FrozenSet[Mapping]:
-    """Yannakakis over an explicit join tree (``links``: child→parent)."""
+    """Yannakakis over an explicit join tree (``links``: child→parent).
+
+    ``kernel`` optionally carries the plan's advisory kernel preference
+    (the stats-store's historical winner); it is honored only when
+    feasible for this database and pool state
+    (:func:`~repro.relalg.config.resolve_kernel`).
+    """
     n = len(atoms)
     if n == 0:
         return frozenset()
     tracer = current_tracer()
     pool = current_pool()
-    kernel = choose_kernel(db, pool)
+    kernel = resolve_kernel(db, pool, preferred=kernel)
     with tracer.span("yannakakis", atoms=n, kernel=kernel) as y_span:
         if kernel == KERNEL_SQL:
             # SQLite-backed database: scans, both semi-join sweeps, and

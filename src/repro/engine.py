@@ -49,8 +49,9 @@ bumps the backend's data version so stale entries are never served.
 from __future__ import annotations
 
 import os
+import threading
 import time
-from typing import Dict, FrozenSet, Iterable, Optional, Union
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Union
 
 from .core.atoms import Atom
 from .core.database import Database
@@ -63,6 +64,7 @@ from .rdf.sparql import parse_sparql
 from .planner.planner import Planner
 from .storage import ResultCache, StorageBackend, to_backend
 from .storage.cache import DEFAULT_SIZE as DEFAULT_CACHE_SIZE
+from .telemetry.insight import STATS_SCHEMA, QueryStatsStore
 from .telemetry.obslog import QueryLog, QueryObservation
 from .telemetry.resources import ResourceBudget
 from .telemetry.tracer import Tracer, current_tracer, tracing
@@ -172,6 +174,11 @@ class Session:
       :class:`~repro.exceptions.ResourceBudgetExceeded`);
     * ``track_resources=`` — account wall/CPU/peak-rows per query even
       without budgets (``Result.resources``);
+    * ``stats_store=`` — a
+      :class:`~repro.telemetry.insight.QueryStatsStore` accumulating
+      per-query-shape execution history (latency, rows, cache hits,
+      kernel outcomes, q-errors); when set, the planner also consults it
+      to prefer the kernel that historically won for a fingerprint;
     * ``jobs=`` — worker count for parallel evaluation (:mod:`repro.parallel`);
       ``None``/``1`` keeps everything sequential;
     * ``executor=`` — the :meth:`run_batch` backend, ``"thread"``
@@ -199,6 +206,7 @@ class Session:
         obslog: Optional["QueryLog"] = None,
         budgets: Optional["ResourceBudget"] = None,
         track_resources: bool = False,
+        stats_store: Optional[QueryStatsStore] = None,
         jobs: Optional[int] = None,
         executor: str = "thread",
         backend: Optional[str] = None,
@@ -248,11 +256,26 @@ class Session:
         self.budgets = budgets
         #: Account resources even without budgets (``Result.resources``).
         self.track_resources = bool(track_resources or budgets is not None)
+        #: Per-query-shape execution history (``telemetry.insight``);
+        #: ``None`` disables stats accumulation.
+        self.stats_store = stats_store
+        if stats_store is not None and self.planner.stats_store is None:
+            self.planner.stats_store = stats_store
         #: Default worker count for parallel evaluation (``None`` = serial).
         self.jobs = jobs
         #: Default :meth:`run_batch` executor kind.
         self.executor = executor
         self._pools: Dict[object, WorkerPool] = {}
+        # Live observability state backing the /debug/queries endpoint:
+        # observations currently inside their ``with`` block, plus a
+        # bounded ring of finished ones.
+        self._in_flight: Dict[int, QueryObservation] = {}
+        self._recent_queries: List[Dict[str, Any]] = []
+        self._debug_lock = threading.Lock()
+        # Set by analyze() so EXPLAIN ANALYZE measures a real execution
+        # instead of a result-cache hit; thread-local, so concurrent
+        # queries on other threads keep their cache.
+        self._cache_bypass = threading.local()
 
     # ------------------------------------------------------------------
     # Worker pools (repro.parallel)
@@ -276,6 +299,8 @@ class Session:
                         self.budgets,
                         self.track_resources,
                         self.result_cache is not None,
+                        self.obslog is not None,
+                        self.stats_store is not None,
                     ),
                 )
             else:
@@ -361,16 +386,113 @@ class Session:
     # Evaluation
     # ------------------------------------------------------------------
     def _observe(self, op: str, query: Query) -> Optional[QueryObservation]:
-        """A per-call observation when obslog/budgets/resource tracking is
-        configured; ``None`` (the zero-overhead path) otherwise."""
-        if self.obslog is None and not self.track_resources:
+        """A per-call observation when obslog/budgets/resource tracking or
+        a stats store is configured; ``None`` (the zero-overhead path)
+        otherwise."""
+        if (
+            self.obslog is None
+            and not self.track_resources
+            and self.stats_store is None
+        ):
             return None
         return QueryObservation(self, op, query)
 
+    # ------------------------------------------------------------------
+    # Live query registry (/debug/queries)
+    # ------------------------------------------------------------------
+    #: How many finished queries :meth:`debug_queries` retains.
+    RECENT_QUERIES = 64
+
+    def _query_started(self, obs: QueryObservation) -> None:
+        """Register an observation as in flight (called on ``__enter__``)."""
+        with self._debug_lock:
+            self._in_flight[id(obs)] = obs
+
+    def _query_finished(
+        self, obs: QueryObservation, wall: float, error: Optional[str]
+    ) -> None:
+        """Move an observation from in-flight to the recent ring."""
+        record = {
+            "op": obs.op,
+            "query_id": obs.query_id,
+            "trace_id": obs.trace_id,
+            "rows": obs.n_rows,
+            "wall_seconds": wall,
+            "cache": obs.cache_outcome,
+            "error": error,
+        }
+        with self._debug_lock:
+            self._in_flight.pop(id(obs), None)
+            self._recent_queries.append(record)
+            if len(self._recent_queries) > self.RECENT_QUERIES:
+                del self._recent_queries[: len(self._recent_queries)
+                                         - self.RECENT_QUERIES]
+
+    def debug_queries(self) -> Dict[str, Any]:
+        """The ``/debug/queries`` payload: queries currently executing
+        (with their trace ids and elapsed time) plus the recent ring."""
+        now = time.perf_counter()
+        with self._debug_lock:
+            in_flight = [
+                {
+                    "op": obs.op,
+                    "query_id": obs.query_id,
+                    "trace_id": obs.trace_id,
+                    "elapsed_seconds": max(0.0, now - obs._start),
+                }
+                for obs in self._in_flight.values()
+            ]
+            recent = list(self._recent_queries)
+        return {"in_flight": in_flight, "recent": recent}
+
+    def debug_plans(self) -> Dict[str, Any]:
+        """The ``/debug/plans`` payload: the planner's EXPLAIN cache
+        joined with each shape's accumulated estimate accuracy."""
+        store = self.stats_store
+        plans = []
+        for key, profile in self.planner.explains.items_snapshot():
+            fingerprint = key if isinstance(key, str) else repr(key)
+            entry: Dict[str, Any] = {
+                "fingerprint": fingerprint[:16],
+                "eval_route": profile.eval_route(),
+                "partial_eval_route": profile.partial_eval_route(),
+            }
+            if store is not None:
+                snapshot = store.snapshot(fingerprint[:16])
+                if snapshot is not None:
+                    entry["executions"] = snapshot["executions"]
+                    entry["q_error"] = snapshot["q_error"]
+            plans.append(entry)
+        return {
+            "plans": plans,
+            "estimate_cache": self.planner.estimates.stats(),
+            "profile_cache": self.planner.profiles.stats(),
+        }
+
+    def debug_stats(self) -> Dict[str, Any]:
+        """The ``/debug/stats`` payload: the stats store dump (an empty
+        schema-stamped dump when no store is configured)."""
+        if self.stats_store is None:
+            return {"schema": STATS_SCHEMA, "queries": {}}
+        return self.stats_store.dump()
+
+    def debug_providers(self) -> Dict[str, Any]:
+        """Callables for :class:`~repro.telemetry.promhttp.MetricsServer`'s
+        ``/debug/*`` routes
+        (``MetricsServer(..., debug=session.debug_providers())``)."""
+        return {
+            "queries": self.debug_queries,
+            "plans": self.debug_plans,
+            "stats": self.debug_stats,
+        }
+
     def _cache_key(self, op: str, p: WDPT, extra=None):
         """The :class:`ResultCache` key of one evaluation call, or
-        ``None`` when caching is off."""
+        ``None`` when caching is off (or bypassed by ``analyze`` on this
+        thread — EXPLAIN ANALYZE must measure a real execution)."""
         if self.result_cache is None:
+            return None
+        if getattr(self._cache_bypass, "active", False):
             return None
         return ResultCache.key(
             op,
@@ -381,8 +503,12 @@ class Session:
         )
 
     def _note_cache(self, obs: Optional[QueryObservation], outcome: str) -> None:
-        """Emit a ``query.cache`` obslog record (hit or miss)."""
-        if obs is not None and obs.log is not None:
+        """Emit a ``query.cache`` obslog record (hit or miss) and note
+        the outcome on the observation for the stats store."""
+        if obs is None:
+            return
+        obs.cache_outcome = outcome
+        if obs.log is not None:
             obs.log.emit(
                 "query.cache",
                 op=obs.op,
@@ -541,6 +667,10 @@ class Session:
           satisfiability-check counts;
         * ``maximal=True`` — the ``p_m(D)`` semantics.
 
+        The result cache is bypassed for the analyzed call (on this
+        thread only): EXPLAIN ANALYZE always measures a real execution,
+        never a cache hit with nothing to report.
+
         Returns an :class:`repro.analyze.AnalyzeReport`; ``print(report)``
         renders the tree-shaped text form.
         """
@@ -550,20 +680,24 @@ class Session:
         profile = self.planner.explain_wdpt(p)
         tracer = Tracer()
         n_answers: Optional[int] = None
-        with tracing(tracer):
-            if candidate is not None:
-                start = time.perf_counter()
-                self.ask(p, candidate, method="auto")
-                self.planner.record_engine(
-                    "wdpt-dp", time.perf_counter() - start
-                )
-                mode = "ask"
-            elif maximal:
-                n_answers = len(self.query_maximal(p).answers)
-                mode = "query_maximal"
-            else:
-                n_answers = len(self.query(p).answers)
-                mode = "query"
+        self._cache_bypass.active = True
+        try:
+            with tracing(tracer):
+                if candidate is not None:
+                    start = time.perf_counter()
+                    self.ask(p, candidate, method="auto")
+                    self.planner.record_engine(
+                        "wdpt-dp", time.perf_counter() - start
+                    )
+                    mode = "ask"
+                elif maximal:
+                    n_answers = len(self.query_maximal(p).answers)
+                    mode = "query_maximal"
+                else:
+                    n_answers = len(self.query(p).answers)
+                    mode = "query"
+        finally:
+            self._cache_bypass.active = False
         return build_report(
             p, profile, tracer, self.planner, n_answers=n_answers, mode=mode,
             db=self.database,

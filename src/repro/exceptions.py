@@ -60,13 +60,24 @@ class ResourceBudgetExceeded(ReproError):
     intermediate-relation cardinality) configured on the session — see
     :class:`repro.telemetry.resources.ResourceBudget`.  The partially
     computed result is discarded; the exception carries the offending
-    dimension, the limit, and the observed value."""
+    dimension, the limit, the observed value, and — when the query ran
+    under a trace context — the ``trace_id`` correlating the kill with
+    its obslog lines and spans."""
 
-    def __init__(self, dimension: str, limit: float, observed: float):
+    def __init__(
+        self,
+        dimension: str,
+        limit: float,
+        observed: float,
+        trace_id: "str | None" = None,
+    ):
         self.dimension = dimension
         self.limit = limit
         self.observed = observed
-        super().__init__(
-            "hard %s budget exceeded: observed %g > limit %g"
-            % (dimension, observed, limit)
+        self.trace_id = trace_id
+        message = "hard %s budget exceeded: observed %g > limit %g" % (
+            dimension, observed, limit,
         )
+        if trace_id is not None:
+            message += " [trace %s]" % trace_id
+        super().__init__(message)

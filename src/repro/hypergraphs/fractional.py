@@ -24,7 +24,7 @@ as ghw.  We still expose it alongside an explicit
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Sequence
+from typing import Dict, FrozenSet, Sequence, Tuple
 
 from ..exceptions import BudgetExceededError
 from .hypergraph import Edge, Hypergraph, Vertex
@@ -54,7 +54,43 @@ def fractional_cover_number(H: Hypergraph, bag: FrozenSet[Vertex]) -> float:
     return _exact_cover_small(bag, edges)
 
 
+def fractional_cover_weights(
+    H: Hypergraph, bag: FrozenSet[Vertex]
+) -> Tuple[float, Dict[Edge, float]]:
+    """``ρ*(bag)`` together with an optimal per-edge weight assignment.
+
+    The weights are what the AGM output bound needs (``∏ |R_e|^{w_e}``,
+    Atserias–Grohe–Marx): :func:`fractional_cover_number` reports only the
+    LP value, this variant also returns ``{edge: weight}`` for the edges
+    that received positive weight.  Infeasible bags (a vertex no edge
+    covers) return ``(inf, {})``.
+
+    >>> tri = Hypergraph([{1, 2}, {2, 3}, {1, 3}])
+    >>> value, weights = fractional_cover_weights(tri, frozenset({1, 2, 3}))
+    >>> round(value, 3), sorted(round(w, 3) for w in weights.values())
+    (1.5, [0.5, 0.5, 0.5])
+    """
+    if not bag:
+        return 0.0, {}
+    edges = [e for e in H.edges if e & bag]
+    if any(not any(v in e for e in edges) for v in bag):
+        return float("inf"), {}
+    if _linprog is not None:
+        value, weights = _lp_cover_solution(bag, edges)
+    else:
+        value, weights = _exact_cover_small_solution(bag, edges)
+    return value, {
+        e: w for e, w in zip(edges, weights) if w > 1e-9
+    }
+
+
 def _lp_cover(bag: FrozenSet[Vertex], edges: Sequence[Edge]) -> float:
+    return _lp_cover_solution(bag, edges)[0]
+
+
+def _lp_cover_solution(
+    bag: FrozenSet[Vertex], edges: Sequence[Edge]
+) -> Tuple[float, Sequence[float]]:
     vertices = sorted(bag, key=repr)
     index = {v: i for i, v in enumerate(vertices)}
     # minimize 1·w  s.t.  −A w ≤ −1  (A[v][e] = 1 iff v ∈ e),  w ≥ 0
@@ -71,10 +107,16 @@ def _lp_cover(bag: FrozenSet[Vertex], edges: Sequence[Edge]) -> float:
     )
     if not result.success:  # pragma: no cover - LP is always feasible here
         raise RuntimeError("fractional cover LP failed: %s" % result.message)
-    return float(result.fun)
+    return float(result.fun), [float(w) for w in result.x]
 
 
 def _exact_cover_small(bag: FrozenSet[Vertex], edges: Sequence[Edge]) -> float:
+    return _exact_cover_small_solution(bag, edges)[0]
+
+
+def _exact_cover_small_solution(
+    bag: FrozenSet[Vertex], edges: Sequence[Edge]
+) -> Tuple[float, Sequence[float]]:
     """LP by vertex enumeration for tiny instances (scipy unavailable).
 
     The optimum of this covering LP is attained at a basic solution; for
@@ -89,6 +131,7 @@ def _exact_cover_small(bag: FrozenSet[Vertex], edges: Sequence[Edge]) -> float:
             "fractional cover fallback limited to tiny bags; install scipy"
         )
     best = float(len(edges))
+    best_weights: Sequence[float] = [1.0] * len(edges)
     # weights from {0, 1/2, 1}: sound upper bound, exact on graphs.
     from itertools import product as _product
 
@@ -102,7 +145,8 @@ def _exact_cover_small(bag: FrozenSet[Vertex], edges: Sequence[Edge]) -> float:
                 break
         if ok:
             best = sum(weights)
-    return best
+            best_weights = list(weights)
+    return best, best_weights
 
 
 def fractional_hypertreewidth(H: Hypergraph) -> float:

@@ -17,11 +17,23 @@ Two executors (:data:`repro.parallel.pool.EXECUTORS`):
 * ``"process"`` — workers are separate interpreters, each owning a
   private :class:`~repro.engine.Session` built once per worker from the
   pickled database (so its plan cache warms across the tasks it serves).
-  Tasks ship back ``(index, value, usage, worker_id, metrics dump)``
-  envelopes; the parent folds the per-task
-  :meth:`~repro.telemetry.metrics.MetricsRegistry.dump` payloads into the
-  session's registry **in task order**, making the merged metrics
-  deterministic regardless of which worker ran which task.
+  Tasks ship back ``(index, value, usage, worker_id, metrics dump,
+  obslog records, span dicts, stats dump)`` envelopes; the parent folds
+  the per-task :meth:`~repro.telemetry.metrics.MetricsRegistry.dump`
+  payloads into the session's registry **in task order**, making the
+  merged metrics deterministic regardless of which worker ran which
+  task.  When the parent session has an obslog, a recording tracer, or
+  a stats store, the corresponding worker-side payloads are absorbed the
+  same way (:meth:`~repro.telemetry.obslog.QueryLog.absorb`,
+  :func:`~repro.telemetry.export.span_from_dict`,
+  :meth:`~repro.telemetry.insight.QueryStatsStore.merge_dump`).
+
+Either executor, every task runs under the **batch's trace context**
+(:mod:`repro.telemetry.context`): ``run_batch`` establishes one
+``trace_id`` (reusing an ambient one when the caller already has a trace
+in flight), the thread envelope carries it across threads, and process
+tasks ship it inside the task tuple — so all spans and obslog lines of a
+fanned-out batch stitch together under a single id.
 
 Either way the contract is: ``run_batch(...).answers()`` equals the
 sequential ``[session.query(q).answers for q in queries]`` exactly, and
@@ -33,9 +45,12 @@ out of :func:`run_batch` just as it would out of ``session.query``.
 from __future__ import annotations
 
 import time
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from contextlib import nullcontext
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..telemetry.context import ensure_trace_id, set_trace_context, trace_context
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.tracer import Tracer, current_tracer, tracing
 from .pool import (
     EXECUTORS,
     current_worker_id,
@@ -109,40 +124,84 @@ class BatchResult:
 # Process-pool worker side (module-level: must pickle by reference)
 # ---------------------------------------------------------------------------
 _worker_session = None
+_worker_records: List[Dict[str, Any]] = []
 
 
-def _init_process_worker(database, budgets, track_resources, cache=True) -> None:
+def _collect_record(record: Dict[str, Any]) -> None:
+    """Callable obslog sink of the worker session: buffer records so each
+    task can ship its slice back inside the envelope."""
+    _worker_records.append(record)
+
+
+def _init_process_worker(
+    database, budgets, track_resources, cache=True,
+    want_obslog=False, want_stats=False,
+) -> None:
     """Build this worker process's private session, once.  Its plan cache
     then warms across every task the worker serves; ``cache`` mirrors the
-    parent session's result-cache setting."""
+    parent session's result-cache setting.  ``want_obslog``/``want_stats``
+    mirror the parent's observability configuration: when set, the worker
+    session records obslog events (into the per-task buffer) and stats
+    entries so the envelopes can carry them home."""
     global _worker_session
     from ..engine import Session
+    from ..telemetry.obslog import QueryLog
 
     mark_process_worker()
     _worker_session = Session(
-        database, budgets=budgets, track_resources=track_resources, cache=cache
+        database, budgets=budgets, track_resources=track_resources, cache=cache,
+        obslog=QueryLog(sink=_collect_record) if want_obslog else None,
     )
+    _worker_session._want_stats = want_stats
 
 
-def _run_process_task(task: Tuple[int, str, Any, Any]):
-    """Run one ``(index, op, query, candidate)`` task on the worker's
-    session and return a picklable envelope.  A fresh metrics registry is
-    swapped in per task, so the dump shipped back is exactly this task's
-    contribution — the parent merges the dumps in task order."""
-    index, op, query, candidate = task
+def _run_process_task(task: Tuple[int, str, Any, Any, Optional[str], bool]):
+    """Run one ``(index, op, query, candidate, trace_id, want_trace)``
+    task on the worker's session and return a picklable envelope.  Fresh
+    metrics/stats accumulators are swapped in per task, so the payloads
+    shipped back are exactly this task's contribution — the parent merges
+    them in task order.  The batch's ``trace_id`` is installed for the
+    duration of the task, so every record and span the worker emits
+    carries it."""
+    index, op, query, candidate, trace_id, want_trace = task
     session = _worker_session
     registry = MetricsRegistry()
     session.planner.metrics = registry
+    if getattr(session, "_want_stats", False):
+        from ..telemetry.insight import QueryStatsStore
+
+        session.stats_store = QueryStatsStore()
+    del _worker_records[:]
+    tracer = Tracer() if want_trace else None
     usage = None
-    if op == "ask":
-        value = session.ask(query, candidate)
-    elif op == "query_maximal":
-        result = session.query_maximal(query)
-        value, usage = result.answers, result.resources
-    else:
-        result = session.query(query)
-        value, usage = result.answers, result.resources
-    return (index, value, usage, process_worker_id(), registry.dump())
+    with trace_context(trace_id):
+        with tracing(tracer) if tracer is not None else nullcontext():
+            span = (
+                current_tracer().span(
+                    "parallel.task",
+                    index=index, op=op,
+                    trace_id=trace_id, worker=process_worker_id(),
+                )
+            )
+            with span:
+                if op == "ask":
+                    value = session.ask(query, candidate)
+                elif op == "query_maximal":
+                    result = session.query_maximal(query)
+                    value, usage = result.answers, result.resources
+                else:
+                    result = session.query(query)
+                    value, usage = result.answers, result.resources
+    span_dicts = (
+        [root.to_dict() for root in tracer.roots] if tracer is not None else []
+    )
+    stats_dump = (
+        session.stats_store.dump() if session.stats_store is not None else None
+    )
+    return (
+        index, value, usage, process_worker_id(), registry.dump(),
+        list(_worker_records), span_dicts, stats_dump,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -183,28 +242,42 @@ def run_batch(
             query, candidate = item, None
         tasks.append((index, op, query, candidate))
 
-    log = session.obslog
-    if log is not None:
-        log.emit(
-            "batch.start", op=op, queries=len(tasks), jobs=jobs, executor=kind
-        )
-    start = time.perf_counter()
-    if kind == "process" and jobs > 1 and len(tasks) >= 2:
-        results, worker_ids = _run_process_batch(session, tasks, jobs)
-    else:
-        results, worker_ids = _run_thread_batch(session, tasks, jobs, kind)
-    wall = time.perf_counter() - start
-    batch = BatchResult(op, jobs, kind, results, wall, worker_ids)
-    if log is not None:
-        log.emit(
-            "batch.complete",
-            op=op,
-            queries=len(tasks),
-            jobs=jobs,
-            executor=kind,
-            wall_seconds=wall,
-            workers=batch.workers_used(),
-        )
+    # One trace id for the whole batch: every task (thread envelope or
+    # process task tuple) runs under it, so the batch's spans and obslog
+    # lines stitch together across workers.
+    trace_id, owns_trace = ensure_trace_id()
+    try:
+        log = session.obslog
+        if log is not None:
+            log.emit(
+                "batch.start", op=op, queries=len(tasks), jobs=jobs, executor=kind
+            )
+        start = time.perf_counter()
+        with current_tracer().span(
+            "parallel.run_batch",
+            op=op, jobs=jobs, executor=kind, trace_id=trace_id,
+        ):
+            if kind == "process" and jobs > 1 and len(tasks) >= 2:
+                results, worker_ids = _run_process_batch(
+                    session, tasks, jobs, trace_id
+                )
+            else:
+                results, worker_ids = _run_thread_batch(session, tasks, jobs, kind)
+        wall = time.perf_counter() - start
+        batch = BatchResult(op, jobs, kind, results, wall, worker_ids)
+        if log is not None:
+            log.emit(
+                "batch.complete",
+                op=op,
+                queries=len(tasks),
+                jobs=jobs,
+                executor=kind,
+                wall_seconds=wall,
+                workers=batch.workers_used(),
+            )
+    finally:
+        if owns_trace:
+            set_trace_context(None, None)
     return batch
 
 
@@ -228,22 +301,33 @@ def _run_thread_batch(session, tasks, jobs: int, kind: str):
     return results, worker_ids
 
 
-def _run_process_batch(session, tasks, jobs: int):
+def _run_process_batch(session, tasks, jobs: int, trace_id: Optional[str]):
     """Process execution: per-worker sessions, envelope merge in the
     parent.  Results are rebuilt against the *parent* session (queries
     parsed through its cache), so downstream ``Result`` conveniences —
-    witnesses, EXPLAIN profiles — keep working."""
+    witnesses, EXPLAIN profiles — keep working.  Worker-side obslog
+    records, spans, and stats entries come home inside the envelopes and
+    are folded into the parent's log/tracer/store in task order."""
     from ..engine import Result
 
+    tracer = current_tracer()
+    want_trace = bool(getattr(tracer, "enabled", False))
     pool = session._pool_for(jobs, "process")
+    shipped = [task + (trace_id, want_trace) for task in tasks]
     chunksize = max(1, len(tasks) // (jobs * 4))
-    envelopes = pool.map_tasks(_run_process_task, tasks, chunksize=chunksize)
+    envelopes = pool.map_tasks(_run_process_task, shipped, chunksize=chunksize)
     results: List[Any] = []
     worker_ids: List[Optional[str]] = []
     for (index, op, query, _), envelope in zip(tasks, envelopes):
-        env_index, value, usage, worker_id, dump = envelope
+        env_index, value, usage, worker_id, dump, records, spans, stats = envelope
         assert env_index == index
         session.planner.metrics.merge_dump(dump)
+        if records and session.obslog is not None:
+            session.obslog.absorb(records)
+        if spans and want_trace:
+            _graft_spans(tracer, spans)
+        if stats is not None and session.stats_store is not None:
+            session.stats_store.merge_dump(stats)
         worker_ids.append(worker_id)
         if op == "ask":
             results.append(value)
@@ -252,3 +336,21 @@ def _run_process_batch(session, tasks, jobs: int):
             result.resources = usage
             results.append(result)
     return results, worker_ids
+
+
+def _graft_spans(tracer, span_dicts) -> None:
+    """Attach spans recorded in a worker process to the parent's tracer —
+    under the currently open span when there is one (the batch's
+    ``parallel.run_batch`` span), else as new roots.  Worker clocks are a
+    different ``perf_counter`` domain; the spans are kept for structure,
+    attributes, and durations, not for cross-process alignment."""
+    from ..telemetry.export import span_from_dict
+
+    parent = tracer.current()
+    for payload in span_dicts:
+        span = span_from_dict(payload)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with tracer._lock:
+                tracer.roots.append(span)

@@ -44,6 +44,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, List, Optional, Sequence
 
 from ..telemetry import resources as _resources
+from ..telemetry.context import current_span_id, current_trace_id, set_trace_context
 
 __all__ = [
     "WorkerPool",
@@ -189,9 +190,13 @@ class WorkerPool:
         self, fn: Callable[[Any], Any], monitor
     ) -> Callable[[Any], Any]:
         """Wrap ``fn`` for execution on a worker thread: mark the thread
-        as a worker (nested dispatch → inline), stamp its worker id, and
+        as a worker (nested dispatch → inline), stamp its worker id,
         install the submitter's resource monitor so budget accounting
-        crosses the thread boundary."""
+        crosses the thread boundary, and carry the submitter's trace
+        context so every span/obslog line a worker emits shares the
+        query's ``trace_id``."""
+        trace_id = current_trace_id()
+        span_id = current_span_id()
 
         def run(item: Any) -> Any:
             _local.in_worker = True
@@ -200,9 +205,11 @@ class WorkerPool:
                     self._worker_seq += 1
                     _local.worker_id = "t%d" % self._worker_seq
             previous = _resources.install_monitor(monitor)
+            previous_trace = set_trace_context(trace_id, span_id)
             try:
                 return fn(item)
             finally:
+                set_trace_context(*previous_trace)
                 _resources.install_monitor(previous)
                 _local.in_worker = False
 

@@ -79,6 +79,13 @@ class PlanCache:
         with self._lock:
             return list(self._data.values())
 
+    def items_snapshot(self) -> list:
+        """A point-in-time ``(key, value)`` copy in LRU order (least
+        recent first), taken under the lock — the ``/debug/plans``
+        endpoint renders the cache contents from it."""
+        with self._lock:
+            return list(self._data.items())
+
     def __len__(self) -> int:
         return len(self._data)
 

@@ -75,6 +75,7 @@ from .plan import (
 from .profile import StructuralProfile, TreeProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry.insight import CardinalityEstimate, QueryStatsStore
     from ..wdpt.explain import WDPTProfile
 
 #: Treewidth (heuristic upper bound) below which the TD engine is preferred.
@@ -90,12 +91,19 @@ class Planner:
         parse_cache_size: int = 256,
         tw_cutoff: int = DEFAULT_TW_CUTOFF,
         metrics: Optional[MetricsRegistry] = None,
+        stats_store: Optional["QueryStatsStore"] = None,
     ):
         self.profiles = PlanCache(profile_cache_size)
         self.parses = PlanCache(parse_cache_size)
         self.explains = PlanCache(profile_cache_size)
+        self.estimates = PlanCache(profile_cache_size)
         self.tw_cutoff = tw_cutoff
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional :class:`~repro.telemetry.insight.QueryStatsStore`:
+        #: when present (and the kernel mode is ``auto``), Yannakakis
+        #: plans prefer the kernel that historically won for the query's
+        #: fingerprint over the static default.
+        self.stats_store = stats_store
 
     # The former ad-hoc counter attributes, now views over the registry
     # (kept as properties so ``planner.engine_seconds``-style consumers
@@ -200,13 +208,15 @@ class Planner:
     ) -> QueryPlan:
         """The routing decision for an already-profiled atom set."""
         self.metrics.counter("planner.plans_built").inc()
+        estimate = self.estimate_for_profile(profile, db)
         if profile.is_acyclic:
             return QueryPlan(
                 fingerprint,
                 ENGINE_YANNAKAKIS,
                 "Theorem 3, k=1 (HW(1) = AC): Yannakakis over the memoized join tree",
                 profile,
-                kernel=default_kernel(db),
+                kernel=self._preferred_kernel(fingerprint, db),
+                estimate=estimate,
             )
         if profile.treewidth_upper <= self.tw_cutoff:
             return QueryPlan(
@@ -215,13 +225,57 @@ class Planner:
                 "Theorem 2: TW(%d) bounded-treewidth engine over the memoized decomposition"
                 % profile.treewidth_upper,
                 profile,
+                estimate=estimate,
             )
         return QueryPlan(
             fingerprint,
             ENGINE_NAIVE,
             "no structural bound (Theorem 1 regime): backtracking search",
             profile,
+            estimate=estimate,
         )
+
+    def estimate_for_profile(
+        self, profile: StructuralProfile, db: Optional[Database] = None
+    ) -> Optional["CardinalityEstimate"]:
+        """The memoized cardinality estimate for ``profile`` over ``db``.
+
+        Keyed by ``(atom set, backend_id, data_version)``: relation
+        counts are taken at most once per query shape per database epoch,
+        so the hot planning paths (one ``plan_for_profile`` per candidate
+        mapping in the Theorem 8/9 inner loop) pay one cache lookup."""
+        if db is None:
+            return None
+        key = (profile.sorted_atoms, db.backend_id, db.data_version)
+        estimate = self.estimates.get(key)
+        if estimate is None:
+            from ..telemetry.insight import estimate_profile
+
+            with current_tracer().span(
+                "planner.estimate", atoms=len(profile.sorted_atoms)
+            ):
+                estimate = estimate_profile(profile, db)
+            self.estimates.put(key, estimate)
+        return estimate
+
+    def _preferred_kernel(self, fingerprint: str, db: Optional[Database]) -> str:
+        """The kernel a Yannakakis plan should request: the stats store's
+        historical winner for this fingerprint when one is seasoned (and
+        the mode is ``auto``), else the static default."""
+        fallback = default_kernel(db)
+        if self.stats_store is None or not fingerprint:
+            return fallback
+        from ..relalg.config import MODE_AUTO, kernel_mode
+
+        if kernel_mode() != MODE_AUTO:
+            return fallback
+        preferred = self.stats_store.best_kernel(fingerprint[:16])
+        if preferred is None:
+            return fallback
+        self.metrics.counter(
+            "planner.kernel.history_preferred", {"kernel": preferred}
+        ).inc()
+        return preferred
 
     def evaluate_cq(self, query: ConjunctiveQuery, db: Database) -> FrozenSet:
         """``q(D)`` through the plan-aware router (the ``auto`` method)."""
@@ -233,7 +287,11 @@ class Planner:
             with current_tracer().span("planner.evaluate_cq", engine=plan.engine):
                 if plan.engine == ENGINE_YANNAKAKIS:
                     return evaluate_with_join_tree(
-                        query, db, plan.profile.sorted_atoms, plan.profile.join_tree
+                        query,
+                        db,
+                        plan.profile.sorted_atoms,
+                        plan.profile.join_tree,
+                        kernel=plan.kernel,
                     )
                 if plan.engine == ENGINE_TREEWIDTH:
                     return evaluate_bounded_treewidth(
@@ -363,6 +421,7 @@ class Planner:
             "plan_cache": self.profiles.stats(),
             "parse_cache": self.parses.stats(),
             "explain_cache": self.explains.stats(),
+            "estimate_cache": self.estimates.stats(),
             "subtree_profiles": {"hits": subtree_hits, "misses": subtree_misses},
             "engine_selections": dict(self.engine_selections),
             "kernel_selections": dict(self.kernel_selections),
@@ -383,6 +442,7 @@ class Planner:
         self.profiles.hits = self.profiles.misses = self.profiles.evictions = 0
         self.parses.hits = self.parses.misses = self.parses.evictions = 0
         self.explains.hits = self.explains.misses = self.explains.evictions = 0
+        self.estimates.hits = self.estimates.misses = self.estimates.evictions = 0
         self.metrics.reset()
 
     def __repr__(self) -> str:

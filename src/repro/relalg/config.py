@@ -97,6 +97,33 @@ def choose_kernel(db: object, pool: object = None) -> str:
     return KERNEL_COLUMNAR
 
 
+def resolve_kernel(db: object, pool: object = None, preferred: Optional[str] = None) -> str:
+    """:func:`choose_kernel`, with an optional *advisory* preference.
+
+    ``preferred`` (from a :class:`~repro.planner.plan.QueryPlan` whose
+    planner consulted the query-stats history) is honored only when it is
+    feasible here and now: the mode must be ``auto`` (explicit modes are
+    user policy and always win), and ``sql`` additionally needs a backend
+    that supports whole-tree pushdown and no installed worker pool —
+    exactly the conditions under which ``auto`` itself would allow it.
+    Infeasible or unknown preferences fall back to :func:`choose_kernel`.
+    """
+    fallback = choose_kernel(db, pool)
+    if preferred is None or preferred == fallback:
+        return fallback
+    if kernel_mode() != MODE_AUTO:
+        return fallback
+    if preferred in (KERNEL_COLUMNAR, KERNEL_LEGACY):
+        return preferred
+    if (
+        preferred == KERNEL_SQL
+        and pool is None
+        and getattr(db, "supports_sql_yannakakis", False)
+    ):
+        return preferred
+    return fallback
+
+
 def default_kernel(db: object = None) -> str:
     """The kernel a plain (pool-less) execution against ``db`` would use
     right now — what EXPLAIN and the obslog stamp on plans."""

@@ -10,13 +10,36 @@
   stable query IDs and slow-query EXPLAIN ANALYZE capture;
 * :mod:`repro.telemetry.resources` — per-query resource accounting and
   soft/hard budgets;
+* :mod:`repro.telemetry.context` — the per-query ``trace_id`` correlation
+  context carried across pool workers and process envelopes;
+* :mod:`repro.telemetry.insight` — cardinality estimation (independence +
+  AGM bounds), q-error accounting, and the per-query-shape
+  :class:`QueryStatsStore`;
 * :mod:`repro.telemetry.promhttp` — a stdlib ``/metrics`` + ``/healthz``
-  endpoint serving the Prometheus text exposition.
+  + ``/debug/*`` endpoint serving the Prometheus text exposition and
+  live plan/query/stats snapshots.
 
 See ``docs/OBSERVABILITY.md`` for the full tour and
 :meth:`repro.engine.Session.analyze` for EXPLAIN ANALYZE built on top.
 """
 
+from .context import (
+    current_span_id,
+    current_trace_id,
+    ensure_trace_id,
+    new_span_id,
+    new_trace_id,
+    set_trace_context,
+    trace_context,
+)
+from .insight import (
+    CardinalityEstimate,
+    DEFAULT_MISESTIMATE_QERROR,
+    QueryStatsStore,
+    STATS_SCHEMA,
+    estimate_profile,
+    q_error,
+)
 from .metrics import (
     Counter,
     DEFAULT_QUANTILES,
@@ -54,11 +77,13 @@ from .tracer import (
     tracing,
 )
 from .export import (
+    SPAN_ATTR_TYPES,
     aggregate_spans,
     chrome_trace_json,
     from_chrome_trace,
     render_stage_breakdown,
     render_trace,
+    span_from_dict,
     to_chrome_trace,
     trace_to_dict,
     trace_to_json,
@@ -67,6 +92,19 @@ from .export import (
 )
 
 __all__ = [
+    "current_span_id",
+    "current_trace_id",
+    "ensure_trace_id",
+    "new_span_id",
+    "new_trace_id",
+    "set_trace_context",
+    "trace_context",
+    "CardinalityEstimate",
+    "DEFAULT_MISESTIMATE_QERROR",
+    "QueryStatsStore",
+    "STATS_SCHEMA",
+    "estimate_profile",
+    "q_error",
     "Counter",
     "DEFAULT_QUANTILES",
     "Gauge",
@@ -96,11 +134,13 @@ __all__ = [
     "set_tracer",
     "trace_span",
     "tracing",
+    "SPAN_ATTR_TYPES",
     "aggregate_spans",
     "chrome_trace_json",
     "from_chrome_trace",
     "render_stage_breakdown",
     "render_trace",
+    "span_from_dict",
     "to_chrome_trace",
     "trace_to_dict",
     "trace_to_json",

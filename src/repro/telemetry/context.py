@@ -1,0 +1,105 @@
+"""Trace-correlation context: one ``trace_id`` per top-level query.
+
+A trace id names one logical query execution end to end: every span,
+obslog line, and resource-budget event it produces — on the calling
+thread, on pool worker threads, and inside process workers — carries the
+same id, so operators can stitch the pieces back together after the
+fact (``grep trace_id=… query-log.jsonl``).
+
+The context is a plain thread-local, mirroring
+:func:`repro.telemetry.resources.current_monitor`:
+
+* :func:`current_trace_id` / :func:`current_span_id` read it (None when
+  no query is in flight),
+* :func:`set_trace_context` installs it and returns the previous pair
+  (the :class:`~repro.parallel.pool.WorkerPool` thread envelope uses
+  this to carry the submitter's context into worker threads, exactly as
+  it carries the resource monitor),
+* :func:`trace_context` is the scoped form used by
+  :class:`~repro.telemetry.obslog.QueryObservation`,
+* :func:`new_trace_id` mints ids (uuid4, 16 hex chars — short enough to
+  read, long enough not to collide within one log).
+
+Process workers do not inherit thread-locals; :mod:`repro.parallel.batch`
+ships the trace id inside each task tuple and the worker re-installs it
+before evaluating (see ``_run_process_task``).
+
+Telemetry stays dependency-light: this module imports only the standard
+library and is imported by obslog, resources, and the parallel layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+__all__ = [
+    "current_trace_id",
+    "current_span_id",
+    "new_trace_id",
+    "new_span_id",
+    "set_trace_context",
+    "trace_context",
+    "ensure_trace_id",
+]
+
+_context = threading.local()
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id (scoped under a trace id)."""
+    return uuid.uuid4().hex[:8]
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the query in flight on this thread, or None."""
+    return getattr(_context, "trace_id", None)
+
+
+def current_span_id() -> Optional[str]:
+    """The active span id on this thread, or None."""
+    return getattr(_context, "span_id", None)
+
+
+def set_trace_context(
+    trace_id: Optional[str], span_id: Optional[str] = None
+) -> Tuple[Optional[str], Optional[str]]:
+    """Install ``(trace_id, span_id)`` on this thread; return the previous
+    pair so callers can restore it (pool envelopes, nested queries)."""
+    previous = (current_trace_id(), current_span_id())
+    _context.trace_id = trace_id
+    _context.span_id = span_id
+    return previous
+
+
+@contextmanager
+def trace_context(
+    trace_id: Optional[str], span_id: Optional[str] = None
+) -> Iterator[Optional[str]]:
+    """Scoped :func:`set_trace_context`: restore the previous pair on exit."""
+    previous = set_trace_context(trace_id, span_id)
+    try:
+        yield trace_id
+    finally:
+        set_trace_context(*previous)
+
+
+def ensure_trace_id() -> Tuple[str, bool]:
+    """The current trace id, minting and installing one when absent.
+
+    Returns ``(trace_id, created)`` — ``created`` tells the caller it owns
+    the context and should clear it when the query finishes.
+    """
+    existing = current_trace_id()
+    if existing is not None:
+        return existing, False
+    minted = new_trace_id()
+    set_trace_context(minted)
+    return minted, True

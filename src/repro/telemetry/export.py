@@ -27,6 +27,31 @@ from .tracer import Span, Tracer
 #: Chrome trace-event keys every exported event carries.
 _CHROME_REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
 
+#: Known span attributes and the JSON types they must decode to.
+#: :func:`validate_chrome_trace` type-checks these when present in an
+#: event's ``args`` and accepts any attribute it does not know about —
+#: instrumentation is allowed to grow without breaking old validators.
+SPAN_ATTR_TYPES: Dict[str, tuple] = {
+    "engine": (str,),
+    "kernel": (str,),
+    "method": (str,),
+    "kind": (str,),
+    "op": (str,),
+    "executor": (str,),
+    "worker": (str,),
+    "trace_id": (str,),
+    "est_method": (str,),
+    "query": (str,),
+    "atoms": (int,),
+    "index": (int,),
+    "jobs": (int,),
+    "rows": (int,),
+    "est_rows": (int, float),
+    "q_error": (int, float),
+    "node_stats": (dict,),
+    "estimate": (dict, type(None)),
+}
+
 
 # ---------------------------------------------------------------------------
 # Structured dict / JSON
@@ -77,6 +102,20 @@ def write_chrome_trace(tracer: Tracer, path: str) -> int:
     with open(path, "w") as handle:
         json.dump(events, handle, indent=1)
     return len(events)
+
+
+def span_from_dict(payload: Dict[str, Any]) -> Span:
+    """Rebuild one span (and its subtree) from :meth:`Span.to_dict` output.
+
+    The inverse of the structured-dict exporter, up to the tracer link;
+    ``repro.parallel.batch`` uses it to graft spans recorded inside a
+    process worker back into the parent's tracer.
+    """
+    span = Span(payload.get("name", "span"), payload.get("attrs") or {})
+    span.start = float(payload.get("start", 0.0))
+    span.end = span.start + float(payload.get("duration", 0.0))
+    span.children = [span_from_dict(c) for c in payload.get("children", ())]
+    return span
 
 
 def from_chrome_trace(events: Iterable[Dict[str, Any]]) -> List[Span]:
@@ -135,6 +174,21 @@ def validate_chrome_trace(payload: Any) -> List[str]:
                 errors.append("event %d: %r must be numeric" % (i, key))
         if isinstance(event.get("dur"), (int, float)) and event["dur"] < 0:
             errors.append("event %d: negative duration" % i)
+        args = event.get("args")
+        if isinstance(args, dict):
+            for attr, value in args.items():
+                expected = SPAN_ATTR_TYPES.get(attr)
+                if expected is None:
+                    continue  # unknown attributes are always accepted
+                if not isinstance(value, expected) or (
+                    isinstance(value, bool) and bool not in expected
+                ):
+                    errors.append(
+                        "event %d: attr %r must be %s, got %s"
+                        % (i, attr,
+                           "/".join(t.__name__ for t in expected),
+                           type(value).__name__)
+                    )
     return errors
 
 

@@ -42,6 +42,8 @@ import threading
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
+from .context import current_trace_id, ensure_trace_id, set_trace_context
+from .insight import DEFAULT_MISESTIMATE_QERROR
 from .resources import ResourceMonitor
 from .tracer import NULL_TRACER, Tracer, current_tracer, set_tracer
 
@@ -79,6 +81,10 @@ class QueryLog:
         slow-query capture (and the tracer it requires).
     ring_size:
         How many recent records :meth:`recent` retains.
+    misestimate_threshold:
+        Per-node q-error above which a ``misestimate.detected`` record is
+        emitted alongside ``query.complete`` (needs slow-query capture's
+        recording tracer for the measured side).
     """
 
     def __init__(
@@ -87,8 +93,10 @@ class QueryLog:
         slow_threshold: Optional[float] = None,
         ring_size: int = 256,
         clock: Callable[[], float] = time.time,
+        misestimate_threshold: float = DEFAULT_MISESTIMATE_QERROR,
     ):
         self.slow_threshold = slow_threshold
+        self.misestimate_threshold = misestimate_threshold
         self._clock = clock
         self._seq = 0
         self._lock = threading.Lock()
@@ -118,6 +126,11 @@ class QueryLog:
         be attributed.  The pool module is looked up through
         :data:`sys.modules` rather than imported — telemetry must not pull
         the parallel layer in (the dependency points the other way).
+
+        When a trace context is active on the emitting thread
+        (:mod:`repro.telemetry.context`), the record is stamped with its
+        ``trace_id`` — the correlation key that ties a query's obslog
+        lines, spans, and resource accounting together across workers.
         """
         if "worker" not in fields:
             pool_module = sys.modules.get("repro.parallel.pool")
@@ -125,15 +138,25 @@ class QueryLog:
                 worker = pool_module.current_worker_id()
                 if worker is not None:
                     fields["worker"] = worker
+        if "trace_id" not in fields:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                fields["trace_id"] = trace_id
+        record: Dict[str, Any] = {
+            "event": event,
+            "ts": self._clock(),
+            "seq": 0,  # assigned under the lock by _append
+            "schema": OBSLOG_SCHEMA,
+        }
+        record.update(fields)
+        self._append(record)
+        return record
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """Sequence ``record`` and push it to the ring and the sink."""
         with self._lock:
             self._seq += 1
-            record: Dict[str, Any] = {
-                "event": event,
-                "ts": self._clock(),
-                "seq": self._seq,
-                "schema": OBSLOG_SCHEMA,
-            }
-            record.update(fields)
+            record["seq"] = self._seq
             self._ring.append(record)
             if len(self._ring) > self._ring_size:
                 del self._ring[: len(self._ring) - self._ring_size]
@@ -141,7 +164,26 @@ class QueryLog:
                 self._write(json.dumps(record, default=repr) + "\n")
             if self._call is not None:
                 self._call(record)
-        return record
+
+    def absorb(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Fold records shipped back from a process worker into this log.
+
+        Each record keeps its original fields — event, timestamp,
+        ``trace_id``, ``worker`` — but is re-sequenced locally (``seq`` is
+        per-log, and the worker's counter means nothing here).  Returns
+        how many records were absorbed.  This is how ``run_batch`` makes
+        one obslog tell the whole story of a process-fanned batch.
+        """
+        count = 0
+        for record in records:
+            if not isinstance(record, dict) or "event" not in record:
+                continue
+            copied = dict(record)
+            copied["schema"] = OBSLOG_SCHEMA
+            copied.setdefault("ts", self._clock())
+            self._append(copied)
+            count += 1
+        return count
 
     def recent(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
         """The most recent ``n`` records (all retained ones by default)."""
@@ -240,6 +282,11 @@ class QueryObservation:
         self.n_rows: Optional[int] = None
         self.monitor: Optional[ResourceMonitor] = None
         self.usage = None
+        self.trace_id: Optional[str] = None
+        self.cache_outcome: Optional[str] = None  # "hit"/"miss", set by Session
+        self._plan_kernel: Optional[str] = None
+        self._report = None  # memoized EXPLAIN ANALYZE (slow + misestimate)
+        self._owns_trace = False
         self._tracer: Optional[Tracer] = None
         self._previous_tracer = None
         self._start = 0.0
@@ -251,6 +298,9 @@ class QueryObservation:
         return self.log is not None and self.log.slow_threshold is not None
 
     def __enter__(self) -> "QueryObservation":
+        # One trace id per top-level query: reuse an ambient context (a
+        # batch established one) or mint and own a fresh one.
+        self.trace_id, self._owns_trace = ensure_trace_id()
         # Slow-query capture needs a recorded trace to build the EXPLAIN
         # ANALYZE profile from; install a fresh tracer only if none is on.
         if self._slow_capture() and current_tracer() is NULL_TRACER:
@@ -275,12 +325,19 @@ class QueryObservation:
             )
             self.log.emit("query.start", op=self.op, query=preview[:200])
         self._start = time.perf_counter()
+        started = getattr(self.session, "_query_started", None)
+        if started is not None:  # the session's /debug/queries registry
+            started(self)
         return self
 
     def parsed(self, p) -> None:
         """Called by the session once the WDPT (and its profile) exist."""
         self.query = p
         self.query_id = p.structural_fingerprint()[:16]
+        if self._plan_kernel is None:
+            from ..relalg.config import default_kernel
+
+            self._plan_kernel = default_kernel(self.session.database)
         if self.log is None:
             return
         planner = self.session.planner
@@ -300,15 +357,23 @@ class QueryObservation:
             },
         )
         profile = planner.explain_wdpt(p)
-        from ..relalg.config import default_kernel
-
+        estimate = None
+        try:
+            whole_query = planner.estimate_for_profile(
+                profile.tree_profile.global_profile, self.session.database
+            )
+            if whole_query is not None:
+                estimate = whole_query.as_dict()
+        except Exception:  # estimation must never break the query path
+            estimate = None
         self.log.emit(
             "query.plan",
             op=self.op,
             query_id=self.query_id,
             engine=OP_ENGINES.get(self.op, self.op),
-            kernel=default_kernel(self.session.database),
+            kernel=self._plan_kernel,
             theorem=profile.eval_route(),
+            estimate=estimate,
             classes={
                 "local_treewidth": profile.local_treewidth,
                 "interface_width": profile.interface_width,
@@ -338,12 +403,43 @@ class QueryObservation:
                 exc_type, exc = type(budget_exc), budget_exc
         try:
             self._emit_exit_events(wall, exc_type, exc)
+            self._record_stats(wall, exc_type)
         finally:
+            finished = getattr(self.session, "_query_finished", None)
+            if finished is not None:
+                finished(
+                    self, wall,
+                    None if exc_type is None else exc_type.__name__,
+                )
             if self._tracer is not None:
                 set_tracer(self._previous_tracer)
+            if self._owns_trace:
+                set_trace_context(None, None)
         if exc is not None and tb is None:
             raise exc  # a post-hoc hard-budget violation from the monitor
         return False
+
+    def _record_stats(self, wall: float, exc_type) -> None:
+        """Fold this execution into the session's stats store (if any)."""
+        store = getattr(self.session, "stats_store", None)
+        if store is None or self.query_id is None or exc_type is not None:
+            return
+        max_q_error = None
+        if self._report is not None:
+            summary = self._report.q_error_summary()
+            if summary["count"]:
+                max_q_error = summary["max"]
+        store.record(
+            self.query_id,
+            wall_seconds=wall,
+            rows=self.n_rows or 0,
+            engine=OP_ENGINES.get(self.op, self.op),
+            kernel=self._plan_kernel,
+            cache_hit=(
+                None if self.cache_outcome is None else self.cache_outcome == "hit"
+            ),
+            max_q_error=max_q_error,
+        )
 
     # ------------------------------------------------------------------
     def _emit_exit_events(self, wall: float, exc_type, exc) -> None:
@@ -381,19 +477,63 @@ class QueryObservation:
         threshold = log.slow_threshold
         if threshold is not None and wall >= threshold and self.query is not None:
             log.emit("query.slow", **self._slow_record(wall))
+        self._emit_misestimate(log)
 
-    def _slow_record(self, wall: float) -> Dict[str, Any]:
-        """The ``query.slow`` payload: plan + per-node EXPLAIN ANALYZE."""
+    def _emit_misestimate(self, log: QueryLog) -> None:
+        """``misestimate.detected``: some node's q-error crossed the
+        threshold.  Needs the recorded trace for the measured side, so it
+        only fires in slow-capture mode (or under an ambient tracer)."""
+        report = self._build_report()
+        if report is None:
+            return
+        summary = report.q_error_summary()
+        if not summary["count"] or summary["max"] <= log.misestimate_threshold:
+            return
+        worst = max(
+            (row for row in report.rows if row.get("q_error") is not None),
+            key=lambda row: row["q_error"],
+        )
+        log.emit(
+            "misestimate.detected",
+            op=self.op,
+            query_id=self.query_id,
+            threshold=log.misestimate_threshold,
+            max_q_error=summary["max"],
+            p50_q_error=summary["p50"],
+            p95_q_error=summary["p95"],
+            node=worst["node"],
+            est_rows=worst["est_rows"],
+            est_method=worst["est_method"],
+            actual_rows=worst["candidates"],
+        )
+
+    def _build_report(self):
+        """The EXPLAIN ANALYZE report of this run, built at most once —
+        ``None`` unless a recording tracer observed the execution."""
+        if self._report is not None:
+            return self._report
+        if self.query is None:
+            return None
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        if not getattr(tracer, "enabled", False) or tracer is NULL_TRACER:
+            return None
         from ..analyze import build_report
 
         planner = self.session.planner
         profile = planner.explain_wdpt(self.query)
-        tracer = self._tracer if self._tracer is not None else current_tracer()
-        report = build_report(
+        self._report = build_report(
             self.query, profile, tracer, planner,
             n_answers=self.n_rows, mode=self.op,
             db=self.session.database,
         )
+        return self._report
+
+    def _slow_record(self, wall: float) -> Dict[str, Any]:
+        """The ``query.slow`` payload: plan + per-node EXPLAIN ANALYZE."""
+        planner = self.session.planner
+        profile = planner.explain_wdpt(self.query)
+        report = self._build_report()
+        summary = report.q_error_summary() if report is not None else None
         return {
             "op": self.op,
             "query_id": self.query_id,
@@ -401,10 +541,11 @@ class QueryObservation:
             "wall_seconds": wall,
             "engine": OP_ENGINES.get(self.op, self.op),
             "theorem": profile.eval_route(),
+            "q_error": summary,
             "profile": {
                 "fingerprint": profile.fingerprint,
                 "eval_route": profile.eval_route(),
-                "nodes": report.rows,
-                "stages": report.stages,
+                "nodes": report.rows if report is not None else [],
+                "stages": report.stages if report is not None else {},
             },
         }

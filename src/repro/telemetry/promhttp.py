@@ -1,4 +1,4 @@
-"""A stdlib-only ``/metrics`` + ``/healthz`` HTTP endpoint.
+"""A stdlib-only ``/metrics`` + ``/healthz`` + ``/debug/*`` HTTP endpoint.
 
 :class:`MetricsServer` wraps :class:`http.server.ThreadingHTTPServer` and
 serves the Prometheus text exposition of one or more
@@ -9,22 +9,31 @@ callables returning exposition text) —
   output, ``Content-Type: text/plain; version=0.0.4``;
 * ``GET /healthz`` — a JSON liveness document (status, uptime, request
   count);
+* ``GET /debug`` and ``GET /debug/<name>`` — live JSON snapshots from
+  the registered debug providers (``debug=`` / :meth:`~MetricsServer.add_debug`);
+  :meth:`repro.engine.Session.debug_providers` wires ``queries`` (in
+  flight + recent, with trace ids), ``plans`` (EXPLAIN cache joined with
+  estimate accuracy), and ``stats`` (the query-stats store dump).
+  Append ``?format=html`` for a self-contained HTML view;
 * anything else — 404.
 
-The server binds on construction-time host/port (port ``0`` picks a free
-one, exposed via :attr:`MetricsServer.port` / :attr:`MetricsServer.url`)
-and serves from a daemon thread, so it can sit next to a long-lived
-:class:`~repro.engine.Session` without blocking it.  ``repro
-serve-metrics`` is the CLI wrapper.
+Providers are invoked per request under the threading server, so the
+payloads are point-in-time snapshots that stay live while queries are in
+flight.  The server binds on construction-time host/port (port ``0``
+picks a free one, exposed via :attr:`MetricsServer.port` /
+:attr:`MetricsServer.url`) and serves from a daemon thread, so it can
+sit next to a long-lived :class:`~repro.engine.Session` without blocking
+it.  ``repro serve-metrics`` is the CLI wrapper.
 """
 
 from __future__ import annotations
 
+import html as _html
 import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, List, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .metrics import MetricsRegistry
 
@@ -32,6 +41,8 @@ from .metrics import MetricsRegistry
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 Source = Union[MetricsRegistry, Callable[[], str]]
+
+DebugProvider = Callable[[], Any]
 
 
 class MetricsServer:
@@ -53,17 +64,25 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         namespace: str = "repro",
+        debug: Optional[Dict[str, DebugProvider]] = None,
     ):
         if isinstance(sources, MetricsRegistry) or callable(sources):
             sources = [sources]
         self.sources: List[Source] = list(sources)
         self.namespace = namespace
         self.host = host
+        #: ``name → zero-arg callable`` behind ``/debug/<name>``.
+        self.debug: Dict[str, DebugProvider] = dict(debug) if debug else {}
         self._requested_port = port
         self._httpd: ThreadingHTTPServer = None  # type: ignore[assignment]
         self._thread: threading.Thread = None  # type: ignore[assignment]
         self._started_at = 0.0
         self.requests_served = 0
+
+    def add_debug(self, name: str, provider: DebugProvider) -> "MetricsServer":
+        """Register (or replace) the ``/debug/<name>`` provider."""
+        self.debug[name] = provider
+        return self
 
     # ------------------------------------------------------------------
     def exposition(self) -> str:
@@ -82,6 +101,14 @@ class MetricsServer:
             "uptime_seconds": time.time() - self._started_at,
             "requests_served": self.requests_served,
             "sources": len(self.sources),
+            "debug_routes": sorted(self.debug),
+        }
+
+    def debug_index(self) -> dict:
+        """The ``/debug`` payload: the routes this server exposes."""
+        return {
+            "routes": sorted("/debug/%s" % name for name in self.debug),
+            "hint": "append ?format=html for a browser view",
         }
 
     # ------------------------------------------------------------------
@@ -103,15 +130,50 @@ class MetricsServer:
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
                 server.requests_served += 1
-                if self.path.split("?", 1)[0] == "/metrics":
+                path, _, query = self.path.partition("?")
+                if path == "/metrics":
                     body = server.exposition().encode("utf-8")
                     self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
-                elif self.path.split("?", 1)[0] == "/healthz":
-                    body = json.dumps(server.health()).encode("utf-8")
-                    self._reply(200, "application/json", body)
+                elif path == "/healthz":
+                    self._reply_json(200, server.health(), query)
+                elif path == "/debug" or path == "/debug/":
+                    self._reply_json(200, server.debug_index(), query)
+                elif path.startswith("/debug/"):
+                    self._reply_debug(path[len("/debug/"):], query)
                 else:
                     self._reply(404, "text/plain; charset=utf-8",
-                                b"not found: try /metrics or /healthz\n")
+                                b"not found: try /metrics, /healthz or /debug\n")
+
+            def _reply_debug(self, name: str, query: str):
+                provider = server.debug.get(name)
+                if provider is None:
+                    self._reply_json(
+                        404,
+                        {
+                            "error": "unknown debug route %r" % name,
+                            "routes": server.debug_index()["routes"],
+                        },
+                        query,
+                    )
+                    return
+                try:
+                    payload = provider()
+                except Exception as exc:  # surface, never kill the server
+                    self._reply_json(
+                        500, {"error": "%s: %s" % (type(exc).__name__, exc)},
+                        query,
+                    )
+                    return
+                self._reply_json(200, payload, query, title="/debug/%s" % name)
+
+            def _reply_json(self, status: int, payload, query: str,
+                            title: str = "debug"):
+                if "format=html" in query:
+                    body = _render_html(title, payload).encode("utf-8")
+                    self._reply(status, "text/html; charset=utf-8", body)
+                else:
+                    body = json.dumps(payload, default=repr).encode("utf-8")
+                    self._reply(status, "application/json", body)
 
             def _reply(self, status: int, content_type: str, body: bytes):
                 self.send_response(status)
@@ -152,3 +214,22 @@ class MetricsServer:
     def __repr__(self) -> str:
         state = "serving on %s" % self.url if self._httpd else "stopped"
         return "MetricsServer(%s, %d sources)" % (state, len(self.sources))
+
+
+def _render_html(title: str, payload: Any) -> str:
+    """A self-contained HTML view of a debug payload: the pretty-printed
+    JSON in a ``<pre>``, no external assets, auto-refresh every 5 s."""
+    pretty = json.dumps(payload, indent=2, sort_keys=True, default=repr)
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<meta http-equiv='refresh' content='5'>"
+        "<title>%(title)s</title>"
+        "<style>body{font-family:monospace;margin:1.5em;background:#fafafa}"
+        "pre{background:#fff;border:1px solid #ddd;padding:1em;"
+        "overflow-x:auto}</style></head>"
+        "<body><h1>%(title)s</h1><pre>%(body)s</pre></body></html>"
+        % {
+            "title": _html.escape(title),
+            "body": _html.escape(pretty),
+        }
+    )

@@ -37,6 +37,7 @@ import tracemalloc
 from typing import Any, Dict, List, Optional
 
 from ..exceptions import ResourceBudgetExceeded
+from .context import current_trace_id
 
 __all__ = [
     "ResourceBudget",
@@ -99,6 +100,7 @@ class ResourceUsage:
     __slots__ = (
         "wall_seconds", "cpu_seconds", "peak_memory_bytes",
         "peak_intermediate_rows", "subqueries", "soft_violations",
+        "trace_id",
     )
 
     def __init__(self) -> None:
@@ -108,6 +110,9 @@ class ResourceUsage:
         self.peak_intermediate_rows = 0
         self.subqueries = 0
         self.soft_violations: List[str] = []
+        #: Trace id of the query this usage belongs to (correlates
+        #: ``Result.resources`` with the obslog lines and spans).
+        self.trace_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -117,6 +122,7 @@ class ResourceUsage:
             "peak_intermediate_rows": self.peak_intermediate_rows,
             "subqueries": self.subqueries,
             "soft_violations": list(self.soft_violations),
+            "trace_id": self.trace_id,
         }
 
     def __repr__(self) -> str:
@@ -222,12 +228,18 @@ class ResourceMonitor:
             return
         hard_rows = budget.hard_intermediate_rows
         if hard_rows is not None and rows > hard_rows:
-            raise ResourceBudgetExceeded("intermediate-rows", hard_rows, rows)
+            raise ResourceBudgetExceeded(
+                "intermediate-rows", hard_rows, rows,
+                trace_id=usage.trace_id or current_trace_id(),
+            )
         hard_wall = budget.hard_wall_seconds
         if hard_wall is not None:
             elapsed = time.perf_counter() - self._start_wall
             if elapsed > hard_wall:
-                raise ResourceBudgetExceeded("wall-seconds", hard_wall, elapsed)
+                raise ResourceBudgetExceeded(
+                    "wall-seconds", hard_wall, elapsed,
+                    trace_id=usage.trace_id or current_trace_id(),
+                )
 
     def note_subqueries(self, n: int) -> None:
         with self._lock:
@@ -245,6 +257,7 @@ class ResourceMonitor:
                 self._started_tracemalloc = True
         self._previous = getattr(_active, "monitor", None)
         _active.monitor = self
+        self.usage.trace_id = current_trace_id()
         self._start_cpu = time.process_time()
         self._start_wall = time.perf_counter()
         return self
@@ -272,7 +285,8 @@ class ResourceMonitor:
                 and usage.wall_seconds > budget.hard_wall_seconds
             ):
                 raise ResourceBudgetExceeded(
-                    "wall-seconds", budget.hard_wall_seconds, usage.wall_seconds
+                    "wall-seconds", budget.hard_wall_seconds, usage.wall_seconds,
+                    trace_id=usage.trace_id or current_trace_id(),
                 )
             if (
                 budget.hard_memory_bytes is not None
@@ -280,7 +294,8 @@ class ResourceMonitor:
                 and usage.peak_memory_bytes > budget.hard_memory_bytes
             ):
                 raise ResourceBudgetExceeded(
-                    "memory-bytes", budget.hard_memory_bytes, usage.peak_memory_bytes
+                    "memory-bytes", budget.hard_memory_bytes, usage.peak_memory_bytes,
+                    trace_id=usage.trace_id or current_trace_id(),
                 )
         return False
 

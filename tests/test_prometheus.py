@@ -1,7 +1,10 @@
-"""Tests for the Prometheus text exposition and the /metrics endpoint."""
+"""Tests for the Prometheus text exposition, the /metrics endpoint, and
+the /debug/* routes."""
 
 import json
 import re
+import threading
+import urllib.error
 import urllib.request
 
 from repro.engine import Session
@@ -163,3 +166,181 @@ def test_server_stop_frees_the_port():
     rebound = MetricsServer(MetricsRegistry(), port=port).start()
     assert rebound.port == port
     rebound.stop()
+
+
+# ---------------------------------------------------------------------------
+# /debug routes
+# ---------------------------------------------------------------------------
+def _get_json(url):
+    with urllib.request.urlopen(url) as response:
+        assert response.headers["Content-Type"].startswith("application/json")
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def test_debug_index_and_named_routes():
+    providers = {"queries": lambda: {"in_flight": []}, "answer": lambda: 42}
+    with MetricsServer(MetricsRegistry(), debug=providers) as server:
+        status, index = _get_json(server.url + "/debug")
+        assert status == 200
+        assert sorted(index["routes"]) == ["/debug/answer", "/debug/queries"]
+        status, payload = _get_json(server.url + "/debug/queries")
+        assert status == 200 and payload == {"in_flight": []}
+        status, payload = _get_json(server.url + "/debug/answer")
+        assert payload == 42
+        status, health = _get_json(server.url + "/healthz")
+        assert health["debug_routes"] == ["answer", "queries"]
+
+
+def test_debug_unknown_route_is_a_404_listing_valid_ones():
+    with MetricsServer(MetricsRegistry(), debug={"stats": dict}) as server:
+        try:
+            urllib.request.urlopen(server.url + "/debug/nope")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+            body = json.loads(exc.read().decode("utf-8"))
+            assert "/debug/stats" in body["routes"]
+        else:  # pragma: no cover
+            raise AssertionError("expected a 404")
+
+
+def test_debug_provider_exception_is_a_500_json():
+    def broken():
+        raise RuntimeError("boom")
+
+    with MetricsServer(MetricsRegistry(), debug={"broken": broken}) as server:
+        try:
+            urllib.request.urlopen(server.url + "/debug/broken")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 500
+            body = json.loads(exc.read().decode("utf-8"))
+            assert "RuntimeError" in body["error"] and "boom" in body["error"]
+        else:  # pragma: no cover
+            raise AssertionError("expected a 500")
+
+
+def test_debug_html_format_renders_a_page():
+    with MetricsServer(MetricsRegistry(), debug={"stats": lambda: {"k": 1}}) as server:
+        with urllib.request.urlopen(server.url + "/debug/stats?format=html") as r:
+            assert r.headers["Content-Type"].startswith("text/html")
+            body = r.read().decode("utf-8")
+    assert "<html" in body and "&quot;k&quot;" in body
+
+
+def test_add_debug_registers_routes_after_start():
+    with MetricsServer(MetricsRegistry()) as server:
+        status, index = _get_json(server.url + "/debug")
+        assert index["routes"] == []
+        server.add_debug("late", lambda: {"ok": True})
+        status, payload = _get_json(server.url + "/debug/late")
+        assert payload == {"ok": True}
+
+
+def test_session_debug_providers_serve_live_json():
+    # The query registry rides on the observation path, so the session
+    # needs *some* observability turned on (obslog, resources, or stats).
+    with Session(example2_graph(), track_resources=True) as session:
+        session.query(EXAMPLE2_QUERY)
+        session.explain(EXAMPLE2_QUERY)   # /debug/plans shows the EXPLAIN cache
+        with MetricsServer(
+            session.planner.metrics, debug=session.debug_providers()
+        ) as server:
+            _, queries = _get_json(server.url + "/debug/queries")
+            assert queries["in_flight"] == []
+            assert len(queries["recent"]) == 1
+            recent = queries["recent"][0]
+            assert recent["op"] == "query" and recent["trace_id"]
+            _, plans = _get_json(server.url + "/debug/plans")
+            assert len(plans["plans"]) == 1
+            assert plans["plans"][0]["fingerprint"] == recent["query_id"]
+            _, stats = _get_json(server.url + "/debug/stats")
+            assert "queries" in stats  # empty store shape without a store
+
+
+def test_debug_queries_shows_in_flight_work():
+    barrier = threading.Barrier(2, timeout=10)
+    parked = []
+
+    from repro.core.atoms import atom
+    from repro.core.database import Database
+
+    class ParkingDB(Database):
+        """Parks the first data access, so the query is deterministically
+        in flight while the main thread hits /debug/queries."""
+
+        __slots__ = ()
+
+        def _park_once(self):
+            if not parked:
+                parked.append(True)
+                barrier.wait()       # query is now in flight
+                barrier.wait()       # released after the scrape
+
+        def match(self, pattern):
+            self._park_once()
+            return super().match(pattern)
+
+        def match_count(self, pattern):
+            self._park_once()
+            return super().match_count(pattern)
+
+    db = ParkingDB([atom("E", 1, 2), atom("E", 2, 3)])
+    with Session(db, track_resources=True, cache=False) as session:
+        with MetricsServer(
+            session.planner.metrics, debug=session.debug_providers()
+        ) as server:
+            worker = threading.Thread(
+                target=session.query, args=("(?x, E, ?y)",)
+            )
+            worker.start()
+            try:
+                barrier.wait()
+                _, payload = _get_json(server.url + "/debug/queries")
+            finally:
+                barrier.wait()
+                worker.join()
+            assert len(payload["in_flight"]) == 1
+            flight = payload["in_flight"][0]
+            assert flight["op"] == "query" and flight["trace_id"]
+            assert flight["elapsed_seconds"] >= 0
+    payload = session.debug_queries()
+    assert payload["in_flight"] == []
+    assert len(payload["recent"]) == 1
+
+
+def test_debug_endpoints_survive_concurrent_hammering():
+    with Session(example2_graph(), track_resources=True) as session:
+        session.query(EXAMPLE2_QUERY)
+        with MetricsServer(
+            session.planner.metrics, debug=session.debug_providers()
+        ) as server:
+            errors = []
+
+            def hammer(route):
+                try:
+                    for _ in range(20):
+                        if route.startswith("/debug"):
+                            status, _ = _get_json(server.url + route)
+                        else:  # /metrics and /healthz are not all JSON
+                            with urllib.request.urlopen(server.url + route) as r:
+                                status = r.status
+                        assert status == 200
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            def query_loop():
+                try:
+                    for _ in range(10):
+                        session.query(EXAMPLE2_QUERY)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(route,))
+                for route in ("/debug/queries", "/debug/plans", "/debug/stats",
+                              "/metrics", "/healthz")
+            ] + [threading.Thread(target=query_loop)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
