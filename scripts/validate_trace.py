@@ -5,8 +5,10 @@ Usage::
 
     python scripts/validate_trace.py trace.json
     python scripts/validate_trace.py --format obslog query_log.jsonl
+    python scripts/validate_trace.py profile.speedscope.json
+    python scripts/validate_trace.py profile.folded
 
-Two formats:
+Four formats:
 
 * ``chrome`` — a Chrome trace-event JSON file from the tracer.  Known
   span attributes (``kernel``, ``engine``, ``trace_id``, ``est_rows``,
@@ -14,12 +16,19 @@ Two formats:
   type-checked; attributes the validator does not know about are
   accepted, so instrumentation can grow without breaking old validators;
 * ``obslog`` — a JSON-lines structured query log from
-  :class:`repro.telemetry.obslog.QueryLog`.
+  :class:`repro.telemetry.obslog.QueryLog`;
+* ``speedscope`` — a sampled profile from
+  :mod:`repro.telemetry.profiler` (``repro profile --speedscope``,
+  ``repro run --profile-out``);
+* ``folded`` — Brendan-Gregg folded stacks from ``repro profile
+  --folded`` (flamegraph.pl input).
 
-``--format auto`` (the default) picks ``obslog`` for ``.jsonl`` files and
-``chrome`` otherwise.  Exits non-zero (listing the problems) when the file
-is missing, malformed, or empty — the CI trace-smoke job uses this to fail
-fast when the instrumentation regresses.
+``--format auto`` (the default) picks ``obslog`` for ``.jsonl`` files,
+``folded`` for ``.folded``/``.collapsed`` files, ``speedscope`` when the
+filename contains ``speedscope``, and ``chrome`` otherwise.  Exits
+non-zero (listing the problems) when the file is missing, malformed, or
+empty — the CI trace-smoke and profile-smoke jobs use this to fail fast
+when the instrumentation regresses.
 """
 
 import argparse
@@ -34,6 +43,7 @@ if os.path.isdir(_SRC) and _SRC not in sys.path:
 
 from repro.telemetry.export import SPAN_ATTR_TYPES, validate_chrome_trace  # noqa: E402
 from repro.telemetry.obslog import validate_obslog  # noqa: E402
+from repro.telemetry.profiler import validate_folded, validate_speedscope  # noqa: E402
 
 
 def validate_chrome_file(path):
@@ -73,23 +83,84 @@ def validate_obslog_file(path):
     return [], "%d query events" % count
 
 
+def validate_speedscope_file(path):
+    """(problems, summary) for a speedscope-JSON sampled profile."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        return ["cannot read: %s" % exc], None
+    except ValueError as exc:
+        return ["not valid JSON: %s" % exc], None
+    problems = validate_speedscope(payload)
+    if problems:
+        return problems, None
+    profiles = payload.get("profiles", [])
+    samples = sum(len(profile.get("samples", [])) for profile in profiles)
+    frames = len(payload.get("shared", {}).get("frames", []))
+    extra = (
+        ", trace_id %s" % payload["trace_id"]
+        if payload.get("trace_id") else ""
+    )
+    return [], "%d profile(s), %d sample(s) over %d frame(s)%s" % (
+        len(profiles), samples, frames, extra,
+    )
+
+
+def validate_folded_file(path):
+    """(problems, summary) for a folded-stacks text file."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        return ["cannot read: %s" % exc], None
+    problems = validate_folded(text)
+    if problems:
+        return problems, None
+    lines = [line for line in text.splitlines() if line.strip()]
+    total = sum(int(line.rsplit(None, 1)[1]) for line in lines)
+    return [], "%d folded stack(s), %d sample(s)" % (len(lines), total)
+
+
+_VALIDATORS = {
+    "chrome": validate_chrome_file,
+    "obslog": validate_obslog_file,
+    "speedscope": validate_speedscope_file,
+    "folded": validate_folded_file,
+}
+
+
+def detect_format(path):
+    """The format implied by ``path``'s name (the ``--format auto`` rule)."""
+    name = os.path.basename(path).lower()
+    if name.endswith(".jsonl"):
+        return "obslog"
+    if name.endswith((".folded", ".collapsed")):
+        return "folded"
+    if "speedscope" in name:
+        return "speedscope"
+    return "chrome"
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="validate_trace.py",
-        description="Validate a Chrome trace or a JSON-lines query log.",
+        description="Validate a Chrome trace, JSON-lines query log, "
+                    "speedscope profile, or folded stacks.",
     )
     parser.add_argument("path", help="file to validate")
     parser.add_argument(
-        "--format", choices=("auto", "chrome", "obslog"), default="auto",
-        help="file format (auto: .jsonl → obslog, else chrome)",
+        "--format", choices=("auto",) + tuple(sorted(_VALIDATORS)),
+        default="auto",
+        help="file format (auto: .jsonl → obslog, .folded/.collapsed → "
+             "folded, *speedscope* → speedscope, else chrome)",
     )
     args = parser.parse_args(argv)
 
     fmt = args.format
     if fmt == "auto":
-        fmt = "obslog" if args.path.endswith(".jsonl") else "chrome"
-    validate = validate_obslog_file if fmt == "obslog" else validate_chrome_file
-    problems, summary = validate(args.path)
+        fmt = detect_format(args.path)
+    problems, summary = _VALIDATORS[fmt](args.path)
     if problems:
         for problem in problems:
             print("error: %s: %s" % (args.path, problem), file=sys.stderr)

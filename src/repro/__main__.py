@@ -3,8 +3,12 @@
 Usage::
 
     python -m repro profile  "SELECT ?x WHERE { ?x knows ?y OPTIONAL { ?x age ?a } }"
+    python -m repro profile  QUERY  [TRIPLES.tsv]  [--hz HZ] [--duration S]
+                             [--speedscope OUT.json] [--folded OUT.folded]
     python -m repro run      QUERY  [TRIPLES.tsv]  [--analyze] [--trace-out trace.json]
-                             [--log-queries LOG.jsonl] [--slow-ms MS] [--jobs N]
+                             [--log-queries LOG.jsonl] [--slow-ms MS]
+                             [--max-log-bytes B] [--log-backups N] [--jobs N]
+                             [--profile-hz HZ] [--profile-out OUT.json]
                              [--backend {memory,sqlite}] [--store DB.sqlite]
                              [--save-db DB.sqlite] [--no-cache]
                              [--stats-store STATS.json] [--serve-debug PORT]
@@ -12,12 +16,18 @@ Usage::
     python -m repro analyze  QUERY  [TRIPLES.tsv]  [--trace-out trace.json]
     python -m repro metrics  [QUERY]  [TRIPLES.tsv]
     python -m repro serve-metrics  [TRIPLES.tsv]  [--port P] [--self-check]
+                             [--log-queries LOG.jsonl] [--max-log-bytes B]
     python -m repro bench    [--names N1,N2] [--repeats R] [--jobs J] [--out FILE]
+                             [--profile-hz HZ] [--profile-out OUT.json]
     python -m repro demo
 
 * ``profile`` parses the query (surface SPARQL first, the paper's
   algebraic notation as fallback) and prints the EXPLAIN profile — widths,
-  interface, and which of the paper's algorithms apply.
+  interface, and which of the paper's algorithms apply.  With any of
+  ``--hz``/``--duration``/``--speedscope``/``--folded`` it instead runs
+  the query in a loop under the span-aware sampling profiler
+  (:mod:`repro.telemetry.profiler`) and reports the hottest stacks,
+  optionally exporting speedscope JSON and/or folded flamegraph stacks.
 * ``run`` additionally evaluates over a tab/whitespace-separated triples
   file (one ``subject predicate object`` per line; ``#`` comments);
   ``--analyze`` appends the EXPLAIN ANALYZE report, ``--trace-out``
@@ -98,14 +108,105 @@ def _load_triples(path: str) -> RDFGraph:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     p = _parse_any(args.query)
-    print(p)
-    print()
-    print(explain(p).as_table())
+    sampling = (
+        args.hz is not None
+        or args.duration is not None
+        or args.speedscope is not None
+        or args.folded is not None
+    )
+    if not sampling:
+        print(p)
+        print()
+        print(explain(p).as_table())
+        return 0
+    return _profile_sampled(args, p)
+
+
+def _profile_sampled(args: argparse.Namespace, p: WDPT) -> int:
+    """Run ``p`` in a loop under the sampling profiler and report/export.
+
+    The loop runs at least ``--repeat`` iterations AND at least
+    ``--duration`` seconds (whichever is longer), with the result cache
+    disabled — otherwise every iteration after the first is a cache hit
+    and the flamegraph shows nothing but dictionary lookups.
+    """
+    import time
+
+    from .engine import Session
+    from .telemetry.profiler import DEFAULT_HZ, SamplingProfiler
+    from .telemetry.tracer import tracing
+
+    if args.triples is not None:
+        graph = _load_triples(args.triples)
+    else:
+        from .workloads.families import example2_graph
+
+        graph = example2_graph()
+    hz = int(args.hz) if args.hz is not None else DEFAULT_HZ
+    duration = float(args.duration) if args.duration is not None else 1.0
+    session = Session(graph, cache=False)
+    profiler = SamplingProfiler(hz=hz, registry=session.planner.metrics)
+    runs = 0
+    profiler.start()
+    try:
+        # A recording tracer makes the evaluators open spans, which is
+        # what lets the profiler attribute samples to plan phases.
+        with tracing():
+            deadline = time.monotonic() + duration
+            start = time.monotonic()
+            while runs < args.repeat or time.monotonic() < deadline:
+                session.query(p)
+                runs += 1
+            elapsed = time.monotonic() - start
+    finally:
+        profiler.stop()
+        session.close()
+    summary = profiler.summary(top=args.top)
+    print(
+        "profiled %d run(s) in %.2fs: %d sample(s) at %d Hz"
+        % (runs, elapsed, summary["samples"], hz)
+    )
+    if summary["phases"]:
+        print(
+            "phases: "
+            + ", ".join(
+                "%s %d" % (phase, n)
+                for phase, n in sorted(
+                    summary["phases"].items(), key=lambda kv: -kv[1]
+                )
+            )
+        )
+    if summary["top"]:
+        print("hottest stacks (by %s):" % args.by)
+        for stack, count in sorted(
+            profiler.folded(by=args.by).items(), key=lambda kv: -kv[1]
+        )[: args.top]:
+            print("  %6d  %s" % (count, stack))
+    if args.speedscope:
+        profiler.write_speedscope(
+            args.speedscope, name="repro profile: %s" % args.query, by=args.by
+        )
+        print("wrote speedscope profile to %s" % args.speedscope)
+    if args.folded:
+        try:
+            with open(args.folded, "w") as handle:
+                handle.write(profiler.folded_text(by=args.by))
+        except OSError as exc:
+            raise ReproError(
+                "cannot write folded stacks to %s: %s" % (args.folded, exc)
+            ) from exc
+        print("wrote folded stacks to %s" % args.folded)
+    if summary["samples"] == 0:
+        print(
+            "note: no samples captured — the query is faster than the "
+            "sampling interval; raise --hz or --duration"
+        )
     return 0
 
 
 def _make_obslog(args: argparse.Namespace):
-    """A :class:`QueryLog` from ``--log-queries``/``--slow-ms`` (or None)."""
+    """A :class:`QueryLog` from ``--log-queries``/``--slow-ms`` (or None),
+    with size rotation when ``--max-log-bytes`` is given."""
     log_path = getattr(args, "log_queries", None)
     slow_ms = getattr(args, "slow_ms", None)
     if log_path is None and slow_ms is None:
@@ -114,11 +215,53 @@ def _make_obslog(args: argparse.Namespace):
 
     threshold = slow_ms / 1000.0 if slow_ms is not None else None
     try:
-        return QueryLog(sink=log_path, slow_threshold=threshold)
+        return QueryLog(
+            sink=log_path,
+            slow_threshold=threshold,
+            max_bytes=getattr(args, "max_log_bytes", None),
+            backup_count=getattr(args, "log_backups", 3),
+        )
     except OSError as exc:
         raise ReproError(
             "cannot open query log %s: %s" % (log_path, exc)
         ) from exc
+
+
+def _start_profiler(args: argparse.Namespace, registry):
+    """A started :class:`SamplingProfiler` from ``--profile-hz`` (or None)."""
+    hz = getattr(args, "profile_hz", None)
+    if hz is None:
+        return None
+    from .telemetry.profiler import MAX_HZ, SamplingProfiler
+
+    hz = max(1, min(int(hz), MAX_HZ))
+    return SamplingProfiler(hz=hz, registry=registry).start()
+
+
+def _finish_profiler(args: argparse.Namespace, profiler) -> None:
+    """Stop ``profiler`` and write ``--profile-out`` / print a summary."""
+    if profiler is None:
+        return
+    profiler.stop()
+    out = getattr(args, "profile_out", None)
+    if out:
+        profiler.write_speedscope(out, by="phase")
+        print(
+            "wrote %d profile sample(s) to %s"
+            % (profiler.sample_count, out)
+        )
+    else:
+        summary = profiler.summary(top=3)
+        phases = ", ".join(
+            "%s %d" % (phase, n)
+            for phase, n in sorted(
+                summary["phases"].items(), key=lambda kv: -kv[1]
+            )
+        ) or "none"
+        print(
+            "profile: %d sample(s) at %d Hz (phases: %s)"
+            % (summary["samples"], profiler.hz, phases)
+        )
 
 
 def _make_stats_store(args: argparse.Namespace):
@@ -175,6 +318,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "serving %s/metrics, %s/healthz and %s/debug"
             % (server.url, server.url, server.url)
         )
+    profiler = _start_profiler(args, session.planner.metrics)
     try:
         if args.analyze or args.trace_out:
             report = session.analyze(p)
@@ -199,10 +343,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             print("saved query stats to %s" % args.stats_store)
         if args.save_db:
             print("saved database to %s" % args.save_db)
+        _finish_profiler(args, profiler)
+        profiler = None
         if server is not None and args.serve_seconds > 0:
             print("serving debug endpoints for %gs" % args.serve_seconds)
             time.sleep(args.serve_seconds)
     finally:
+        if profiler is not None:
+            profiler.stop()
         if server is not None:
             server.stop()
         session.close()
@@ -261,16 +409,16 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def _metrics_session(args: argparse.Namespace):
+def _metrics_session(args: argparse.Namespace, obslog=None):
     """A Session plus warm-up query for the metrics subcommands."""
     from .engine import Session
 
     if args.triples is not None:
-        session = Session(_load_triples(args.triples))
+        session = Session(_load_triples(args.triples), obslog=obslog)
     else:
         from .workloads.families import example2_graph
 
-        session = Session(example2_graph())
+        session = Session(example2_graph(), obslog=obslog)
     if getattr(args, "query", None):
         p = _parse_any(args.query)
     else:
@@ -285,7 +433,8 @@ def cmd_serve_metrics(args: argparse.Namespace) -> int:
 
     from .telemetry.promhttp import MetricsServer
 
-    session, p = _metrics_session(args)
+    obslog = _make_obslog(args)
+    session, p = _metrics_session(args, obslog=obslog)
     session.query(p)  # warm the registry so the exposition is non-empty
     server = MetricsServer(
         session.planner.metrics, host=args.host, port=args.port,
@@ -314,6 +463,9 @@ def cmd_serve_metrics(args: argparse.Namespace) -> int:
         return 0
     finally:
         server.stop()
+        session.close()
+        if obslog is not None:
+            obslog.close()
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -325,9 +477,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .benchharness.reporting import format_table
 
     names = args.names.split(",") if args.names else None
-    point = build_point(
-        names=names, repeats=args.repeats, backend=args.backend
-    )
+    profiler = _start_profiler(args, None)
+    try:
+        point = build_point(
+            names=names, repeats=args.repeats, backend=args.backend,
+            profiler=profiler,
+        )
+    finally:
+        _finish_profiler(args, profiler)
     rows = [
         [name, "%.6f" % bench["seconds"]]
         for name, bench in sorted(point["benchmarks"].items())
@@ -389,8 +546,49 @@ def main(argv: Optional[list] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_profile = sub.add_parser("profile", help="parse a query and print its EXPLAIN profile")
+    p_profile = sub.add_parser(
+        "profile",
+        help="print a query's EXPLAIN profile, or (with --hz/--duration/"
+             "--speedscope/--folded) sample its execution into a flamegraph",
+    )
     p_profile.add_argument("query")
+    p_profile.add_argument(
+        "triples", nargs="?", default=None,
+        help="whitespace-separated 's p o' lines to profile against "
+             "(default: the paper's Example 2 database)",
+    )
+    p_profile.add_argument(
+        "--hz", type=int, default=None, metavar="HZ",
+        help="sampling frequency (enables sampling mode; default: 100)",
+    )
+    p_profile.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="keep re-running the query for at least this long "
+             "(enables sampling mode; default: 1.0)",
+    )
+    p_profile.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the query at least N times (default: 1)",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="print the N hottest stacks (default: 10)",
+    )
+    p_profile.add_argument(
+        "--by", default="phase", choices=["phase", "frames"],
+        help="fold stacks under a plan-phase root (plan/semijoin/join/"
+             "enumerate) or by Python frames only (default: %(default)s)",
+    )
+    p_profile.add_argument(
+        "--speedscope", metavar="FILE.json", default=None,
+        help="write the profile as speedscope JSON "
+             "(open at https://speedscope.app; enables sampling mode)",
+    )
+    p_profile.add_argument(
+        "--folded", metavar="FILE.folded", default=None,
+        help="write Brendan-Gregg folded stacks (flamegraph.pl input; "
+             "enables sampling mode)",
+    )
     p_profile.set_defaults(func=cmd_profile)
 
     p_run = sub.add_parser(
@@ -419,6 +617,24 @@ def main(argv: Optional[list] = None) -> int:
         "--slow-ms", type=float, default=None, metavar="MS",
         help="capture the EXPLAIN ANALYZE profile of queries slower than "
              "this into the query log (implies query logging)",
+    )
+    p_run.add_argument(
+        "--max-log-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the query log when it reaches this size "
+             "(default: never rotate)",
+    )
+    p_run.add_argument(
+        "--log-backups", type=int, default=3, metavar="N",
+        help="rotated query-log files to keep as LOG.jsonl.1..N "
+             "(0 = truncate in place; default: %(default)s)",
+    )
+    p_run.add_argument(
+        "--profile-hz", type=int, default=None, metavar="HZ",
+        help="sample wall-clock stacks at HZ while the query runs",
+    )
+    p_run.add_argument(
+        "--profile-out", metavar="FILE.json", default=None,
+        help="with --profile-hz, write the profile as speedscope JSON",
     )
     p_run.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -511,6 +727,26 @@ def main(argv: Optional[list] = None) -> int:
         "--self-check", action="store_true",
         help="fetch the endpoint once, print the response, and exit",
     )
+    p_serve.add_argument(
+        "--log-queries", metavar="LOG.jsonl", default=None,
+        help="append structured query events as JSON lines while serving",
+    )
+    p_serve.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="capture the EXPLAIN ANALYZE profile of queries slower than "
+             "this into the query log (implies query logging)",
+    )
+    p_serve.add_argument(
+        "--max-log-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the query log when it reaches this size — long-lived "
+             "servers otherwise grow the log unboundedly "
+             "(default: never rotate)",
+    )
+    p_serve.add_argument(
+        "--log-backups", type=int, default=3, metavar="N",
+        help="rotated query-log files to keep as LOG.jsonl.1..N "
+             "(0 = truncate in place; default: %(default)s)",
+    )
     p_serve.set_defaults(func=cmd_serve_metrics)
 
     p_bench = sub.add_parser(
@@ -539,6 +775,17 @@ def main(argv: Optional[list] = None) -> int:
         "--backend", default="memory", choices=["memory", "sqlite"],
         help="storage backend the benchmarks run against "
              "(default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--profile-hz", type=int, default=None, metavar="HZ",
+        help="sample wall-clock stacks at HZ during the benchmarks; each "
+             "trajectory point's benchmarks gain a per-window profile "
+             "summary",
+    )
+    p_bench.add_argument(
+        "--profile-out", metavar="FILE.json", default=None,
+        help="with --profile-hz, write the combined profile as "
+             "speedscope JSON",
     )
     p_bench.set_defaults(func=cmd_bench)
 

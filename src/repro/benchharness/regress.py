@@ -308,9 +308,20 @@ def build_point(
     names: Optional[Sequence[str]] = None,
     repeats: int = 3,
     backend: str = "memory",
+    profiler=None,
 ) -> Dict[str, Any]:
     """Run the named benchmarks (all by default) against the given
-    storage backend and return one point."""
+    storage backend and return one point.
+
+    With ``profiler=`` (a *running*
+    :class:`~repro.telemetry.profiler.SamplingProfiler`) each benchmark
+    entry also carries a ``"profile"`` summary — sample counts, phase
+    split and hottest folded stacks for that benchmark's timed window —
+    and the profiler retains all samples afterwards so the caller can
+    export one flamegraph for the whole point.
+    """
+    from ..telemetry.profiler import summarize_samples
+
     selected = list(names) if names else sorted(BENCHMARKS)
     unknown = [n for n in selected if n not in BENCHMARKS]
     if unknown:
@@ -320,13 +331,24 @@ def build_point(
         )
     planner = Planner()
     benchmarks: Dict[str, Any] = {}
+    profiled: List[Any] = []
     for name in selected:
         workload = BENCHMARKS[name](planner, backend)
         workload()  # warm caches: measure steady-state, not first-parse
+        if profiler is not None:
+            profiled.extend(profiler.drain())  # warm-up samples: keep, unattributed
         benchmarks[name] = {
             "seconds": time_callable(workload, repeats=repeats),
             "stages": stage_breakdown(workload),
         }
+        if profiler is not None:
+            window = profiler.drain()
+            profiled.extend(window)
+            benchmarks[name]["profile"] = summarize_samples(
+                window, profiler.hz, top=5
+            )
+    if profiler is not None:
+        profiler.absorb(profiled)
     return {
         "schema": TRAJECTORY_SCHEMA,
         "backend": backend,

@@ -66,6 +66,7 @@ from .storage import ResultCache, StorageBackend, to_backend
 from .storage.cache import DEFAULT_SIZE as DEFAULT_CACHE_SIZE
 from .telemetry.insight import STATS_SCHEMA, QueryStatsStore
 from .telemetry.obslog import QueryLog, QueryObservation
+from .telemetry.profiler import current_profiler, gc_summary
 from .telemetry.resources import ResourceBudget
 from .telemetry.tracer import Tracer, current_tracer, tracing
 from .wdpt.eval_tractable import eval_tractable
@@ -99,6 +100,11 @@ class Result:
         #: :class:`~repro.telemetry.resources.ResourceUsage` when the
         #: session tracks resources; ``None`` otherwise.
         self.resources = None
+        #: Sampling-profiler samples attributed to this query's trace
+        #: (:mod:`repro.telemetry.profiler`) when a profiler was running;
+        #: ``None`` otherwise.  Feed them to ``folded_text`` /
+        #: ``to_speedscope`` for a per-query flamegraph.
+        self.profile_samples = None
 
     def __iter__(self):
         return iter(sorted(self.answers, key=repr))
@@ -302,9 +308,10 @@ class Session:
                         self.obslog is not None,
                         self.stats_store is not None,
                     ),
+                    metrics=self.planner.metrics,
                 )
             else:
-                pool = WorkerPool(jobs, "thread")
+                pool = WorkerPool(jobs, "thread", metrics=self.planner.metrics)
             self._pools[key] = pool
         return pool
 
@@ -387,15 +394,27 @@ class Session:
     # ------------------------------------------------------------------
     def _observe(self, op: str, query: Query) -> Optional[QueryObservation]:
         """A per-call observation when obslog/budgets/resource tracking or
-        a stats store is configured; ``None`` (the zero-overhead path)
+        a stats store is configured — or a sampling profiler is running,
+        so profiled queries get a ``trace_id`` their samples attribute
+        to; ``None`` (the zero-overhead path, one module-global read)
         otherwise."""
         if (
             self.obslog is None
             and not self.track_resources
             and self.stats_store is None
         ):
-            return None
+            profiler = current_profiler()
+            if profiler is None or not profiler.running:
+                return None
         return QueryObservation(self, op, query)
+
+    @staticmethod
+    def _attach_profile(result: Result, obs: QueryObservation) -> None:
+        """Attach the running profiler's samples for this query's trace
+        to the result (no-op when no profiler is running)."""
+        profiler = current_profiler()
+        if profiler is not None and profiler.running:
+            result.profile_samples = profiler.samples_for_trace(obs.trace_id)
 
     # ------------------------------------------------------------------
     # Live query registry (/debug/queries)
@@ -525,6 +544,7 @@ class Session:
             result = self._query_impl(query, obs)
             obs.finish(result.query, len(result.answers))
         result.resources = obs.usage
+        self._attach_profile(result, obs)
         return result
 
     def _query_impl(self, query: Query, obs: Optional[QueryObservation]) -> Result:
@@ -560,6 +580,7 @@ class Session:
             result = self._query_maximal_impl(query, obs)
             obs.finish(result.query, len(result.answers))
         result.resources = obs.usage
+        self._attach_profile(result, obs)
         return result
 
     def _query_maximal_impl(
@@ -710,6 +731,7 @@ class Session:
         out["result_cache"] = (
             self.result_cache.stats() if self.result_cache is not None else None
         )
+        out["gc"] = gc_summary(self.planner.metrics)
         return out
 
     def reset_stats(self) -> None:

@@ -18,7 +18,8 @@ Two executors (:data:`repro.parallel.pool.EXECUTORS`):
   private :class:`~repro.engine.Session` built once per worker from the
   pickled database (so its plan cache warms across the tasks it serves).
   Tasks ship back ``(index, value, usage, worker_id, metrics dump,
-  obslog records, span dicts, stats dump)`` envelopes; the parent folds
+  obslog records, span dicts, stats dump, profile dump)`` envelopes; the
+  parent folds
   the per-task :meth:`~repro.telemetry.metrics.MetricsRegistry.dump`
   payloads into the session's registry **in task order**, making the
   merged metrics deterministic regardless of which worker ran which
@@ -155,16 +156,28 @@ def _init_process_worker(
     _worker_session._want_stats = want_stats
 
 
-def _run_process_task(task: Tuple[int, str, Any, Any, Optional[str], bool]):
-    """Run one ``(index, op, query, candidate, trace_id, want_trace)``
-    task on the worker's session and return a picklable envelope.  Fresh
-    metrics/stats accumulators are swapped in per task, so the payloads
-    shipped back are exactly this task's contribution — the parent merges
-    them in task order.  The batch's ``trace_id`` is installed for the
-    duration of the task, so every record and span the worker emits
-    carries it."""
-    index, op, query, candidate, trace_id, want_trace = task
+def _run_process_task(
+    task: Tuple[int, str, Any, Any, Optional[str], bool, Optional[int]]
+):
+    """Run one ``(index, op, query, candidate, trace_id, want_trace,
+    profile_hz)`` task on the worker's session and return a picklable
+    envelope.  Fresh metrics/stats accumulators are swapped in per task,
+    so the payloads shipped back are exactly this task's contribution —
+    the parent merges them in task order.  The batch's ``trace_id`` is
+    installed for the duration of the task, so every record and span the
+    worker emits carries it.  ``profile_hz`` (set when the parent has a
+    sampling profiler running) keeps a worker-local profiler running at
+    that rate; the samples collected during the task ship home in the
+    envelope and the parent absorbs them, so a parallel batch still
+    yields one merged, trace-attributed profile."""
+    index, op, query, candidate, trace_id, want_trace, profile_hz = task
     session = _worker_session
+    profiler = None
+    if profile_hz:
+        from ..telemetry.profiler import ensure_profiler
+
+        profiler = ensure_profiler(profile_hz)
+        profiler.drain()  # keep only this task's samples for the envelope
     registry = MetricsRegistry()
     session.planner.metrics = registry
     if getattr(session, "_want_stats", False):
@@ -198,9 +211,10 @@ def _run_process_task(task: Tuple[int, str, Any, Any, Optional[str], bool]):
     stats_dump = (
         session.stats_store.dump() if session.stats_store is not None else None
     )
+    profile_dump = profiler.dump(drain=True) if profiler is not None else None
     return (
         index, value, usage, process_worker_id(), registry.dump(),
-        list(_worker_records), span_dicts, stats_dump,
+        list(_worker_records), span_dicts, stats_dump, profile_dump,
     )
 
 
@@ -310,16 +324,23 @@ def _run_process_batch(session, tasks, jobs: int, trace_id: Optional[str]):
     are folded into the parent's log/tracer/store in task order."""
     from ..engine import Result
 
+    from ..telemetry.profiler import current_profiler
+
     tracer = current_tracer()
     want_trace = bool(getattr(tracer, "enabled", False))
+    profiler = current_profiler()
+    if profiler is not None and not profiler.running:
+        profiler = None
+    profile_hz = profiler.hz if profiler is not None else None
     pool = session._pool_for(jobs, "process")
-    shipped = [task + (trace_id, want_trace) for task in tasks]
+    shipped = [task + (trace_id, want_trace, profile_hz) for task in tasks]
     chunksize = max(1, len(tasks) // (jobs * 4))
     envelopes = pool.map_tasks(_run_process_task, shipped, chunksize=chunksize)
     results: List[Any] = []
     worker_ids: List[Optional[str]] = []
     for (index, op, query, _), envelope in zip(tasks, envelopes):
-        env_index, value, usage, worker_id, dump, records, spans, stats = envelope
+        (env_index, value, usage, worker_id, dump, records, spans, stats,
+         profile_dump) = envelope
         assert env_index == index
         session.planner.metrics.merge_dump(dump)
         if records and session.obslog is not None:
@@ -328,6 +349,8 @@ def _run_process_batch(session, tasks, jobs: int, trace_id: Optional[str]):
             _graft_spans(tracer, spans)
         if stats is not None and session.stats_store is not None:
             session.stats_store.merge_dump(stats)
+        if profile_dump and profiler is not None:
+            profiler.absorb_dump(profile_dump)
         worker_ids.append(worker_id)
         if op == "ask":
             results.append(value)

@@ -106,6 +106,13 @@ class WorkerPool:
 
     ``jobs=1`` (or fewer items than 2) short-circuits to an inline loop —
     a ``WorkerPool`` is always safe to use unconditionally.
+
+    With ``metrics=`` (a :class:`~repro.telemetry.metrics.MetricsRegistry`)
+    the pool exports saturation gauges, labelled by executor kind, so
+    ``/metrics`` shows pool pressure: ``pool.queue_depth`` (submitted,
+    not yet started), ``pool.active_workers`` (running right now; for
+    process pools an estimate — the parent cannot observe task starts
+    inside workers), and a ``pool.tasks_total`` counter.
     """
 
     def __init__(
@@ -114,6 +121,7 @@ class WorkerPool:
         executor: str = "thread",
         initializer: Optional[Callable[..., None]] = None,
         initargs: tuple = (),
+        metrics=None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -122,10 +130,13 @@ class WorkerPool:
             )
         self.jobs = effective_cpu_count() if jobs is None else max(1, int(jobs))
         self.kind = executor
+        self.metrics = metrics
         self._executor = None
         self._initializer = initializer
         self._initargs = initargs
         self._worker_seq = 0
+        self._queued = 0
+        self._active = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -177,14 +188,73 @@ class WorkerPool:
         """
         items = list(items)
         if self.jobs <= 1 or len(items) < 2 or getattr(_local, "in_worker", False):
+            if self.metrics is not None and items:
+                self.metrics.counter(
+                    "pool.tasks_total", {"executor": self.kind}).inc(len(items))
             return [fn(item) for item in items]
         if self.kind == "process":
             executor = self._ensure_executor()
-            return list(executor.map(fn, items, chunksize=chunksize))
+            self._note_submitted(len(items))
+            # The parent cannot see task starts inside worker processes;
+            # report the whole map as queued with every worker busy, and
+            # settle both gauges when it completes.
+            self._note_process_active(min(self.jobs, len(items)))
+            try:
+                return list(executor.map(fn, items, chunksize=chunksize))
+            finally:
+                self._note_process_done(len(items))
         executor = self._ensure_executor()
+        self._note_submitted(len(items))
         monitor = _resources.current_monitor()
         run = self._thread_envelope(fn, monitor)
         return list(executor.map(run, items))
+
+    # ------------------------------------------------------------------
+    # Saturation gauges (repro.telemetry.metrics)
+    # ------------------------------------------------------------------
+    def _publish_gauges_locked(self) -> None:
+        labels = {"executor": self.kind}
+        self.metrics.gauge("pool.queue_depth", labels).set(self._queued)
+        self.metrics.gauge("pool.active_workers", labels).set(self._active)
+
+    def _note_submitted(self, n: int) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "pool.tasks_total", {"executor": self.kind}).inc(n)
+        with self._lock:
+            self._queued += n
+            self._publish_gauges_locked()
+
+    def _note_started(self) -> None:
+        if self.metrics is None:
+            return
+        with self._lock:
+            self._queued -= 1
+            self._active += 1
+            self._publish_gauges_locked()
+
+    def _note_finished(self) -> None:
+        if self.metrics is None:
+            return
+        with self._lock:
+            self._active -= 1
+            self._publish_gauges_locked()
+
+    def _note_process_active(self, n: int) -> None:
+        if self.metrics is None:
+            return
+        with self._lock:
+            self._active += n
+            self._publish_gauges_locked()
+
+    def _note_process_done(self, n_items: int) -> None:
+        if self.metrics is None:
+            return
+        with self._lock:
+            self._queued = max(0, self._queued - n_items)
+            self._active = max(0, self._active - min(self.jobs, n_items))
+            self._publish_gauges_locked()
 
     def _thread_envelope(
         self, fn: Callable[[Any], Any], monitor
@@ -206,9 +276,11 @@ class WorkerPool:
                     _local.worker_id = "t%d" % self._worker_seq
             previous = _resources.install_monitor(monitor)
             previous_trace = set_trace_context(trace_id, span_id)
+            self._note_started()
             try:
                 return fn(item)
             finally:
+                self._note_finished()
                 set_trace_context(*previous_trace)
                 _resources.install_monitor(previous)
                 _local.in_worker = False

@@ -17,7 +17,10 @@
   :class:`QueryStatsStore`;
 * :mod:`repro.telemetry.promhttp` — a stdlib ``/metrics`` + ``/healthz``
   + ``/debug/*`` endpoint serving the Prometheus text exposition and
-  live plan/query/stats snapshots.
+  live plan/query/stats snapshots;
+* :mod:`repro.telemetry.profiler` — the span-aware sampling wall-clock
+  profiler: folded-stack / speedscope flamegraph exports, per-trace
+  sample attribution, and GC health gauges.
 
 See ``docs/OBSERVABILITY.md`` for the full tour and
 :meth:`repro.engine.Session.analyze` for EXPLAIN ANALYZE built on top.
@@ -55,6 +58,25 @@ from .obslog import (
     QueryLog,
     QueryObservation,
     validate_obslog,
+)
+from .profiler import (
+    DEFAULT_HZ,
+    GCMonitor,
+    PROFILE_SCHEMA,
+    SamplingProfiler,
+    current_profiler,
+    ensure_profiler,
+    folded_stacks,
+    folded_text,
+    gc_summary,
+    profiler_active,
+    profiling,
+    span_phase,
+    summarize_samples,
+    to_speedscope,
+    validate_folded,
+    validate_speedscope,
+    write_speedscope,
 )
 from .promhttp import PROMETHEUS_CONTENT_TYPE, MetricsServer
 from .resources import (
@@ -117,6 +139,23 @@ __all__ = [
     "QueryLog",
     "QueryObservation",
     "validate_obslog",
+    "DEFAULT_HZ",
+    "GCMonitor",
+    "PROFILE_SCHEMA",
+    "SamplingProfiler",
+    "current_profiler",
+    "ensure_profiler",
+    "folded_stacks",
+    "folded_text",
+    "gc_summary",
+    "profiler_active",
+    "profiling",
+    "span_phase",
+    "summarize_samples",
+    "to_speedscope",
+    "validate_folded",
+    "validate_speedscope",
+    "write_speedscope",
     "PROMETHEUS_CONTENT_TYPE",
     "MetricsServer",
     "ResourceBudget",

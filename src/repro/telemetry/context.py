@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 import uuid
 from contextlib import contextmanager
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 __all__ = [
     "current_trace_id",
@@ -42,10 +42,20 @@ __all__ = [
     "new_span_id",
     "set_trace_context",
     "trace_context",
+    "trace_context_for_thread",
     "ensure_trace_id",
 ]
 
 _context = threading.local()
+
+# Cross-thread view of the per-thread context, keyed by thread ident.
+# Thread-locals are unreadable from other threads, but the sampling
+# profiler (repro.telemetry.profiler) attributes stack samples taken on
+# its own daemon thread to the trace in flight on the *sampled* thread.
+# set_trace_context maintains this map as a side channel: dict item
+# operations are atomic under the GIL, and the map is touched once per
+# query / pool task — never in evaluation hot loops.
+_threads: Dict[int, Tuple[Optional[str], Optional[str]]] = {}
 
 
 def new_trace_id() -> str:
@@ -76,7 +86,22 @@ def set_trace_context(
     previous = (current_trace_id(), current_span_id())
     _context.trace_id = trace_id
     _context.span_id = span_id
+    ident = threading.get_ident()
+    if trace_id is None and span_id is None:
+        _threads.pop(ident, None)
+    else:
+        _threads[ident] = (trace_id, span_id)
     return previous
+
+
+def trace_context_for_thread(
+    ident: int,
+) -> Tuple[Optional[str], Optional[str]]:
+    """The ``(trace_id, span_id)`` pair installed on the thread with the
+    given ident, or ``(None, None)``.  Readable from any thread — this is
+    how the sampling profiler tags samples with the sampled thread's
+    trace."""
+    return _threads.get(ident, (None, None))
 
 
 @contextmanager

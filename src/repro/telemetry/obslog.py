@@ -18,7 +18,11 @@ one JSON-serialisable record per lifecycle event —
   query ran longer than ``slow_threshold`` seconds; carries the full
   EXPLAIN ANALYZE profile (per-node static routing joined with the
   measured per-node trace) so the slow query can be diagnosed without
-  re-running it.
+  re-running it — and, when a sampling profiler
+  (:mod:`repro.telemetry.profiler`) is running, a ``profile_samples``
+  digest of the query's hottest stacks keyed by the same ``trace_id``;
+* ``log.rotated`` — a path sink reached ``max_bytes`` and was rotated
+  (first record of each fresh file).
 
 Records go to a sink (file path, file object, or callable) as JSON lines
 and into a bounded in-memory ring (:meth:`QueryLog.recent`) for
@@ -37,6 +41,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import sys
 import threading
 import time
@@ -85,6 +90,14 @@ class QueryLog:
         Per-node q-error above which a ``misestimate.detected`` record is
         emitted alongside ``query.complete`` (needs slow-query capture's
         recording tracer for the measured side).
+    max_bytes / backup_count:
+        Size-based rotation for **path sinks** (a long-lived
+        ``serve-metrics --log-queries`` daemon must not grow one file
+        unboundedly): once the file reaches ``max_bytes``, it is renamed
+        to ``<path>.1`` (existing backups shift to ``.2`` … up to
+        ``backup_count``, the oldest dropped) and a fresh file starts
+        with a ``log.rotated`` event as its first record.  ``max_bytes=None``
+        (default) disables rotation; non-path sinks ignore it.
     """
 
     def __init__(
@@ -94,9 +107,13 @@ class QueryLog:
         ring_size: int = 256,
         clock: Callable[[], float] = time.time,
         misestimate_threshold: float = DEFAULT_MISESTIMATE_QERROR,
+        max_bytes: Optional[int] = None,
+        backup_count: int = 3,
     ):
         self.slow_threshold = slow_threshold
         self.misestimate_threshold = misestimate_threshold
+        self.max_bytes = max_bytes
+        self.backup_count = max(0, int(backup_count))
         self._clock = clock
         self._seq = 0
         self._lock = threading.Lock()
@@ -105,6 +122,8 @@ class QueryLog:
         self._owns_handle = False
         self._write: Optional[Callable[[str], None]] = None
         self._call: Optional[Callable[[Dict[str, Any]], None]] = None
+        self._path: Optional[str] = None
+        self._bytes = 0
         if sink is None:
             pass
         elif callable(sink) and not hasattr(sink, "write"):
@@ -116,6 +135,11 @@ class QueryLog:
             self._owns_handle = True
             self._handle = handle
             self._write = handle.write
+            self._path = str(sink)
+            try:
+                self._bytes = os.path.getsize(self._path)
+            except OSError:
+                self._bytes = 0
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
         """Record one event; returns the complete record.
@@ -155,15 +179,59 @@ class QueryLog:
     def _append(self, record: Dict[str, Any]) -> None:
         """Sequence ``record`` and push it to the ring and the sink."""
         with self._lock:
+            if (
+                self._path is not None
+                and self.max_bytes is not None
+                and self._write is not None
+                and self._bytes >= self.max_bytes
+            ):
+                self._rotate_locked()
             self._seq += 1
             record["seq"] = self._seq
-            self._ring.append(record)
-            if len(self._ring) > self._ring_size:
-                del self._ring[: len(self._ring) - self._ring_size]
-            if self._write is not None:
-                self._write(json.dumps(record, default=repr) + "\n")
-            if self._call is not None:
-                self._call(record)
+            self._push_locked(record)
+
+    def _push_locked(self, record: Dict[str, Any]) -> None:
+        self._ring.append(record)
+        if len(self._ring) > self._ring_size:
+            del self._ring[: len(self._ring) - self._ring_size]
+        if self._write is not None:
+            line = json.dumps(record, default=repr) + "\n"
+            self._write(line)
+            self._bytes += len(line)
+        if self._call is not None:
+            self._call(record)
+
+    def _rotate_locked(self) -> None:
+        """Close the current file, shift ``<path>.N`` backups, start a
+        fresh file whose first record is a ``log.rotated`` event."""
+        rotated_bytes = self._bytes
+        self._handle.close()
+        rotated_to: Optional[str] = None
+        if self.backup_count > 0:
+            for n in range(self.backup_count - 1, 0, -1):
+                older = "%s.%d" % (self._path, n)
+                if os.path.exists(older):
+                    os.replace(older, "%s.%d" % (self._path, n + 1))
+            rotated_to = self._path + ".1"
+            os.replace(self._path, rotated_to)
+            mode = "a"
+        else:
+            mode = "w"  # no backups kept: truncate in place
+        handle = open(self._path, mode)
+        self._handle = handle
+        self._write = handle.write
+        self._bytes = 0
+        self._seq += 1
+        self._push_locked({
+            "event": "log.rotated",
+            "ts": self._clock(),
+            "seq": self._seq,
+            "schema": OBSLOG_SCHEMA,
+            "rotated_to": rotated_to,
+            "rotated_bytes": rotated_bytes,
+            "max_bytes": self.max_bytes,
+            "backup_count": self.backup_count,
+        })
 
     def absorb(self, records: Iterable[Dict[str, Any]]) -> int:
         """Fold records shipped back from a process worker into this log.
@@ -255,6 +323,21 @@ def validate_obslog(lines: Iterable[str]) -> List[str]:
                     "line %d: query.slow must carry a 'profile' with 'nodes'"
                     % lineno
                 )
+            samples = record.get("profile_samples")
+            if samples is not None and (
+                not isinstance(samples, dict)
+                or not isinstance(samples.get("samples"), int)
+            ):
+                errors.append(
+                    "line %d: query.slow 'profile_samples' must be a dict "
+                    "with an integer 'samples' count" % lineno
+                )
+        if event == "log.rotated" and not isinstance(
+            record.get("max_bytes"), (int, float)
+        ):
+            errors.append(
+                "line %d: log.rotated must carry numeric 'max_bytes'" % lineno
+            )
     if count == 0:
         errors.append("log is empty: no events were recorded")
     return errors
@@ -529,12 +612,16 @@ class QueryObservation:
         return self._report
 
     def _slow_record(self, wall: float) -> Dict[str, Any]:
-        """The ``query.slow`` payload: plan + per-node EXPLAIN ANALYZE."""
+        """The ``query.slow`` payload: plan + per-node EXPLAIN ANALYZE —
+        plus, when a sampling profiler is running, the profile digest of
+        this query's trace (hottest stacks, per-phase sample counts)
+        under ``profile_samples``, so a slow query's flamegraph evidence
+        lands in the same record as its plan."""
         planner = self.session.planner
         profile = planner.explain_wdpt(self.query)
         report = self._build_report()
         summary = report.q_error_summary() if report is not None else None
-        return {
+        record = {
             "op": self.op,
             "query_id": self.query_id,
             "threshold_seconds": self.log.slow_threshold,
@@ -549,3 +636,9 @@ class QueryObservation:
                 "stages": report.stages if report is not None else {},
             },
         }
+        from .profiler import current_profiler
+
+        profiler = current_profiler()
+        if profiler is not None and profiler.running:
+            record["profile_samples"] = profiler.trace_summary(self.trace_id)
+        return record

@@ -15,6 +15,12 @@ callables returning exposition text) —
   flight + recent, with trace ids), ``plans`` (EXPLAIN cache joined with
   estimate accuracy), and ``stats`` (the query-stats store dump).
   Append ``?format=html`` for a self-contained HTML view;
+* ``GET /debug/profile`` — the live sampling profiler
+  (:mod:`repro.telemetry.profiler`): ``?action=start[&hz=N]`` /
+  ``?action=stop`` control it (idempotent, safe under concurrent
+  requests), the default snapshot reports sample counts and per-phase
+  breakdown, and ``?format=speedscope`` / ``?format=folded`` download
+  the flamegraph exports;
 * anything else — 404.
 
 Providers are invoked per request under the threading server, so the
@@ -65,6 +71,7 @@ class MetricsServer:
         port: int = 0,
         namespace: str = "repro",
         debug: Optional[Dict[str, DebugProvider]] = None,
+        profiler=None,
     ):
         if isinstance(sources, MetricsRegistry) or callable(sources):
             sources = [sources]
@@ -73,6 +80,12 @@ class MetricsServer:
         self.host = host
         #: ``name → zero-arg callable`` behind ``/debug/<name>``.
         self.debug: Dict[str, DebugProvider] = dict(debug) if debug else {}
+        #: The :class:`~repro.telemetry.profiler.SamplingProfiler` behind
+        #: ``/debug/profile`` — injectable; created lazily on the first
+        #: ``?action=start`` otherwise.
+        self.profiler = profiler
+        self._profile_lock = threading.Lock()
+        self._owns_profiler = False
         self._requested_port = port
         self._httpd: ThreadingHTTPServer = None  # type: ignore[assignment]
         self._thread: threading.Thread = None  # type: ignore[assignment]
@@ -106,10 +119,75 @@ class MetricsServer:
 
     def debug_index(self) -> dict:
         """The ``/debug`` payload: the routes this server exposes."""
+        routes = sorted(
+            {"/debug/%s" % name for name in self.debug} | {"/debug/profile"}
+        )
         return {
-            "routes": sorted("/debug/%s" % name for name in self.debug),
+            "routes": routes,
             "hint": "append ?format=html for a browser view",
         }
+
+    # ------------------------------------------------------------------
+    # /debug/profile (repro.telemetry.profiler)
+    # ------------------------------------------------------------------
+    def profile_action(self, action: str, hz: Optional[int] = None) -> dict:
+        """Drive the live profiler: ``start`` / ``stop`` / ``snapshot``.
+
+        Thread-safe and idempotent — concurrent start/stop requests race
+        only for the lock, never double-start a sampler thread or leave
+        hooks behind.  ``start`` lazily creates a profiler (sampling the
+        first registry source for GC gauges) and registers it as the
+        module-level current one, so sessions in this process attach
+        per-query samples and obslog slow records pick the digest up.
+        """
+        from .profiler import DEFAULT_HZ, SamplingProfiler
+
+        with self._profile_lock:
+            profiler = self.profiler
+            if action == "start":
+                started = False
+                if profiler is None:
+                    registry = next(
+                        (s for s in self.sources
+                         if isinstance(s, MetricsRegistry)), None,
+                    )
+                    profiler = SamplingProfiler(
+                        hz=hz or DEFAULT_HZ, registry=registry,
+                    )
+                    self.profiler = profiler
+                    self._owns_profiler = True
+                if not profiler.running:
+                    if hz:
+                        profiler.hz = max(1, min(int(hz), 1000))
+                    profiler.start()
+                    started = True
+                return {
+                    "running": True,
+                    "started": started,
+                    "hz": profiler.hz,
+                    "samples": profiler.sample_count,
+                }
+            if action == "stop":
+                stopped = False
+                if profiler is not None and profiler.running:
+                    profiler.stop()
+                    stopped = True
+                return {
+                    "running": False,
+                    "stopped": stopped,
+                    "samples": (
+                        profiler.sample_count if profiler is not None else 0
+                    ),
+                }
+            if action == "snapshot":
+                if profiler is None:
+                    return {"running": False, "samples": 0,
+                            "hint": "?action=start to begin sampling"}
+                return profiler.summary()
+            raise ValueError(
+                "unknown profile action %r "
+                "(expected start, stop or snapshot)" % (action,)
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -138,11 +216,58 @@ class MetricsServer:
                     self._reply_json(200, server.health(), query)
                 elif path == "/debug" or path == "/debug/":
                     self._reply_json(200, server.debug_index(), query)
+                elif path == "/debug/profile":
+                    self._reply_profile(query)
                 elif path.startswith("/debug/"):
                     self._reply_debug(path[len("/debug/"):], query)
                 else:
                     self._reply(404, "text/plain; charset=utf-8",
                                 b"not found: try /metrics, /healthz or /debug\n")
+
+            def _reply_profile(self, query: str):
+                from urllib.parse import parse_qs
+
+                params = parse_qs(query)
+                action = params.get("action", ["snapshot"])[0]
+                hz_values = params.get("hz")
+                try:
+                    hz = int(hz_values[0]) if hz_values else None
+                except ValueError:
+                    self._reply_json(
+                        400, {"error": "hz must be an integer"}, query)
+                    return
+                fmt = params.get("format", [""])[0]
+                if action == "snapshot" and fmt in ("speedscope", "folded"):
+                    profiler = server.profiler
+                    if profiler is None:
+                        self._reply_json(
+                            404,
+                            {"error": "no profiler: ?action=start first"},
+                            query,
+                        )
+                        return
+                    if fmt == "speedscope":
+                        body = json.dumps(
+                            profiler.speedscope(), default=repr
+                        ).encode("utf-8")
+                        self._reply(200, "application/json", body)
+                    else:
+                        body = (profiler.folded_text(by="phase") + "\n").encode(
+                            "utf-8")
+                        self._reply(200, "text/plain; charset=utf-8", body)
+                    return
+                try:
+                    payload = server.profile_action(action, hz=hz)
+                except ValueError as exc:
+                    self._reply_json(400, {"error": str(exc)}, query)
+                    return
+                except Exception as exc:  # surface, never kill the server
+                    self._reply_json(
+                        500, {"error": "%s: %s" % (type(exc).__name__, exc)},
+                        query,
+                    )
+                    return
+                self._reply_json(200, payload, query, title="/debug/profile")
 
             def _reply_debug(self, name: str, query: str):
                 provider = server.debug.get(name)
@@ -203,6 +328,9 @@ class MetricsServer:
         self._thread.join(timeout=5)
         self._httpd = None  # type: ignore[assignment]
         self._thread = None  # type: ignore[assignment]
+        with self._profile_lock:
+            if self._owns_profiler and self.profiler is not None:
+                self.profiler.stop()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -70,6 +70,9 @@ class Span:
                 with tracer._lock:
                     tracer.roots.append(self)
             stack.append(self)
+            registry = _span_registry
+            if registry is not None:
+                registry[threading.get_ident()] = self
         self.start = time.perf_counter()
         return self
 
@@ -80,6 +83,13 @@ class Span:
             stack = tracer._stack()
             if stack and stack[-1] is self:
                 stack.pop()
+            registry = _span_registry
+            if registry is not None:
+                ident = threading.get_ident()
+                if stack:
+                    registry[ident] = stack[-1]
+                else:
+                    registry.pop(ident, None)
         return False
 
     def walk(self) -> Iterator["Span"]:
@@ -210,6 +220,40 @@ class NullTracer:
 
 
 NULL_TRACER = NullTracer()
+
+# ---------------------------------------------------------------------------
+# Cross-thread active-span registry (sampling-profiler hook)
+# ---------------------------------------------------------------------------
+# The per-thread span stack is thread-local, so the sampling profiler's
+# daemon thread cannot see which span is open on the threads it samples.
+# When a profiler is running it installs a plain dict here (thread ident
+# -> innermost open Span) and Span.__enter__/__exit__ keep it current.
+# The hook costs one module-global read + ``is None`` check per recorded
+# span transition, and nothing at all on the NullTracer fast path (null
+# spans never reach the registry code).
+_span_registry: Optional[Dict[int, Span]] = None
+
+
+def set_span_registry(
+    registry: Optional[Dict[int, Span]],
+) -> Optional[Dict[int, Span]]:
+    """Install (or, with ``None``, remove) the cross-thread active-span
+    registry; returns the previously installed one so callers can
+    restore it."""
+    global _span_registry
+    previous = _span_registry
+    _span_registry = registry
+    return previous
+
+
+def active_span_for_thread(ident: int) -> Optional[Span]:
+    """The innermost open span on the thread with the given ident, or
+    ``None`` (always ``None`` unless a span registry is installed)."""
+    registry = _span_registry
+    if registry is None:
+        return None
+    return registry.get(ident)
+
 
 # ---------------------------------------------------------------------------
 # Module-level current tracer (the instrumentation sites' lookup point)

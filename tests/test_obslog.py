@@ -196,3 +196,100 @@ def test_validate_obslog_type_checks():
     assert any("'ts' must be numeric" in e for e in errors)
     assert any("'seq' must be an integer" in e for e in errors)
     assert any("not a JSON object" in e for e in errors)
+
+
+# ---------------------------------------------------------------------------
+# Size rotation
+# ---------------------------------------------------------------------------
+def _read_events(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def test_rotation_shifts_backups_and_marks_the_fresh_file(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = QueryLog(sink=str(path), max_bytes=200, backup_count=2)
+    for i in range(40):
+        log.emit("event.%02d" % i, payload="x" * 40)
+    log.close()
+    # Backups exist, newest first, and none has grown past one record
+    # over the limit.
+    backup1 = tmp_path / "log.jsonl.1"
+    backup2 = tmp_path / "log.jsonl.2"
+    assert backup1.exists() and backup2.exists()
+    assert not (tmp_path / "log.jsonl.3").exists()
+    # Every rotated-into file starts with a log.rotated record (the very
+    # first file is the only one allowed to start with a plain event).
+    for rotated in (path, backup1):
+        first = _read_events(rotated)[0]
+        assert first["event"] == "log.rotated"
+        assert first["max_bytes"] == 200
+        assert first["backup_count"] == 2
+        assert first["rotated_to"].endswith("log.jsonl.1")
+        assert first["rotated_bytes"] >= 200
+    # No event was lost inside the retained window: seq is contiguous
+    # across backup2 → backup1 → live file.
+    seqs = [
+        r["seq"]
+        for rotated in (backup2, backup1, path)
+        for r in _read_events(rotated)
+    ]
+    assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+    # The live file overshoots the cap by at most one record (the size
+    # check runs before each write).
+    longest = max(
+        len(line) + 1 for line in path.read_text().splitlines()
+    )
+    assert path.stat().st_size < 200 + longest
+
+
+def test_rotation_with_zero_backups_truncates_in_place(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = QueryLog(sink=str(path), max_bytes=150, backup_count=0)
+    for i in range(30):
+        log.emit("event", payload="y" * 40)
+    log.close()
+    assert not (tmp_path / "log.jsonl.1").exists()
+    events = _read_events(path)
+    assert events[0]["event"] == "log.rotated"
+    assert events[0]["rotated_to"] is None
+
+
+def test_no_rotation_without_max_bytes(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = QueryLog(sink=str(path))
+    for i in range(50):
+        log.emit("event", payload="z" * 80)
+    log.close()
+    assert not (tmp_path / "log.jsonl.1").exists()
+    assert all(r["event"] == "event" for r in _read_events(path))
+
+
+def test_rotated_log_validates_and_session_survives_rotation(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = QueryLog(sink=str(path), max_bytes=400, backup_count=3)
+    session = _session(obslog=log)
+    for _ in range(6):
+        session.query(EXAMPLE2_QUERY)
+    log.close()
+    assert (tmp_path / "log.jsonl.1").exists()
+    assert validate_obslog(path.read_text().splitlines()) == []
+    assert validate_obslog(
+        (tmp_path / "log.jsonl.1").read_text().splitlines()
+    ) == []
+
+
+def test_validate_obslog_checks_rotation_and_profile_fields():
+    errors = validate_obslog(
+        ['{"event": "log.rotated", "ts": 1, "seq": 1, "schema": 1}']
+    )
+    assert any("max_bytes" in e for e in errors)
+    errors = validate_obslog(
+        ['{"event": "query.slow", "ts": 1, "seq": 1, "schema": 1, '
+         '"query_id": "x", "profile": {"nodes": []}, '
+         '"profile_samples": "nope"}']
+    )
+    assert any("profile_samples" in e for e in errors)

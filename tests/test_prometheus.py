@@ -182,7 +182,10 @@ def test_debug_index_and_named_routes():
     with MetricsServer(MetricsRegistry(), debug=providers) as server:
         status, index = _get_json(server.url + "/debug")
         assert status == 200
-        assert sorted(index["routes"]) == ["/debug/answer", "/debug/queries"]
+        # /debug/profile (the sampling profiler) is always routable.
+        assert sorted(index["routes"]) == [
+            "/debug/answer", "/debug/profile", "/debug/queries",
+        ]
         status, payload = _get_json(server.url + "/debug/queries")
         assert status == 200 and payload == {"in_flight": []}
         status, payload = _get_json(server.url + "/debug/answer")
@@ -229,7 +232,7 @@ def test_debug_html_format_renders_a_page():
 def test_add_debug_registers_routes_after_start():
     with MetricsServer(MetricsRegistry()) as server:
         status, index = _get_json(server.url + "/debug")
-        assert index["routes"] == []
+        assert index["routes"] == ["/debug/profile"]
         server.add_debug("late", lambda: {"ok": True})
         status, payload = _get_json(server.url + "/debug/late")
         assert payload == {"ok": True}
