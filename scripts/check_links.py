@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Check that relative markdown links resolve to real files.
+"""Check that relative markdown links — and their anchors — resolve.
 
 Usage::
 
@@ -8,13 +8,21 @@ Usage::
 With no arguments, checks every ``*.md`` at the repository root plus
 ``docs/*.md``.  For each file, every inline link and image
 (``[text](target)`` / ``![alt](target)``) and every reference definition
-(``[label]: target``) is extracted; targets are checked to exist on disk,
-resolved relative to the file containing the link.  External schemes
-(``http(s)``, ``mailto``) and pure intra-page anchors (``#section``) are
-skipped — this is an offline checker, CI must not depend on the network.
+(``[label]: target``) is extracted, and:
 
-Exit status: 0 when every relative link resolves, 1 otherwise (each broken
-link is printed as ``file:line: broken link -> target``).
+* relative file targets are checked to exist on disk, resolved relative
+  to the file containing the link;
+* intra-document anchors (``#section``) are checked against the file's
+  own headings, slugified the way GitHub renders them;
+* cross-document anchors (``OTHER.md#section``) are checked against the
+  target file's headings.
+
+External schemes (``http(s)``, ``mailto``) are skipped — this is an
+offline checker, CI must not depend on the network.
+
+Exit status: 0 when every relative link and anchor resolves, 1 otherwise
+(each failure is printed as ``file:line: broken link -> target`` or
+``file:line: broken anchor -> target``).
 """
 
 import glob
@@ -30,6 +38,51 @@ _REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$")
 _EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
 
 _FENCE = re.compile(r"^\s*(```|~~~)")
+
+#: ATX headings: ## Title  (optional trailing ###)
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+#: Inline markdown stripped from heading text before slugifying.
+_MD_LINK = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+#: Characters GitHub drops from slugs (everything that is not a word
+#: character, hyphen, or space; ``\w`` keeps underscores).
+_SLUG_DROP = re.compile(r"[^\w\- ]")
+#: Explicit HTML anchors: <a id="..."> / <a name="...">
+_HTML_ANCHOR = re.compile(r"<a\s+(?:id|name)=[\"']([^\"']+)[\"']")
+
+
+def slugify(text):
+    """The GitHub anchor slug of a heading: markdown stripped, lowered,
+    punctuation dropped, spaces hyphenated."""
+    text = _MD_LINK.sub(r"\1", text)
+    text = text.replace("`", "").replace("*", "")
+    text = _SLUG_DROP.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path):
+    """Every anchor ``path`` defines: slugified headings (duplicates get
+    ``-1``, ``-2``, ... suffixes, as GitHub numbers them) plus explicit
+    ``<a id=...>`` anchors."""
+    anchors = set()
+    seen = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if _FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _HTML_ANCHOR.finditer(line):
+                anchors.add(match.group(1))
+            match = _HEADING.match(line)
+            if not match:
+                continue
+            slug = slugify(match.group(2))
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            anchors.add(slug if count == 0 else "%s-%d" % (slug, count))
+    return anchors
 
 
 def iter_links(path):
@@ -51,23 +104,40 @@ def iter_links(path):
 
 
 def is_checkable(target):
-    """Relative filesystem targets only: no schemes, no pure anchors."""
-    return bool(target) and not _EXTERNAL.match(target) and not target.startswith("#")
+    """Relative filesystem targets and anchors: no external schemes."""
+    return bool(target) and not _EXTERNAL.match(target)
 
 
-def check_file(path):
-    """Broken links in ``path`` as ``(line, target)`` pairs."""
+class _AnchorCache(dict):
+    """``path -> anchor set``, parsed lazily once per target file."""
+
+    def anchors(self, path):
+        if path not in self:
+            self[path] = heading_anchors(path)
+        return self[path]
+
+
+def check_file(path, cache=None):
+    """Failures in ``path`` as ``(line, kind, target)`` tuples, where
+    ``kind`` is ``"link"`` (missing file) or ``"anchor"``."""
+    cache = cache if cache is not None else _AnchorCache()
     base = os.path.dirname(os.path.abspath(path))
-    broken = []
+    failures = []
     for number, target in iter_links(path):
         if not is_checkable(target):
             continue
-        resolved = os.path.normpath(
-            os.path.join(base, target.split("#", 1)[0])
-        )
-        if not os.path.exists(resolved):
-            broken.append((number, target))
-    return broken
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                failures.append((number, "link", target))
+                continue
+        else:
+            resolved = os.path.abspath(path)
+        if fragment and resolved.endswith(".md") and os.path.isfile(resolved):
+            if fragment not in cache.anchors(resolved):
+                failures.append((number, "anchor", target))
+    return failures
 
 
 def default_files():
@@ -86,19 +156,22 @@ def main(argv=None):
         return 1
     failures = 0
     checked = 0
+    cache = _AnchorCache()
     for path in files:
-        broken = check_file(path)
         checked += 1
-        for number, target in broken:
+        for number, kind, target in check_file(path, cache):
             failures += 1
             print(
-                "%s:%d: broken link -> %s" % (path, number, target),
+                "%s:%d: broken %s -> %s" % (path, number, kind, target),
                 file=sys.stderr,
             )
     if failures:
-        print("%d broken link(s) in %d file(s)" % (failures, checked), file=sys.stderr)
+        print(
+            "%d broken link(s)/anchor(s) in %d file(s)" % (failures, checked),
+            file=sys.stderr,
+        )
         return 1
-    print("checked %d file(s): all relative links resolve" % checked)
+    print("checked %d file(s): all relative links and anchors resolve" % checked)
     return 0
 
 

@@ -17,6 +17,9 @@ Usage::
     python -m repro metrics  [QUERY]  [TRIPLES.tsv]
     python -m repro serve-metrics  [TRIPLES.tsv]  [--port P] [--self-check]
                              [--log-queries LOG.jsonl] [--max-log-bytes B]
+    python -m repro serve    [TRIPLES.tsv]  [--tenants TENANTS.json]
+                             [--port P] [--jobs J] [--global-limit N]
+                             [--backend B | --store DB.sqlite] [--self-check]
     python -m repro bench    [--names N1,N2] [--repeats R] [--jobs J] [--out FILE]
                              [--profile-hz HZ] [--profile-out OUT.json]
     python -m repro demo
@@ -52,6 +55,14 @@ Usage::
 * ``serve-metrics`` exposes ``/metrics`` + ``/healthz`` + ``/debug/*``
   over HTTP (``--self-check`` fetches its own endpoint once and exits,
   for CI).
+* ``serve`` runs the **multi-tenant async query service**
+  (:mod:`repro.service`): ``POST /query|/ask|/explain`` as JSON, plus the
+  same ``/metrics``/``/healthz``/``/debug/*`` routes as ``serve-metrics``
+  and the key-free ``GET /tenants`` registry view.  ``--tenants`` maps
+  API keys to QoS tiers (concurrency caps, queue patience, per-query
+  resource budgets, private result-cache sizes); over-cap traffic is shed
+  with ``429`` + ``Retry-After``, and ``SIGTERM`` drains gracefully.
+  See ``docs/SERVICE.md`` for the operator guide.
 * ``bench`` runs the named regression benchmarks
   (``repro.benchharness.regress``) and, with ``--jobs N > 1``, the
   parallel batch-scaling sweep; ``--out`` appends the point to a
@@ -468,6 +479,73 @@ def cmd_serve_metrics(args: argparse.Namespace) -> int:
             obslog.close()
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The multi-tenant async query service (``docs/SERVICE.md``)."""
+    import asyncio
+    import json as _json
+
+    from .service import ServiceServer, default_registry, load_tenants
+
+    obslog = _make_obslog(args)
+    tenants = (
+        load_tenants(args.tenants) if args.tenants else default_registry()
+    )
+    if args.triples is not None:
+        data = _load_triples(args.triples)
+    else:
+        from .workloads.families import example2_graph
+
+        data = example2_graph()
+    server = ServiceServer(
+        data,
+        tenants=tenants,
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        path=args.store,
+        jobs=args.jobs,
+        global_limit=args.global_limit,
+        obslog=obslog,
+    )
+    try:
+        if args.self_check:
+            import urllib.request
+
+            with server:
+                with urllib.request.urlopen(server.url + "/healthz") as resp:
+                    print("healthz:", resp.read().decode())
+                with urllib.request.urlopen(server.url + "/tenants") as resp:
+                    print("tenants:", resp.read().decode())
+                request = urllib.request.Request(
+                    server.url + "/explain",
+                    data=_json.dumps(
+                        {"query": "SELECT ?x ?y WHERE { ?x recorded_by ?y }"}
+                    ).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(request) as resp:
+                    print("explain:", resp.read().decode())
+            return 0
+        async def _serve() -> None:
+            await server.start_async()
+            print(
+                "serving %s/query, %s/healthz, %s/metrics for tenants: %s\n"
+                "(SIGTERM drains gracefully)"
+                % (server.url, server.url, server.url,
+                   ", ".join(server.tenants.names()))
+            )
+            await server.serve_forever()
+
+        asyncio.run(_serve())
+        return 0
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+    finally:
+        if obslog is not None:
+            obslog.close()
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .benchharness.regress import (
         append_point,
@@ -748,6 +826,67 @@ def main(argv: Optional[list] = None) -> int:
              "(0 = truncate in place; default: %(default)s)",
     )
     p_serve.set_defaults(func=cmd_serve_metrics)
+
+    p_svc = sub.add_parser(
+        "serve",
+        help="run the multi-tenant async query service "
+             "(POST /query|/ask|/explain; see docs/SERVICE.md)",
+    )
+    p_svc.add_argument(
+        "triples", nargs="?", default=None,
+        help="whitespace-separated 's p o' lines (default: paper's Example 2)",
+    )
+    p_svc.add_argument(
+        "--tenants", default=None, metavar="TENANTS.json",
+        help="tenant/QoS registry file (default: one anonymous 'public' "
+             "tenant on the gold tier)",
+    )
+    p_svc.add_argument("--host", default="127.0.0.1")
+    p_svc.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default: 0 = pick a free one, printed)",
+    )
+    p_svc.add_argument(
+        "--backend", default=None, choices=["memory", "sqlite"],
+        help="storage backend (default: memory, or sqlite with --store)",
+    )
+    p_svc.add_argument(
+        "--store", default=None, metavar="DB.sqlite",
+        help="serve directly against an on-disk SQLite database",
+    )
+    p_svc.add_argument(
+        "--jobs", type=int, default=None, metavar="J",
+        help="workers per coalesced evaluation batch (default: sequential)",
+    )
+    p_svc.add_argument(
+        "--global-limit", type=int, default=64, metavar="N",
+        help="process-wide in-flight query ceiling (default: %(default)s)",
+    )
+    p_svc.add_argument(
+        "--self-check", action="store_true",
+        help="start, probe /healthz, /tenants and POST /explain once, "
+             "print the responses, and exit",
+    )
+    p_svc.add_argument(
+        "--log-queries", metavar="LOG.jsonl", default=None,
+        help="append structured request/query events as JSON lines "
+             "(the service request log)",
+    )
+    p_svc.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="capture the EXPLAIN ANALYZE profile of queries slower than "
+             "this into the query log (implies query logging)",
+    )
+    p_svc.add_argument(
+        "--max-log-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the query log when it reaches this size "
+             "(default: never rotate)",
+    )
+    p_svc.add_argument(
+        "--log-backups", type=int, default=3, metavar="N",
+        help="rotated query-log files to keep (default: %(default)s)",
+    )
+    p_svc.set_defaults(func=cmd_serve)
 
     p_bench = sub.add_parser(
         "bench",

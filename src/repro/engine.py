@@ -191,6 +191,10 @@ class Session:
       (default; shared session, no pickling) or ``"process"`` (CPU
       parallelism; per-worker sessions).  Intra-query fan-out always uses
       threads.
+    * ``tenant=`` — name of the tenant this session serves
+      (:mod:`repro.service`): obslog records emitted by the session are
+      stamped ``tenant=<name>`` (via ``QueryLog.bound``) and the
+      ``/debug/queries`` entries carry it too.
 
     >>> from repro.core.atoms import atom
     >>> s = Session([atom("E", 1, 2)])
@@ -219,6 +223,7 @@ class Session:
         path: Optional[str] = None,
         cache: Union[bool, ResultCache, None] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        tenant: Optional[str] = None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -255,6 +260,13 @@ class Session:
             )
         else:
             self.result_cache = None
+        #: Tenant this session serves (multi-tenant service layer,
+        #: :mod:`repro.service`); ``None`` for a plain single-user session.
+        #: When set, the session's obslog records and ``/debug/queries``
+        #: entries are stamped with it.
+        self.tenant = tenant
+        if tenant is not None and obslog is not None:
+            obslog = obslog.bound(tenant=tenant)
         #: Structured query-event log (``repro.telemetry.obslog.QueryLog``);
         #: ``None`` disables observation entirely (zero per-query cost).
         self.obslog = obslog
@@ -440,6 +452,8 @@ class Session:
             "cache": obs.cache_outcome,
             "error": error,
         }
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
         with self._debug_lock:
             self._in_flight.pop(id(obs), None)
             self._recent_queries.append(record)
@@ -458,6 +472,7 @@ class Session:
                     "query_id": obs.query_id,
                     "trace_id": obs.trace_id,
                     "elapsed_seconds": max(0.0, now - obs._start),
+                    **({"tenant": self.tenant} if self.tenant else {}),
                 }
                 for obs in self._in_flight.values()
             ]

@@ -263,6 +263,17 @@ class QueryLog:
         """The retained records of one event type."""
         return [r for r in self.recent() if r["event"] == name]
 
+    def bound(self, **fields: Any) -> "BoundQueryLog":
+        """A view of this log that stamps ``fields`` into every record.
+
+        The multi-tenant query service hands each tenant's session a
+        ``log.bound(tenant="acme")`` view of one shared service log, so
+        every lifecycle event a session emits carries its tenant without
+        the engine knowing tenancy exists.  Views are cheap (no separate
+        ring or sink) and nest: ``log.bound(a=1).bound(b=2)`` stamps both.
+        """
+        return BoundQueryLog(self, fields)
+
     def close(self) -> None:
         if self._owns_handle:
             self._handle.close()
@@ -273,6 +284,47 @@ class QueryLog:
         return "QueryLog(%d records, slow_threshold=%r)" % (
             self._seq, self.slow_threshold,
         )
+
+
+class BoundQueryLog:
+    """A :class:`QueryLog` proxy stamping fixed fields into every emit.
+
+    Everything else — ``slow_threshold``, ``recent()``, ``absorb()``,
+    rotation — delegates to the underlying log, so a bound view is a
+    drop-in ``Session(obslog=...)`` argument.  Explicit per-event fields
+    win over the bound ones.
+    """
+
+    __slots__ = ("_log", "_fields")
+
+    def __init__(self, log: QueryLog, fields: Dict[str, Any]):
+        self._log = log
+        self._fields = dict(fields)
+
+    @property
+    def base(self) -> QueryLog:
+        """The underlying shared log."""
+        return self._log
+
+    @property
+    def bound_fields(self) -> Dict[str, Any]:
+        return dict(self._fields)
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        merged = dict(self._fields)
+        merged.update(fields)
+        return self._log.emit(event, **merged)
+
+    def bound(self, **fields: Any) -> "BoundQueryLog":
+        merged = dict(self._fields)
+        merged.update(fields)
+        return BoundQueryLog(self._log, merged)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._log, name)
+
+    def __repr__(self) -> str:
+        return "BoundQueryLog(%r, %r)" % (self._fields, self._log)
 
 
 def validate_obslog(lines: Iterable[str]) -> List[str]:

@@ -34,7 +34,6 @@ it.  ``repro serve-metrics`` is the CLI wrapper.
 
 from __future__ import annotations
 
-import html as _html
 import json
 import threading
 import time
@@ -42,9 +41,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .metrics import MetricsRegistry
-
-#: The Prometheus text exposition content type.
-PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+from .routes import (
+    PROMETHEUS_CONTENT_TYPE,
+    RouteRequest,
+    RouteResponse,
+    Router,
+    error_response,
+    json_response,
+    render_html,
+)
 
 Source = Union[MetricsRegistry, Callable[[], str]]
 
@@ -190,6 +195,75 @@ class MetricsServer:
             )
 
     # ------------------------------------------------------------------
+    # Route table (shared with the asyncio query service)
+    # ------------------------------------------------------------------
+    def build_router(self) -> Router:
+        """The observability route table this server dispatches through.
+
+        One :class:`~repro.telemetry.routes.Router` carrying ``/metrics``,
+        ``/healthz``, ``/debug`` and ``/debug/*`` — the asyncio query
+        service (:mod:`repro.service`) builds on the *same* table, so
+        route matching, ``/healthz`` semantics, and error bodies are
+        identical across both servers by construction.
+        """
+        router = Router()
+        router.add("GET", "/metrics", self._route_metrics)
+        router.add("GET", "/healthz", self._route_healthz)
+        router.add("GET", "/debug", self._route_debug_index)
+        router.add("GET", "/debug/", self._route_debug_index)
+        router.add("GET", "/debug/profile", self._route_profile)
+        router.add_prefix("GET", "/debug/", self._route_debug)
+        return router
+
+    def _route_metrics(self, request: RouteRequest) -> RouteResponse:
+        return RouteResponse(
+            200, PROMETHEUS_CONTENT_TYPE, self.exposition().encode("utf-8")
+        )
+
+    def _route_healthz(self, request: RouteRequest) -> RouteResponse:
+        return json_response(200, self.health(), request, title="/healthz")
+
+    def _route_debug_index(self, request: RouteRequest) -> RouteResponse:
+        return json_response(200, self.debug_index(), request, title="/debug")
+
+    def _route_profile(self, request: RouteRequest) -> RouteResponse:
+        hz_value = request.param("hz")
+        try:
+            hz = int(hz_value) if hz_value else None
+        except ValueError:
+            return error_response(400, "hz must be an integer")
+        action = request.param("action", "snapshot")
+        fmt = request.param("format", "")
+        if action == "snapshot" and fmt in ("speedscope", "folded"):
+            profiler = self.profiler
+            if profiler is None:
+                return error_response(404, "no profiler: ?action=start first")
+            if fmt == "speedscope":
+                body = json.dumps(
+                    profiler.speedscope(), default=repr
+                ).encode("utf-8")
+                return RouteResponse(200, "application/json", body)
+            body = (profiler.folded_text(by="phase") + "\n").encode("utf-8")
+            return RouteResponse(200, "text/plain; charset=utf-8", body)
+        try:
+            payload = self.profile_action(action, hz=hz)
+        except ValueError as exc:
+            return error_response(400, str(exc))
+        return json_response(200, payload, request, title="/debug/profile")
+
+    def _route_debug(self, request: RouteRequest) -> RouteResponse:
+        name = request.rest
+        provider = self.debug.get(name)
+        if provider is None:
+            return error_response(
+                404,
+                "unknown debug route %r" % name,
+                routes=self.debug_index()["routes"],
+            )
+        payload = provider()  # Router.dispatch maps exceptions to the 500 shape
+        return json_response(200, payload, request, title="/debug/%s" % name)
+
+    # ------------------------------------------------------------------
     @property
     def port(self) -> int:
         if self._httpd is not None:
@@ -204,108 +278,21 @@ class MetricsServer:
         if self._httpd is not None:
             return self
         server = self
+        router = self.build_router()
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
                 server.requests_served += 1
                 path, _, query = self.path.partition("?")
-                if path == "/metrics":
-                    body = server.exposition().encode("utf-8")
-                    self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
-                elif path == "/healthz":
-                    self._reply_json(200, server.health(), query)
-                elif path == "/debug" or path == "/debug/":
-                    self._reply_json(200, server.debug_index(), query)
-                elif path == "/debug/profile":
-                    self._reply_profile(query)
-                elif path.startswith("/debug/"):
-                    self._reply_debug(path[len("/debug/"):], query)
-                else:
-                    self._reply(404, "text/plain; charset=utf-8",
-                                b"not found: try /metrics, /healthz or /debug\n")
-
-            def _reply_profile(self, query: str):
-                from urllib.parse import parse_qs
-
-                params = parse_qs(query)
-                action = params.get("action", ["snapshot"])[0]
-                hz_values = params.get("hz")
-                try:
-                    hz = int(hz_values[0]) if hz_values else None
-                except ValueError:
-                    self._reply_json(
-                        400, {"error": "hz must be an integer"}, query)
-                    return
-                fmt = params.get("format", [""])[0]
-                if action == "snapshot" and fmt in ("speedscope", "folded"):
-                    profiler = server.profiler
-                    if profiler is None:
-                        self._reply_json(
-                            404,
-                            {"error": "no profiler: ?action=start first"},
-                            query,
-                        )
-                        return
-                    if fmt == "speedscope":
-                        body = json.dumps(
-                            profiler.speedscope(), default=repr
-                        ).encode("utf-8")
-                        self._reply(200, "application/json", body)
-                    else:
-                        body = (profiler.folded_text(by="phase") + "\n").encode(
-                            "utf-8")
-                        self._reply(200, "text/plain; charset=utf-8", body)
-                    return
-                try:
-                    payload = server.profile_action(action, hz=hz)
-                except ValueError as exc:
-                    self._reply_json(400, {"error": str(exc)}, query)
-                    return
-                except Exception as exc:  # surface, never kill the server
-                    self._reply_json(
-                        500, {"error": "%s: %s" % (type(exc).__name__, exc)},
-                        query,
-                    )
-                    return
-                self._reply_json(200, payload, query, title="/debug/profile")
-
-            def _reply_debug(self, name: str, query: str):
-                provider = server.debug.get(name)
-                if provider is None:
-                    self._reply_json(
-                        404,
-                        {
-                            "error": "unknown debug route %r" % name,
-                            "routes": server.debug_index()["routes"],
-                        },
-                        query,
-                    )
-                    return
-                try:
-                    payload = provider()
-                except Exception as exc:  # surface, never kill the server
-                    self._reply_json(
-                        500, {"error": "%s: %s" % (type(exc).__name__, exc)},
-                        query,
-                    )
-                    return
-                self._reply_json(200, payload, query, title="/debug/%s" % name)
-
-            def _reply_json(self, status: int, payload, query: str,
-                            title: str = "debug"):
-                if "format=html" in query:
-                    body = _render_html(title, payload).encode("utf-8")
-                    self._reply(status, "text/html; charset=utf-8", body)
-                else:
-                    body = json.dumps(payload, default=repr).encode("utf-8")
-                    self._reply(status, "application/json", body)
-
-            def _reply(self, status: int, content_type: str, body: bytes):
-                self.send_response(status)
-                self.send_header("Content-Type", content_type)
-                self.send_header("Content-Length", str(len(body)))
+                request = RouteRequest("GET", path, query)
+                response = router.dispatch(request)
+                self.send_response(response.status)
+                self.send_header("Content-Type", response.content_type)
+                self.send_header("Content-Length", str(len(response.body)))
+                for name, value in response.headers.items():
+                    self.send_header(name, value)
                 self.end_headers()
-                self.wfile.write(body)
+                self.wfile.write(response.body)
 
             def log_message(self, fmt, *args):  # silence per-request stderr
                 pass
@@ -343,21 +330,5 @@ class MetricsServer:
         state = "serving on %s" % self.url if self._httpd else "stopped"
         return "MetricsServer(%s, %d sources)" % (state, len(self.sources))
 
-
-def _render_html(title: str, payload: Any) -> str:
-    """A self-contained HTML view of a debug payload: the pretty-printed
-    JSON in a ``<pre>``, no external assets, auto-refresh every 5 s."""
-    pretty = json.dumps(payload, indent=2, sort_keys=True, default=repr)
-    return (
-        "<!doctype html><html><head><meta charset='utf-8'>"
-        "<meta http-equiv='refresh' content='5'>"
-        "<title>%(title)s</title>"
-        "<style>body{font-family:monospace;margin:1.5em;background:#fafafa}"
-        "pre{background:#fff;border:1px solid #ddd;padding:1em;"
-        "overflow-x:auto}</style></head>"
-        "<body><h1>%(title)s</h1><pre>%(body)s</pre></body></html>"
-        % {
-            "title": _html.escape(title),
-            "body": _html.escape(pretty),
-        }
-    )
+#: Back-compat alias; the renderer moved to repro.telemetry.routes.
+_render_html = render_html

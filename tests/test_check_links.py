@@ -1,0 +1,101 @@
+"""Tests for scripts/check_links.py, the offline markdown link and
+anchor checker run by the docs CI job."""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts", "check_links.py",
+)
+
+_spec = importlib.util.spec_from_file_location("check_links", SCRIPT)
+check_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_links)
+
+
+class TestSlugify:
+    def test_plain(self):
+        assert check_links.slugify("Load shedding") == "load-shedding"
+
+    def test_punctuation_dropped(self):
+        assert check_links.slugify("QoS tiers (and budgets)") == (
+            "qos-tiers-and-budgets"
+        )
+
+    def test_markdown_stripped(self):
+        assert check_links.slugify("The `/query` route") == "the-query-route"
+        assert check_links.slugify("See [docs](X.md) here") == (
+            "see-docs-here"
+        )
+
+    def test_underscores_kept(self):
+        assert check_links.slugify("trace_id correlation") == (
+            "trace_id-correlation"
+        )
+
+
+class TestAnchors:
+    def test_duplicate_headings_are_numbered(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Setup\n\n## Setup\n\n### Setup\n")
+        assert check_links.heading_anchors(str(doc)) == {
+            "setup", "setup-1", "setup-2",
+        }
+
+    def test_fenced_headings_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Real\n\n```\n# not a heading\n```\n")
+        assert check_links.heading_anchors(str(doc)) == {"real"}
+
+    def test_html_anchor(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text('<a id="pinned"></a>\n# Title\n')
+        assert "pinned" in check_links.heading_anchors(str(doc))
+
+
+class TestCheckFile:
+    def _failures(self, tmp_path, text, name="doc.md"):
+        doc = tmp_path / name
+        doc.write_text(text)
+        return check_links.check_file(str(doc))
+
+    def test_valid_intra_doc_anchor(self, tmp_path):
+        assert self._failures(
+            tmp_path, "# My Section\n\n[jump](#my-section)\n"
+        ) == []
+
+    def test_broken_intra_doc_anchor(self, tmp_path):
+        failures = self._failures(tmp_path, "# A\n\n[jump](#missing)\n")
+        assert failures == [(3, "anchor", "#missing")]
+
+    def test_cross_doc_anchor(self, tmp_path):
+        (tmp_path / "other.md").write_text("# Target Heading\n")
+        ok = self._failures(
+            tmp_path, "[x](other.md#target-heading)\n"
+        )
+        assert ok == []
+        bad = self._failures(
+            tmp_path, "[x](other.md#absent)\n", name="doc2.md"
+        )
+        assert bad == [(1, "anchor", "other.md#absent")]
+
+    def test_missing_file_still_reported(self, tmp_path):
+        failures = self._failures(tmp_path, "[x](gone.md#frag)\n")
+        assert failures == [(1, "link", "gone.md#frag")]
+
+    def test_external_links_skipped(self, tmp_path):
+        assert self._failures(
+            tmp_path, "[x](https://example.com/page#frag)\n"
+        ) == []
+
+
+class TestRepositoryDocs:
+    def test_all_repo_docs_pass(self):
+        result = subprocess.run(
+            [sys.executable, SCRIPT],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
