@@ -7,7 +7,7 @@ Usage::
                                     [--threshold PCT] [--repeats N]
                                     [--names fig1.query thm6.dp ...]
                                     [--inject NAME=FACTOR] [--no-append]
-                                    [--jobs J]
+                                    [--jobs J] [--shards S]
 
 Runs the benchmarks in :data:`repro.benchharness.regress.BENCHMARKS`,
 appends one trajectory point to ``--out``, and compares it against the
@@ -19,7 +19,10 @@ fails on a slowdown.  ``--no-append`` compares without rewriting the file.
 1..J workers and records the speedup under the point's ``parallel`` key
 (informational — the speedup is hardware-dependent, so it is never gated
 here; ``benchmarks/bench_parallel_scaling.py`` asserts it on multi-core
-hosts).
+hosts).  ``--shards S`` (S > 1) likewise sweeps the distributed
+Yannakakis shard program at 1..S shards and records the speedup under
+the point's ``dist`` key (informational here too;
+``benchmarks/bench_dist_scaling.py`` asserts the CPU-gated expectation).
 """
 
 import argparse
@@ -41,9 +44,10 @@ from repro.benchharness.regress import (  # noqa: E402
     compare_points,
     inject_regression,
     load_trajectory,
+    measure_dist_scaling,
     measure_parallel_scaling,
 )
-from repro.storage import BACKENDS  # noqa: E402
+from repro.storage import BACKEND_KINDS  # noqa: E402
 
 
 def main(argv=None):
@@ -89,7 +93,12 @@ def main(argv=None):
              "the speedup (default: 1 = skip)",
     )
     parser.add_argument(
-        "--backend", default="memory", choices=sorted(BACKENDS),
+        "--shards", type=int, default=1, metavar="S",
+        help="also sweep distributed evaluation at 1..S shards and record "
+             "the speedup (default: 1 = skip)",
+    )
+    parser.add_argument(
+        "--backend", default="memory", choices=sorted(BACKEND_KINDS),
         help="storage backend to run the benchmarks against; points are "
              "compared only against previous points of the same backend "
              "(default: %(default)s)",
@@ -125,6 +134,17 @@ def main(argv=None):
                 "parallel jobs=%-3d %.4fs  %.2fx"
                 % (jobs, point["parallel"]["seconds"][jobs],
                    point["parallel"]["speedup"][jobs])
+            )
+    if args.shards > 1:
+        shards_list = sorted({1, *[s for s in (2, args.shards) if s <= args.shards]})
+        point["dist"] = measure_dist_scaling(
+            shards_list=shards_list, repeats=args.repeats
+        )
+        for shards in sorted(point["dist"]["seconds"]):
+            print(
+                "dist shards=%-3d %.4fs  %.2fx"
+                % (shards, point["dist"]["seconds"][shards],
+                   point["dist"]["speedup"][shards])
             )
     if args.inject:
         name, _, factor = args.inject.partition("=")

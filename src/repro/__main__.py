@@ -9,7 +9,8 @@ Usage::
                              [--log-queries LOG.jsonl] [--slow-ms MS]
                              [--max-log-bytes B] [--log-backups N] [--jobs N]
                              [--profile-hz HZ] [--profile-out OUT.json]
-                             [--backend {memory,sqlite}] [--store DB.sqlite]
+                             [--backend {memory,sharded,sqlite}] [--shards N]
+                             [--store DB.sqlite]
                              [--save-db DB.sqlite] [--no-cache]
                              [--stats-store STATS.json] [--serve-debug PORT]
                              [--serve-seconds N]
@@ -19,8 +20,10 @@ Usage::
                              [--log-queries LOG.jsonl] [--max-log-bytes B]
     python -m repro serve    [TRIPLES.tsv]  [--tenants TENANTS.json]
                              [--port P] [--jobs J] [--global-limit N]
-                             [--backend B | --store DB.sqlite] [--self-check]
-    python -m repro bench    [--names N1,N2] [--repeats R] [--jobs J] [--out FILE]
+                             [--backend B | --store DB.sqlite] [--shards N]
+                             [--self-check]
+    python -m repro bench    [--names N1,N2] [--repeats R] [--jobs J]
+                             [--shards S] [--out FILE]
                              [--profile-hz HZ] [--profile-out OUT.json]
     python -m repro demo
 
@@ -43,7 +46,10 @@ Usage::
   (created from the triples file when missing, resumed — and extended
   with any given triples — when present; the triples file is then
   optional), ``--save-db`` snapshots the loaded data to a SQLite file,
-  and ``--no-cache`` disables the version-keyed result cache.
+  ``--shards N`` hash-partitions the data across N long-lived worker
+  processes and evaluates distributively (``repro.dist``; also via
+  ``REPRO_BACKEND=sharded`` + ``REPRO_SHARDS``), and ``--no-cache``
+  disables the version-keyed result cache.
 * ``analyze`` runs EXPLAIN ANALYZE directly (over the paper's Example 2
   database when no triples file is given).
   ``--stats-store STATS.json`` accumulates per-query-shape statistics
@@ -65,8 +71,10 @@ Usage::
   See ``docs/SERVICE.md`` for the operator guide.
 * ``bench`` runs the named regression benchmarks
   (``repro.benchharness.regress``) and, with ``--jobs N > 1``, the
-  parallel batch-scaling sweep; ``--out`` appends the point to a
-  trajectory file (``BENCH_eval.json`` by convention).
+  parallel batch-scaling sweep; with ``--shards S > 1`` it also sweeps
+  distributed evaluation across 1..S shard processes (``repro.dist``);
+  ``--out`` appends the point to a trajectory file (``BENCH_eval.json``
+  by convention).
 * ``demo`` replays the paper's running example.
 
 ``run --jobs N`` evaluates with ``N`` pool workers: independent subtrees
@@ -314,6 +322,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         backend=args.backend,
         path=args.store,
+        shards=args.shards,
         cache=not args.no_cache,
     )
     server = None
@@ -503,6 +512,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         backend=args.backend,
         path=args.store,
+        shards=args.shards,
         jobs=args.jobs,
         global_limit=args.global_limit,
         obslog=obslog,
@@ -550,6 +560,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .benchharness.regress import (
         append_point,
         build_point,
+        measure_dist_scaling,
         measure_parallel_scaling,
     )
     from .benchharness.reporting import format_table
@@ -595,6 +606,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "executor=%s, effective CPUs=%d, answers_equal=%s"
             % (scaling["executor"], scaling["effective_cpus"],
                scaling["answers_equal"])
+        )
+    if args.shards > 1:
+        shards_list = sorted({1, *[s for s in (2, args.shards) if s <= args.shards]})
+        dist = measure_dist_scaling(
+            shards_list=shards_list, repeats=args.repeats
+        )
+        point["dist"] = dist
+        print()
+        print(
+            format_table(
+                ["shards", "seconds", "speedup"],
+                [
+                    [str(s), "%.4f" % dist["seconds"][s],
+                     "%.2fx" % dist["speedup"][s]]
+                    for s in sorted(dist["seconds"])
+                ],
+            )
+        )
+        print(
+            "effective CPUs=%d, answers_equal=%s"
+            % (dist["effective_cpus"], dist["answers_equal"])
         )
     if args.out:
         append_point(args.out, point)
@@ -720,9 +752,15 @@ def main(argv: Optional[list] = None) -> int:
              "answers are identical to the sequential run)",
     )
     p_run.add_argument(
-        "--backend", default=None, choices=["memory", "sqlite"],
+        "--backend", default=None, choices=["memory", "sharded", "sqlite"],
         help="storage backend (default: memory, or $REPRO_BACKEND; "
-             "--store implies sqlite)",
+             "--store implies sqlite, --shards implies sharded)",
+    )
+    p_run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="evaluate on N hash-partitioned shard processes "
+             "(repro.dist; implies --backend sharded; default: "
+             "$REPRO_SHARDS, else 2)",
     )
     p_run.add_argument(
         "--store", metavar="DB.sqlite", default=None,
@@ -847,8 +885,14 @@ def main(argv: Optional[list] = None) -> int:
         help="port to bind (default: 0 = pick a free one, printed)",
     )
     p_svc.add_argument(
-        "--backend", default=None, choices=["memory", "sqlite"],
-        help="storage backend (default: memory, or sqlite with --store)",
+        "--backend", default=None, choices=["memory", "sharded", "sqlite"],
+        help="storage backend (default: memory, or sqlite with --store, "
+             "or sharded with --shards)",
+    )
+    p_svc.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="serve from N hash-partitioned shard processes "
+             "(repro.dist; implies --backend sharded)",
     )
     p_svc.add_argument(
         "--store", default=None, metavar="DB.sqlite",
@@ -911,9 +955,14 @@ def main(argv: Optional[list] = None) -> int:
         help="append the measured point to this trajectory JSON file",
     )
     p_bench.add_argument(
-        "--backend", default="memory", choices=["memory", "sqlite"],
+        "--backend", default="memory", choices=["memory", "sharded", "sqlite"],
         help="storage backend the benchmarks run against "
              "(default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--shards", type=int, default=1, metavar="S",
+        help="also sweep distributed evaluation at 1..S shard processes "
+             "and report speedup (default: 1 = skip)",
     )
     p_bench.add_argument(
         "--profile-hz", type=int, default=None, metavar="HZ",

@@ -9,7 +9,7 @@ the concrete engine behind the paper's use of ``HW(1) = AC`` (Theorem 3
 with ``k = 1``), and the backend of the bounded-width engines, which reduce
 to an acyclic instance first.
 
-Three interchangeable execution paths implement the phases, selected per
+Interchangeable execution paths implement the phases, selected per
 run by :func:`repro.relalg.config.choose_kernel` (``REPRO_KERNELS``):
 
 * ``columnar`` — the set-oriented kernels of :mod:`repro.relalg`:
@@ -22,7 +22,12 @@ run by :func:`repro.relalg.config.choose_kernel` (``REPRO_KERNELS``):
 * ``sql`` — on a SQLite backend, the **whole tree** runs as a single SQL
   statement (:meth:`~repro.storage.sqlite.SQLiteBackend.sql_yannakakis`):
   scans, both semi-join sweeps, and the join/projection phase are CTE
-  layers, and only the final answer rows cross back into Python.
+  layers, and only the final answer rows cross back into Python;
+* ``dist`` — on a sharded backend (:mod:`repro.dist`), the whole tree
+  runs as a shard program: each shard sweeps its hash partition with the
+  columnar kernels, only join-key sets cross shard boundaries between
+  levels, and the coordinator merges the gathered fragments with
+  :func:`columnar_join_phase`.
 
 With a worker pool installed (:mod:`repro.parallel`) the independent
 pieces overlap on either Python path: the per-atom scans, and the
@@ -52,6 +57,7 @@ from ..hypergraphs.gyo import join_tree_children, join_tree_of_atoms, join_tree_
 from ..parallel.pool import current_pool
 from ..relalg.config import (
     KERNEL_COLUMNAR,
+    KERNEL_DIST,
     KERNEL_LEGACY,
     KERNEL_SQL,
     choose_kernel,
@@ -114,7 +120,13 @@ def evaluate_with_join_tree(
     pool = current_pool()
     kernel = resolve_kernel(db, pool, preferred=kernel)
     with tracer.span("yannakakis", atoms=n, kernel=kernel) as y_span:
-        if kernel == KERNEL_SQL:
+        if kernel == KERNEL_DIST:
+            # Sharded backend: the whole tree runs as a shard program —
+            # local semi-join passes per shard, bounded key exchange
+            # between levels, final merge on the coordinator
+            # (:mod:`repro.dist.exec`).
+            result = db.dist_yannakakis(atoms, links, query.free_variables)
+        elif kernel == KERNEL_SQL:
             # SQLite-backed database: scans, both semi-join sweeps, and
             # the join/projection phase run as one SQL statement; only
             # the answer rows cross back into Python.
@@ -168,7 +180,11 @@ def satisfiable_with_join_tree(
         return bool(evaluate_with_join_tree(q, db, atoms, links))
     tracer = current_tracer()
     with tracer.span("yannakakis", atoms=n, kernel=kernel, boolean=True) as y_span:
-        if kernel == KERNEL_SQL:
+        if kernel == KERNEL_DIST:
+            result = bool(
+                db.dist_yannakakis(atoms, links, (), exists_only=True)
+            )
+        elif kernel == KERNEL_SQL:
             with tracer.span("yannakakis.sql") as sp:
                 result = bool(
                     db.sql_yannakakis(atoms, links, (), exists_only=True)
@@ -270,7 +286,32 @@ def _evaluate_columnar(
         if tracer.enabled:
             sp.set(relation_sizes=[len(r) for r in relations])
     # Phase 3: bottom-up join keeping (free ∪ parent-interface) variables.
-    frees = frozenset(query.free_variables)
+    return columnar_join_phase(
+        frozenset(query.free_variables), atoms, links, relations, root,
+        children, order, tracer,
+    )
+
+
+def columnar_join_phase(
+    frees: FrozenSet[Variable],
+    atoms: Sequence[Atom],
+    links: Sequence[Tuple[int, int]],
+    relations: List[Relation],
+    root: int,
+    children: Dict[int, List[int]],
+    order: List[int],
+    tracer,
+) -> FrozenSet[Mapping]:
+    """Phase 3 on columnar relations: the bottom-up join/projection pass,
+    keeping (free ∪ parent-interface) variables per node.
+
+    ``relations[i]`` is atom ``i``'s (already semi-join-reduced) relation.
+    The keep sets are computed structurally from the **atoms**, so the
+    relations may carry any sub-schema that still contains the free and
+    interface variables — the distributed executor (:mod:`repro.dist`)
+    reuses this pass on gathered fragments that were projected down to
+    exactly those variables shard-side."""
+    n = len(atoms)
     atom_vars = [a.variables() for a in atoms]
     subtree_vars = _subtree_variables(atom_vars, children, order)
     parent_of: Dict[int, int] = {c: p for c, p in links}

@@ -1,0 +1,27 @@
+"""Distributed query execution over hash-partitioned process shards.
+
+The ``dist`` kernel of the engine: a
+:class:`~repro.dist.backend.ShardedBackend` partitions the database
+across N long-lived worker processes, and
+:func:`~repro.dist.exec.run_program` runs Yannakakis' algorithm as a
+shard program — shard-local columnar semi-join passes, bounded key
+exchange between join-tree levels (broadcast small key sets, targeted
+repartition for large ones), and a final merge at the coordinator that
+honours :class:`~repro.telemetry.resources.ResourceBudget` accounting.
+
+Enable it with ``Session(backend="sharded", shards=N)``,
+``REPRO_BACKEND=sharded`` (+ ``REPRO_SHARDS``), or ``--shards N`` on the
+CLI's ``run``/``bench``/``serve`` commands.
+"""
+
+from .backend import DEFAULT_SHARDS, ShardedBackend, shard_of
+from .exec import BROADCAST_LIMIT, ShardFailure, run_program
+
+__all__ = [
+    "BROADCAST_LIMIT",
+    "DEFAULT_SHARDS",
+    "ShardFailure",
+    "ShardedBackend",
+    "run_program",
+    "shard_of",
+]

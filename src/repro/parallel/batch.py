@@ -18,7 +18,10 @@ Two executors (:data:`repro.parallel.pool.EXECUTORS`):
   private :class:`~repro.engine.Session` built once per worker from the
   pickled database (so its plan cache warms across the tasks it serves).
   Tasks ship back ``(index, value, usage, worker_id, metrics dump,
-  obslog records, span dicts, stats dump, profile dump)`` envelopes; the
+  obslog records, span dicts, stats dump, profile dump, shard)``
+  envelopes (``shard`` is ``None`` for batch tasks; the shard workers of
+  :mod:`repro.dist` reuse the same format with their shard label, see
+  :func:`pack_envelope`); the
   parent folds
   the per-task :meth:`~repro.telemetry.metrics.MetricsRegistry.dump`
   payloads into the session's registry **in task order**, making the
@@ -59,7 +62,7 @@ from .pool import (
     process_worker_id,
 )
 
-__all__ = ["BATCH_OPS", "BatchResult", "run_batch"]
+__all__ = ["BATCH_OPS", "BatchResult", "pack_envelope", "run_batch"]
 
 #: Session operations a batch can fan out.
 BATCH_OPS = ("query", "query_maximal", "ask")
@@ -124,6 +127,24 @@ class BatchResult:
 # ---------------------------------------------------------------------------
 # Process-pool worker side (module-level: must pickle by reference)
 # ---------------------------------------------------------------------------
+def pack_envelope(
+    index, value, usage, metrics_dump, records, span_dicts, stats_dump,
+    profile_dump, shard=None,
+):
+    """Build the pickle-safe result envelope a process worker ships home.
+
+    One format for every process-worker reply in the library: batch tasks
+    leave ``shard`` as ``None``; the shard workers of :mod:`repro.dist`
+    stamp their shard label (``"s0"``, ``"s1"``, …) so the parent can
+    attribute spans, profiles, and metrics per shard.  The worker id is
+    taken from the calling process.
+    """
+    return (
+        index, value, usage, process_worker_id(), metrics_dump,
+        records, span_dicts, stats_dump, profile_dump, shard,
+    )
+
+
 _worker_session = None
 _worker_records: List[Dict[str, Any]] = []
 
@@ -212,8 +233,8 @@ def _run_process_task(
         session.stats_store.dump() if session.stats_store is not None else None
     )
     profile_dump = profiler.dump(drain=True) if profiler is not None else None
-    return (
-        index, value, usage, process_worker_id(), registry.dump(),
+    return pack_envelope(
+        index, value, usage, registry.dump(),
         list(_worker_records), span_dicts, stats_dump, profile_dump,
     )
 
@@ -340,7 +361,7 @@ def _run_process_batch(session, tasks, jobs: int, trace_id: Optional[str]):
     worker_ids: List[Optional[str]] = []
     for (index, op, query, _), envelope in zip(tasks, envelopes):
         (env_index, value, usage, worker_id, dump, records, spans, stats,
-         profile_dump) = envelope
+         profile_dump, _shard) = envelope
         assert env_index == index
         session.planner.metrics.merge_dump(dump)
         if records and session.obslog is not None:

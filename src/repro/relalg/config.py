@@ -9,19 +9,25 @@ Three execution paths implement the same relational operations:
   :class:`~repro.core.mappings.Mapping` objects;
 * ``sql`` — the whole-tree SQL pushdown of
   :meth:`repro.storage.sqlite.SQLiteBackend.sql_yannakakis` (only
-  available when the database is SQLite-backed).
+  available when the database is SQLite-backed);
+* ``dist`` — the distributed shard program of :mod:`repro.dist` (only
+  available when the database is a
+  :class:`~repro.dist.backend.ShardedBackend`): shard-local columnar
+  semi-join passes with bounded exchange between join-tree levels.
 
 The **mode** is user-facing policy, read from the ``REPRO_KERNELS``
 environment variable (or forced programmatically with
 :func:`force_kernels`):
 
-* ``auto`` (default) — SQL pushdown when the backend supports it and no
-  worker pool is installed, otherwise the columnar kernels;
-* ``columnar`` — always the columnar Python kernels (even on SQLite);
+* ``auto`` (default) — the backend's native whole-tree path when it has
+  one (``dist`` on a sharded backend, ``sql`` on SQLite) and no worker
+  pool is installed, otherwise the columnar kernels;
+* ``columnar`` — always the columnar Python kernels (even on SQLite or
+  a sharded backend — the coordinator's mirror serves the scans);
 * ``legacy`` — always the historical Mapping path.
 
-The **kernel** is the resolved per-execution choice (``sql`` /
-``columnar`` / ``legacy``), computed by :func:`choose_kernel` from the
+The **kernel** is the resolved per-execution choice (``dist`` / ``sql``
+/ ``columnar`` / ``legacy``), computed by :func:`choose_kernel` from the
 mode plus the database's capabilities; it is recorded in plans, traces,
 and the obslog so operators can see which path served a query.
 """
@@ -45,6 +51,7 @@ MODES = (MODE_AUTO, MODE_COLUMNAR, MODE_LEGACY)
 KERNEL_SQL = "sql"
 KERNEL_COLUMNAR = "columnar"
 KERNEL_LEGACY = "legacy"
+KERNEL_DIST = "dist"
 
 #: Programmatic override (tests, benchmarks); ``None`` defers to the env.
 _forced: Optional[str] = None
@@ -83,15 +90,20 @@ def force_kernels(mode: str) -> Iterator[None]:
 def choose_kernel(db: object, pool: object = None) -> str:
     """Resolve the mode against the database's capabilities.
 
-    SQL pushdown is only chosen in ``auto`` mode, when the backend
-    advertises :attr:`supports_sql_yannakakis` and no worker pool is
-    installed (the level-parallel sweeps are a Python-side feature).
+    The native whole-tree paths are only chosen in ``auto`` mode and
+    with no worker pool installed (the level-parallel sweeps are a
+    Python-side feature): ``dist`` when the backend advertises
+    :attr:`supports_dist_yannakakis` (it already owns its own process
+    parallelism), else ``sql`` when it advertises
+    :attr:`supports_sql_yannakakis`.
     """
     mode = kernel_mode()
     if mode == MODE_LEGACY:
         return KERNEL_LEGACY
     if mode == MODE_COLUMNAR:
         return KERNEL_COLUMNAR
+    if pool is None and getattr(db, "supports_dist_yannakakis", False):
+        return KERNEL_DIST
     if pool is None and getattr(db, "supports_sql_yannakakis", False):
         return KERNEL_SQL
     return KERNEL_COLUMNAR
@@ -103,9 +115,10 @@ def resolve_kernel(db: object, pool: object = None, preferred: Optional[str] = N
     ``preferred`` (from a :class:`~repro.planner.plan.QueryPlan` whose
     planner consulted the query-stats history) is honored only when it is
     feasible here and now: the mode must be ``auto`` (explicit modes are
-    user policy and always win), and ``sql`` additionally needs a backend
-    that supports whole-tree pushdown and no installed worker pool —
-    exactly the conditions under which ``auto`` itself would allow it.
+    user policy and always win), and ``sql``/``dist`` additionally need
+    a backend that supports the corresponding whole-tree path and no
+    installed worker pool — exactly the conditions under which ``auto``
+    itself would allow them.
     Infeasible or unknown preferences fall back to :func:`choose_kernel`.
     """
     fallback = choose_kernel(db, pool)
@@ -119,6 +132,12 @@ def resolve_kernel(db: object, pool: object = None, preferred: Optional[str] = N
         preferred == KERNEL_SQL
         and pool is None
         and getattr(db, "supports_sql_yannakakis", False)
+    ):
+        return preferred
+    if (
+        preferred == KERNEL_DIST
+        and pool is None
+        and getattr(db, "supports_dist_yannakakis", False)
     ):
         return preferred
     return fallback

@@ -214,6 +214,7 @@ class ServiceServer:
         port: int = 0,
         backend: Optional[str] = None,
         path: Optional[str] = None,
+        shards: Optional[int] = None,
         jobs: Optional[int] = None,
         global_limit: int = DEFAULT_GLOBAL_LIMIT,
         obslog: Optional[QueryLog] = None,
@@ -230,9 +231,12 @@ class ServiceServer:
         self.drain_timeout = drain_timeout
         self.obslog = obslog
         # One root session owns backend conversion and the shared planner;
-        # it never runs queries itself.
+        # it never runs queries itself.  With ``shards`` (or
+        # backend="sharded") the whole fleet serves from one set of shard
+        # processes — every tenant session shares the root's database.
         self._root = Session(
-            data, backend=backend, path=path, cache=False, jobs=None
+            data, backend=backend, path=path, shards=shards, cache=False,
+            jobs=None, obslog=obslog,
         )
         self.planner = self._root.planner
         self.metrics = self.planner.metrics
@@ -665,6 +669,7 @@ class ServiceServer:
             self.obslog.emit("service.stopped", dropped_connections=dropped)
         for session in self.sessions.values():
             session.close()
+        self._root.close()  # stops the shard processes of a sharded backend
         self._executor.shutdown(wait=False)
 
     async def serve_forever(self) -> None:

@@ -8,6 +8,10 @@ against any :class:`~repro.storage.base.StorageBackend`:
 * :class:`~repro.storage.sqlite.SQLiteBackend` — stdlib ``sqlite3``, one
   table per relation with per-position indexes, on-disk open/save, and
   SQL pushdown of the Yannakakis semi-join program.
+* :class:`~repro.dist.backend.ShardedBackend` (kind ``"sharded"``,
+  imported lazily — it pulls in the process-pool machinery) — the
+  database hash-partitioned across N long-lived worker processes, with
+  Yannakakis running as a distributed shard program.
 
 Every backend maintains a monotonically increasing **data version**
 bumped on each mutation; :class:`~repro.storage.cache.ResultCache` keys
@@ -24,25 +28,43 @@ from .memory import MemoryBackend
 from .sqlite import SQLiteBackend
 
 #: Name → constructor for ``Session(backend=...)`` / ``REPRO_BACKEND``.
+#: The sharded backend is resolved lazily by :func:`to_backend`.
 BACKENDS = {
     "memory": MemoryBackend,
     "sqlite": SQLiteBackend,
 }
 
+#: Every backend kind accepted by ``Session(backend=...)`` and the CLI's
+#: ``--backend`` flags (:data:`BACKENDS` plus the lazily-loaded kinds).
+BACKEND_KINDS = ("memory", "sharded", "sqlite")
 
-def to_backend(data, kind: str, path=None):
+
+def to_backend(data, kind: str, path=None, shards=None):
     """Coerce ``data`` (a backend or an iterable of facts) into a backend
     of the given ``kind``, converting between kinds when necessary.
 
     An instance already of the requested kind passes through unchanged
     (no copy); anything else is loaded fact-by-fact into a fresh backend.
+    ``shards`` applies to ``kind="sharded"`` (defaulting to
+    :data:`repro.dist.backend.DEFAULT_SHARDS`).
     """
+    if kind == "sharded":
+        from ..dist.backend import ShardedBackend
+
+        if isinstance(data, ShardedBackend) and (
+            shards is None or data.shards == int(shards)
+        ):
+            return data
+        facts = data.facts() if isinstance(data, StorageBackend) else data
+        if shards is None:
+            return ShardedBackend(facts)
+        return ShardedBackend(facts, shards=int(shards))
     try:
         cls = BACKENDS[kind]
     except KeyError:
         raise ValueError(
             "unknown storage backend %r (expected one of %s)"
-            % (kind, ", ".join(sorted(BACKENDS)))
+            % (kind, ", ".join(BACKEND_KINDS))
         ) from None
     if isinstance(data, cls) and (path is None or kind != "sqlite"):
         return data
@@ -54,6 +76,7 @@ def to_backend(data, kind: str, path=None):
 
 __all__ = [
     "BACKENDS",
+    "BACKEND_KINDS",
     "MemoryBackend",
     "ResultCache",
     "SQLiteBackend",

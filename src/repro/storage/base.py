@@ -64,6 +64,12 @@ class StorageBackend(abc.ABC):
     #: :func:`repro.relalg.config.choose_kernel` when resolving the
     #: ``auto`` kernel mode.
     supports_sql_yannakakis = False
+    #: The backend can run the *distributed* Yannakakis program
+    #: (``dist_yannakakis``): shard-local semi-join passes with bounded
+    #: exchange steps between join-tree levels and a final merge at the
+    #: coordinator (:mod:`repro.dist`).  Also checked by
+    #: :func:`repro.relalg.config.choose_kernel` in ``auto`` mode.
+    supports_dist_yannakakis = False
 
     # ------------------------------------------------------------------
     # Identity
@@ -96,6 +102,20 @@ class StorageBackend(abc.ABC):
 
     def update(self, facts: Iterable[Atom]) -> int:
         """Insert many facts; return how many were new."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    def add_many(self, facts: Iterable[Atom]) -> int:
+        """Bulk-ingest ``facts``; return how many were new.
+
+        Semantically :meth:`update`, but a bulk ingest is allowed to bump
+        :attr:`data_version` **once** for the whole batch instead of once
+        per tuple, so large loads don't churn the version counter (and
+        the caches keyed by it).  Backends override this with their
+        native bulk path — SQLite uses ``executemany``, the memory
+        backend inserts without per-fact bumps, and the sharded backend
+        logs the batch as one write-ahead entry group.  The default loops
+        :meth:`add`.
+        """
         return sum(1 for fact in facts if self.add(fact))
 
     # ------------------------------------------------------------------

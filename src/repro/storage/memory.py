@@ -99,6 +99,14 @@ class MemoryBackend(StorageBackend):
     # ------------------------------------------------------------------
     def add(self, fact: Atom) -> bool:
         """Insert ``fact``; return ``True`` iff it was not already present."""
+        if self._insert(fact):
+            self._version += 1
+            return True
+        return False
+
+    def _insert(self, fact: Atom) -> bool:
+        """The indexing work of :meth:`add` without the version bump —
+        the shared inner step of ``add`` and the bulk :meth:`add_many`."""
         if not fact.is_ground():
             raise NotGroundError("database facts must be ground, got %r" % (fact,))
         if self._explicit_schema:
@@ -113,8 +121,22 @@ class MemoryBackend(StorageBackend):
             assert isinstance(value, Constant)
             self._index.setdefault((fact.relation, pos, value), []).append(fact)
             self._adom_counts[value] = self._adom_counts.get(value, 0) + 1
-        self._version += 1
         return True
+
+    def add_many(self, facts: Iterable[Atom]) -> int:
+        """Bulk insert with a **single** version bump (see the base
+        class): the fast path for shard/partition loads."""
+        return len(self._add_new(facts))
+
+    def _add_new(self, facts: Iterable[Atom]) -> List[Atom]:
+        """Insert ``facts`` and return exactly the ones that were new,
+        bumping the version once for the whole batch.  The sharded
+        backend (:mod:`repro.dist`) records the returned list in its
+        write-ahead log."""
+        new = [fact for fact in facts if self._insert(fact)]
+        if new:
+            self._version += 1
+        return new
 
     def discard(self, fact: Atom) -> bool:
         """Delete ``fact`` if present, keeping the per-relation list, the

@@ -280,6 +280,39 @@ class SQLiteBackend(StorageBackend):
         with self._lock:
             return super().update(facts)
 
+    def add_many(self, facts: Iterable[Atom]) -> int:
+        """Bulk insert via one ``executemany`` per relation, with a
+        single version bump for the whole batch (see the base class).
+        ``INSERT OR IGNORE`` against the unique row index dedups both
+        against the stored facts and within the batch; the insert count
+        comes from ``total_changes``."""
+        grouped: Dict[Tuple[str, int], List[Tuple[str, ...]]] = {}
+        for fact in facts:
+            if not fact.is_ground():
+                raise NotGroundError(
+                    "database facts must be ground, got %r" % (fact,)
+                )
+            if self._explicit_schema:
+                self._schema.validate_atom(fact)
+            else:
+                self._schema.add_relation(fact.relation, fact.arity)
+            row = tuple(encode_value(a.value) for a in fact.args)  # type: ignore[union-attr]
+            grouped.setdefault((fact.relation, fact.arity), []).append(row)
+        added = 0
+        with self._lock, self._conn:
+            for (relation, arity), rows in grouped.items():
+                tbl = self._table_for(relation, arity)
+                before = self._conn.total_changes
+                self._conn.executemany(
+                    "INSERT OR IGNORE INTO %s VALUES (%s)"
+                    % (tbl, ", ".join("?" * arity)),
+                    rows,
+                )
+                added += self._conn.total_changes - before
+            if added:
+                self._bump_version()
+        return added
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
